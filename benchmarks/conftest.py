@@ -1,0 +1,22 @@
+"""Shared configuration for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module regenerates one table or figure of the paper's evaluation;
+the ``table*_report`` "benchmarks" also print the rendered table (use
+``-s`` to see them inline, or read the captured output).
+"""
+
+import pytest
+
+#: Payload size for benchmark workloads.  Smaller than the test-suite
+#: default so the full 3-mode × 30-case matrix stays fast; ratios are
+#: size-stable above ~8 KiB.
+BENCH_SIZE = 16 * 1024
+
+
+@pytest.fixture(scope="session")
+def bench_size() -> int:
+    return BENCH_SIZE

@@ -1,0 +1,52 @@
+"""§V-F network overhead — the fixed 5× wire-byte claim."""
+
+from repro.bench.overhead import measure_network_overhead
+from repro.bench.tables import network_overhead_report
+from repro.core import wire
+from repro.microbench.cases import CASES_BY_NAME
+from repro.microbench.workload import run_case
+from repro.runtime.modes import Mode
+
+
+def test_network_overhead_report():
+    report = network_overhead_report()
+    print("\n" + report)
+
+
+def test_tcp_overhead_is_exactly_5x(bench_size):
+    result = measure_network_overhead(size=bench_size)
+    assert abs(result.ratio - 5.0) < 0.01
+
+
+def test_udp_overhead_is_about_5x(bench_size):
+    """Datagrams add a constant envelope header on top of the 5×."""
+    case = CASES_BY_NAME["jre_datagram"]
+    original = run_case(case, Mode.ORIGINAL, size=bench_size)
+    dista = run_case(case, Mode.DISTA, size=bench_size)
+    ratio = dista.wire_bytes / original.wire_bytes
+    assert 4.9 <= ratio <= 5.2
+
+
+def test_benchmark_cell_encode(benchmark, bench_size):
+    """Raw codec throughput: encode a single-taint buffer."""
+    from repro.taint import LocalId, TBytes, TaintTree
+
+    tree = TaintTree(LocalId("10.0.0.1", 1))
+    taint = tree.taint_for_tag("t")
+    data = TBytes.tainted(b"x" * bench_size, taint)
+    benchmark(lambda: wire.encode_cells(data, lambda label: 1 if label else 0))
+
+
+def test_benchmark_cell_decode(benchmark, bench_size):
+    from repro.taint import LocalId, TBytes, TaintTree
+
+    tree = TaintTree(LocalId("10.0.0.1", 1))
+    taint = tree.taint_for_tag("t")
+    data = TBytes.tainted(b"x" * bench_size, taint)
+    cells = wire.encode_cells(data, lambda label: 1 if label else 0)
+
+    def decode():
+        decoder = wire.CellDecoder()
+        return decoder.feed(cells, lambda gid: taint)
+
+    benchmark(decode)

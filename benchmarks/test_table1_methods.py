@@ -1,0 +1,46 @@
+"""Table I — the 23 instrumented JNI methods.
+
+Not a timing benchmark: this regenerates and validates the static
+instrumentation inventory, and benchmarks agent attach/detach cost
+(the per-JVM instrumentation overhead at launch).
+"""
+
+from repro.bench.tables import table1
+from repro.core.agent import INSTRUMENTED_METHODS, DisTAAgent
+from repro.runtime.cluster import Cluster
+from repro.runtime.modes import Mode
+
+
+def test_table1_report():
+    report = table1()
+    print("\n" + report)
+    assert "23 methods in total" in report
+
+
+def test_benchmark_agent_attach(benchmark):
+    """Cost of patching all instrumentation points on one JVM."""
+    cluster = Cluster(Mode.DISTA)
+    cluster.add_node("seed")  # boots the Taint Map on start
+    with cluster:
+        agent = DisTAAgent(cluster.taint_map_server.address)
+        counter = [0]
+
+        def attach_detach():
+            counter[0] += 1
+            node = cluster.add_node(f"bench-{counter[0]}")
+            agent.detach(node)  # cluster auto-attached; reset first
+            agent.attach(node)
+            agent.detach(node)
+
+        benchmark(attach_detach)
+
+
+def test_wrapper_type_distribution():
+    by_type = {}
+    for method in INSTRUMENTED_METHODS:
+        by_type.setdefault(method.wrapper_type, []).append(method)
+    # Paper §III-B/C: 2 TCP stream methods + friends are Type 1, 3 UDP
+    # methods are Type 2, the dispatcher/direct-buffer family is Type 3.
+    assert len(by_type[1]) == 5
+    assert len(by_type[2]) == 3
+    assert len(by_type[3]) == 15

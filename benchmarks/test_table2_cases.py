@@ -1,0 +1,52 @@
+"""Table II — the 30 micro-benchmark cases (soundness/precision, RQ1).
+
+Regenerates the table and benchmarks one representative case per
+protocol group under DisTA.
+"""
+
+import pytest
+
+from repro.bench.tables import table2
+from repro.microbench.cases import CASES, CASES_BY_NAME
+from repro.microbench.workload import run_case
+from repro.runtime.modes import Mode
+
+REPRESENTATIVES = [
+    "socket_bytes_bulk",
+    "jre_datagram",
+    "jre_socket_channel",
+    "jre_datagram_channel",
+    "jre_aio",
+    "jre_http",
+    "netty_socket",
+    "netty_datagram",
+    "netty_http",
+]
+
+
+def test_table2_report():
+    report = table2(size=4096)
+    print("\n" + report)
+    assert report.count("NO") == 0, "a case was unsound or imprecise"
+    assert "30 cases" in report
+
+
+@pytest.mark.parametrize("name", REPRESENTATIVES)
+def test_benchmark_case_dista(benchmark, name, bench_size):
+    case = CASES_BY_NAME[name]
+
+    def run():
+        result = run_case(case, Mode.DISTA, size=bench_size)
+        assert result.passed
+        return result
+
+    benchmark(run)
+
+
+def test_all_30_cases_pass_under_dista():
+    failures = [
+        c.name
+        for c in CASES
+        if not run_case(c, Mode.DISTA, size=2048).passed
+    ]
+    assert failures == []

@@ -1,0 +1,38 @@
+"""§V-E usability — launch-script LOC and zero source modifications."""
+
+from repro.bench.tables import usability_table
+from repro.core.launch import all_launch_scripts, average_changed_loc
+
+
+def test_usability_report():
+    report = usability_table()
+    print("\n" + report)
+
+
+def test_loc_budget_matches_paper():
+    """Paper: ~10 LOC average, ZooKeeper needing only 3."""
+    scripts = all_launch_scripts()
+    assert scripts["ZooKeeper"].changed_loc == 3
+    assert average_changed_loc() <= 10
+    assert all(s.changed_loc <= 10 for s in scripts.values())
+
+
+def test_no_source_code_changes_needed():
+    """The five simulated systems contain no DisTA-specific hooks: the
+    agent's only integration point is the per-JVM JNI table."""
+    import inspect
+
+    from repro.systems import activemq, hbase, mapreduce, rocketmq, zookeeper
+
+    for module in (zookeeper, mapreduce, activemq, rocketmq, hbase):
+        for name in dir(module):
+            member = getattr(module, name)
+            if inspect.ismodule(member):
+                continue
+            source = None
+            try:
+                source = inspect.getsource(member)
+            except (TypeError, OSError):
+                continue
+            assert "DisTAAgent" not in source, f"{module.__name__}.{name} hooks DisTA"
+            assert "TaintMapClient" not in source, f"{module.__name__}.{name} hooks DisTA"

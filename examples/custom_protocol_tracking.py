@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Genericity demo: DisTA tracks a protocol it has never seen.
+
+The point of instrumenting at the JNI level (paper §III-A) is that *any*
+communication stack built on the JRE is covered automatically.  This
+example invents a brand-new length-prefixed key-value protocol over NIO
+channels, runs a producer/aggregator/consumer pipeline across three
+nodes — and taints flow end to end without a single DisTA-specific line
+in the protocol code.
+
+Run:  python examples/custom_protocol_tracking.py
+"""
+
+import threading
+
+from repro.jre import ByteBuffer, ServerSocketChannel, SocketChannel
+from repro.runtime.cluster import Cluster
+from repro.runtime.modes import Mode
+from repro.taint.values import TBytes
+
+
+def send_record(channel, key: bytes, value: TBytes) -> None:
+    frame = TBytes(len(key).to_bytes(2, "big") + key + len(value).to_bytes(4, "big"))
+    channel.write_fully(ByteBuffer.wrap(frame + value))
+
+
+def read_record(channel):
+    head = ByteBuffer.allocate(2)
+    channel.read_fully(head)
+    head.flip()
+    key_len = int.from_bytes(head.get(2).data, "big")
+    body = ByteBuffer.allocate(key_len + 4)
+    channel.read_fully(body)
+    body.flip()
+    key = body.get(key_len).data
+    value_len = int.from_bytes(body.get(4).data, "big")
+    value = ByteBuffer.allocate(value_len)
+    channel.read_fully(value)
+    value.flip()
+    return key, value.get(value_len)
+
+
+def main() -> None:
+    cluster = Cluster(Mode.DISTA)
+    producer_node = cluster.add_node("producer")
+    aggregator_node = cluster.add_node("aggregator")
+    consumer_node = cluster.add_node("consumer")
+    with cluster:
+        agg_server = ServerSocketChannel.open(aggregator_node).bind(7777)
+        results: dict = {}
+        done = threading.Event()
+
+        def aggregator() -> None:
+            upstream = agg_server.accept()
+            downstream_server = ServerSocketChannel.open(aggregator_node).bind(7778)
+            ready.set()
+            downstream = downstream_server.accept()
+            for _ in range(2):
+                key, value = read_record(upstream)
+                # Aggregate: annotate the value and forward it.
+                send_record(downstream, b"agg:" + key, TBytes(b"[") + value + TBytes(b"]"))
+            downstream_server.close()
+
+        def consumer() -> None:
+            ready.wait()
+            channel = SocketChannel.open(consumer_node).connect((aggregator_node.ip, 7778))
+            for _ in range(2):
+                key, value = read_record(channel)
+                results[key.decode()] = value
+            done.set()
+
+        ready = threading.Event()
+        aggregator_node.spawn(aggregator)
+        consumer_node.spawn(consumer)
+
+        channel = SocketChannel.open(producer_node).connect((aggregator_node.ip, 7777))
+        pii = producer_node.tree.taint_for_tag("user-email")
+        send_record(channel, b"user", TBytes.tainted(b"alice@example.com", pii))
+        send_record(channel, b"page", TBytes(b"/index.html"))
+        assert done.wait(10)
+
+        print("=== custom protocol, three hops, zero protocol-specific hooks ===\n")
+        for key, value in sorted(results.items()):
+            taint = value.overall_taint()
+            tags = sorted(str(t.tag) for t in taint.tags) if taint else []
+            print(f"consumer got {key:10s} = {value.data!r:32} taints={tags}")
+        print(
+            "\nThe PII taint followed the email through producer → aggregator →\n"
+            "consumer, while the untainted record stayed clean — byte-level\n"
+            "precision through a protocol DisTA was never told about."
+        )
+
+
+if __name__ == "__main__":
+    main()

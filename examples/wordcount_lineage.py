@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Data lineage with taints: which input file produced which output?
+
+Taint tracking doubles as provenance: tag every input file read, run a
+distributed WordCount, and read the lineage off the result — each word
+count carries the taints of the file(s) its occurrences came from, even
+though the counting happened on different container nodes.
+
+Run:  python examples/wordcount_lineage.py
+"""
+
+from repro.runtime.cluster import Cluster
+from repro.runtime.modes import Mode
+from repro.systems.common import sim_spec
+from repro.systems.mapreduce import RpcClient
+from repro.systems.mapreduce.protocol import ApplicationId
+from repro.systems.mapreduce.wordcount import (
+    WORDCOUNT_PORT,
+    WordCountDriver,
+    WordCountExecutor,
+)
+from repro.taint.values import TInt, TLong, TStr
+
+INPUTS = {
+    "/input/report.txt": "revenue grew and revenue will grow",
+    "/input/leak.txt": "password and token and password",
+    "/input/memo.txt": "meeting moved",
+}
+
+
+def main() -> None:
+    cluster = Cluster(Mode.DISTA, name="lineage")
+    sim_spec().apply(cluster)  # file reads become taint sources
+    rm = cluster.add_node("rm")
+    containers = [cluster.add_node(f"container{i}") for i in (1, 2)]
+    client_node = cluster.add_node("client")
+    with cluster:
+        executors = [WordCountExecutor(c) for c in containers]
+        driver = WordCountDriver(rm, [c.ip for c in containers])
+        for path, text in INPUTS.items():
+            cluster.fs.write_file(path, text)
+
+        client = RpcClient(client_node, (rm.ip, WORDCOUNT_PORT))
+        app_id = ApplicationId(TLong(1), TInt(1))
+        client.call("submitWordCount", app_id, [TStr(p) for p in INPUTS])
+        counts = client.call("getWordCounts", app_id)
+        client.close()
+
+        # Build file-read-tag → path index from the source events.
+        tag_to_path = {}
+        for container in containers:
+            for event in container.registry.source_events:
+                tag_to_path[event.tag] = event.detail
+
+        print("=== WordCount with lineage (3 files, 2 container nodes) ===\n")
+        for word, count in sorted(counts.items(), key=lambda kv: -kv[1].value):
+            origins = sorted(
+                {tag_to_path.get(t, "?") for t in (count.taint.tags if count.taint else [])}
+            )
+            print(f"  {word.value:10s} x{count.value}   from {origins}")
+
+        flagged = [
+            word.value
+            for word, count in counts.items()
+            if count.taint
+            and any("leak" in tag_to_path.get(t, "") for t in count.taint.tags)
+        ]
+        print(
+            f"\nOutputs derived from the sensitive file: {sorted(flagged)}\n"
+            "('and' shows mixed lineage — it appears in two files, and its\n"
+            "count's taint is the union of both files' tags.)"
+        )
+        driver.stop()
+        for executor in executors:
+            executor.stop()
+
+
+if __name__ == "__main__":
+    main()

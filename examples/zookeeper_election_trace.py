@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Specific-data-trace (SDT) debugging: who won the ZooKeeper election?
+
+The paper's flagship scenario (Table IV row 1): taint every peer's
+initial ``Vote`` and watch which one reaches ``checkLeader`` on the
+followers.  This is the program-debugging use of taint tracking — trace
+one specific variable through a distributed protocol.
+
+Run:  python examples/zookeeper_election_trace.py
+"""
+
+from repro.runtime.modes import Mode
+from repro.systems.common import SDT
+from repro.systems.zookeeper import run_workload
+
+
+def main() -> None:
+    result = run_workload(Mode.DISTA, SDT)
+
+    print("=== ZooKeeper 3-node leader election, SDT trace ===\n")
+    print(f"elected leader : sid {result.extras['leader']}")
+    print(f"followers      : sids {result.extras['followers']}")
+    print(f"winning vote   : {result.extras['winning_vote']}\n")
+
+    print("taints generated at the Vote source point:")
+    for tag in sorted(result.generated_tags, key=lambda t: str(t.tag)):
+        print(f"  {tag.tag:12s} generated on {tag.local_id}")
+
+    print("\ntaints observed at the checkLeader sink point:")
+    for obs in result.tainted_observations:
+        tags = sorted(str(t.tag) for t in obs.tags)
+        print(f"  on {obs.node}: {tags}  ({obs.detail})")
+
+    print(
+        "\nConclusion: of the three vote taints, exactly one — the eventual\n"
+        "leader's — propagates to the followers' checkLeader. The election\n"
+        "data flow is traced without reading a line of ZooKeeper internals."
+    )
+    print(f"\nglobal taints registered with the Taint Map: {result.global_taints}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""DisTA reproduction: generic dynamic taint tracking for (simulated)
+Java-based distributed systems.
+
+Reproduces Wang, Gao, Dou, Wei — "DisTA: Generic Dynamic Taint Tracking
+for Java-Based Distributed Systems", DSN 2022.
+
+Public surface:
+
+* :mod:`repro.taint` — intra-node taint engine (tag tree, shadows).
+* :mod:`repro.runtime` — simulated cluster (kernel, nodes, modes).
+* :mod:`repro.jre` / :mod:`repro.netty` — simulated network stacks.
+* :mod:`repro.core` — DisTA itself (agent, wrappers, wire, Taint Map).
+* :mod:`repro.systems` — the five evaluated distributed systems.
+* :mod:`repro.microbench` / :mod:`repro.bench` — evaluation harness.
+"""
+
+__version__ = "1.0.0"
+
+from repro.runtime.cluster import Cluster
+from repro.runtime.modes import Mode
+
+__all__ = ["Cluster", "Mode", "__version__"]

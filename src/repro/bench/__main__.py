@@ -1,0 +1,88 @@
+"""``python -m repro.bench`` — regenerate every table of the paper.
+
+Options::
+
+    --quick        faster single-repeat run with smaller payloads
+    --json PATH    additionally dump machine-readable results to PATH
+"""
+
+import argparse
+import json
+
+from repro.bench.overhead import (
+    measure_network_overhead,
+    measure_taint_counts,
+    run_table5,
+    run_table6,
+)
+from repro.bench.tables import full_report
+from repro.core.launch import all_launch_scripts
+
+
+def results_as_dict(quick: bool) -> dict:
+    """Machine-readable version of the regenerated evaluation."""
+    size = 8 * 1024 if quick else 32 * 1024
+    repeats = 1 if quick else 2
+    table5 = [
+        {
+            "case": row.name,
+            "original_s": row.original_s,
+            "phosphor_overhead": row.phosphor_overhead,
+            "dista_overhead": row.dista_overhead,
+            "paper_phosphor": row.paper_phosphor,
+            "paper_dista": row.paper_dista,
+        }
+        for row in run_table5(size=size, repeats=repeats)
+    ]
+    table6 = []
+    for row in run_table6(repeats=repeats):
+        p_sdt, d_sdt, p_sim, d_sim = row.overheads()
+        table6.append(
+            {
+                "system": row.name,
+                "original_s": row.original_s,
+                "phosphor_sdt": p_sdt,
+                "dista_sdt": d_sdt,
+                "phosphor_sim": p_sim,
+                "dista_sim": d_sim,
+                "paper": list(row.paper),
+            }
+        )
+    network = measure_network_overhead()
+    return {
+        "table5": table5,
+        "table6": table6,
+        "network_overhead": {
+            "original_bytes": network.original_bytes,
+            "dista_bytes": network.dista_bytes,
+            "ratio": network.ratio,
+        },
+        "taint_counts": [
+            {
+                "system": row.system,
+                "scenario": row.scenario,
+                "global_taints": row.global_taints,
+                "dista_overhead": row.overhead,
+            }
+            for row in measure_taint_counts()
+        ],
+        "usability_loc": {
+            name: script.changed_loc for name, script in all_launch_scripts().items()
+        },
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--json", metavar="PATH", default=None)
+    args = parser.parse_args()
+    print(full_report(quick=args.quick))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(results_as_dict(args.quick), handle, indent=2)
+        print(f"\nmachine-readable results written to {args.json}")
+
+
+if __name__ == "__main__":
+    main()

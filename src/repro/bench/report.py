@@ -1,0 +1,37 @@
+"""ASCII table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: Optional[str] = None,
+) -> str:
+    """Render a fixed-width ASCII table with a title banner."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(row: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+
+    separator = "-+-".join("-" * w for w in widths)
+    out = [f"== {title} ==", line(list(headers)), separator]
+    out.extend(line(row) for row in cells)
+    if note:
+        out.append(f"   {note}")
+    return "\n".join(out)
+
+
+def fmt_ratio(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.2f}x"
+
+
+def fmt_ms(seconds: Optional[float]) -> str:
+    return "-" if seconds is None else f"{seconds * 1000:.1f}"

@@ -1,0 +1,264 @@
+"""Regeneration of every table in the paper, as printable reports."""
+
+from __future__ import annotations
+
+from repro.bench.overhead import (
+    measure_network_overhead,
+    measure_taint_counts,
+    run_table5,
+    run_table6,
+)
+from repro.bench.report import fmt_ms, fmt_ratio, render_table
+from repro.core.agent import INSTRUMENTED_METHODS
+from repro.core.launch import all_launch_scripts
+from repro.microbench.cases import CASES
+from repro.microbench.workload import run_case
+from repro.runtime.modes import Mode
+from repro.systems import ALL_SYSTEMS
+from repro.systems.common import SDT, SIM
+
+
+def table1() -> str:
+    """Table I: instrumented JNI methods and their wrapper types."""
+    rows = [
+        (
+            m.java_class,
+            m.method,
+            m.wrapper_type,
+            m.patch_target or f"(covered by {m.covered_by})",
+        )
+        for m in INSTRUMENTED_METHODS
+    ]
+    return render_table(
+        "Table I — Instrumented methods and their types",
+        ["Class", "Method", "Type", "Simulated patch target"],
+        rows,
+        note=f"{len(INSTRUMENTED_METHODS)} methods in total (paper: 23)",
+    )
+
+
+def table2(size: int = 8 * 1024) -> str:
+    """Table II + RQ1: the 30 cases with soundness/precision verdicts."""
+    rows = []
+    for case in CASES:
+        result = run_case(case, Mode.DISTA, size=size)
+        rows.append(
+            (
+                case.protocol,
+                case.api,
+                "yes" if result.sound else "NO",
+                "yes" if result.precise else "NO",
+                "yes" if result.data_ok else "NO",
+            )
+        )
+    return render_table(
+        "Table II — Micro benchmark cases under DisTA (RQ1)",
+        ["Protocol", "API", "Sound", "Precise", "Data intact"],
+        rows,
+        note=f"{len(CASES)} cases (paper: 30)",
+    )
+
+
+def table3() -> str:
+    """Table III: evaluated systems and workloads."""
+    rows = [
+        (
+            module.SYSTEM.name,
+            module.SYSTEM.kind,
+            ", ".join(module.SYSTEM.protocols),
+            module.SYSTEM.workload,
+            module.SYSTEM.cluster_setting,
+        )
+        for module in ALL_SYSTEMS.values()
+    ]
+    return render_table(
+        "Table III — Real-world distributed systems",
+        ["System", "Kind", "Protocols", "Workload", "Cluster setting"],
+        rows,
+    )
+
+
+def table4() -> str:
+    """Table IV: taint-tracking scenarios (sources and sinks)."""
+    rows = []
+    for name, module in ALL_SYSTEMS.items():
+        sdt = module.sdt_spec()
+        sim = module.sim_spec()
+        rows.append((name, SDT, "; ".join(sdt.sources), "; ".join(sdt.sinks)))
+        rows.append((name, SIM, "; ".join(sim.sources), "; ".join(sim.sinks)))
+    return render_table(
+        "Table IV — Taint tracking scenarios",
+        ["System", "Scenario", "Source points", "Sink points"],
+        rows,
+    )
+
+
+def table5(size: int = 32 * 1024, repeats: int = 2) -> str:
+    """Table V: micro-benchmark runtime overhead."""
+    rows = []
+    for row in run_table5(size=size, repeats=repeats):
+        rows.append(
+            (
+                row.name,
+                fmt_ms(row.original_s),
+                fmt_ms(row.phosphor_s),
+                fmt_ratio(row.phosphor_overhead),
+                fmt_ratio(row.paper_phosphor),
+                fmt_ms(row.dista_s),
+                fmt_ratio(row.dista_overhead),
+                fmt_ratio(row.paper_dista),
+            )
+        )
+    return render_table(
+        "Table V — Runtime overhead for the micro benchmark",
+        [
+            "Case",
+            "Original (ms)",
+            "Phosphor (ms)",
+            "P overhead",
+            "P paper",
+            "DisTA (ms)",
+            "D overhead",
+            "D paper",
+        ],
+        rows,
+        note="absolute times are simulation-substrate specific; compare ratios",
+    )
+
+
+def table6(repeats: int = 2) -> str:
+    """Table VI: real-system runtime overhead."""
+    rows = []
+    for row in run_table6(repeats=repeats):
+        p_sdt, d_sdt, p_sim, d_sim = row.overheads()
+        paper = row.paper
+        rows.append(
+            (
+                row.name,
+                fmt_ms(row.original_s),
+                fmt_ratio(p_sdt),
+                fmt_ratio(paper[0]),
+                fmt_ratio(d_sdt),
+                fmt_ratio(paper[1]),
+                fmt_ratio(p_sim),
+                fmt_ratio(paper[2]),
+                fmt_ratio(d_sim),
+                fmt_ratio(paper[3]),
+            )
+        )
+    return render_table(
+        "Table VI — Runtime overhead for real-world systems",
+        [
+            "System",
+            "Original (ms)",
+            "P-SDT",
+            "paper",
+            "D-SDT",
+            "paper",
+            "P-SIM",
+            "paper",
+            "D-SIM",
+            "paper",
+        ],
+        rows,
+    )
+
+
+def implementation_table() -> str:
+    """§IV: implementation size, paper vs this reproduction.
+
+    The paper reports 2,045 LOC total: 1,591 instrumentation, 202 Taint
+    Map, 252 Phosphor modifications.  We count the corresponding modules
+    of this repository (the simulation substrate is extra — the paper
+    got the JVM, five systems, and a kernel for free)."""
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parent.parent
+
+    def loc(*parts: str) -> int:
+        total = 0
+        for part in parts:
+            path = root / part
+            files = [path] if path.is_file() else sorted(path.rglob("*.py"))
+            for file in files:
+                total += sum(
+                    1 for line in file.read_text().splitlines() if line.strip()
+                )
+        return total
+
+    rows = [
+        ("Instrumentation (agent + wrappers + wire)", 1591,
+         loc("core/agent.py", "core/wrappers.py", "core/wire.py", "core/extensions.py")),
+        ("Taint Map", 202, loc("core/taintmap.py")),
+        ("Phosphor modifications (tag quad, serialization)", 252,
+         loc("taint/tags.py")),
+        ("— substrate: Phosphor-equivalent engine", "(reused)", loc("taint")),
+        ("— substrate: simulated JRE + kernel", "(real JVM)", loc("jre", "runtime")),
+        ("— substrate: Netty", "(real Netty)", loc("netty")),
+        ("— substrate: five systems", "(real systems)", loc("systems")),
+    ]
+    return render_table(
+        "Implementation size (§IV)",
+        ["Component", "Paper LOC", "This repo LOC"],
+        rows,
+        note="rows marked — are substrate the paper did not have to build",
+    )
+
+
+def usability_table() -> str:
+    """§V-E: launch-script LOC per system (paper: 10 LOC average)."""
+    scripts = all_launch_scripts()
+    rows = [(name, script.name, script.changed_loc) for name, script in scripts.items()]
+    average = sum(s.changed_loc for s in scripts.values()) / len(scripts)
+    return render_table(
+        "Usability — launch script modifications (§V-E)",
+        ["System", "Script", "Changed LOC"],
+        rows,
+        note=f"average {average:.1f} LOC (paper: ~10); source-code changes: 0",
+    )
+
+
+def network_overhead_report(size: int = 16 * 1024) -> str:
+    result = measure_network_overhead(size=size)
+    rows = [
+        ("Original", result.original_bytes, "1.00x"),
+        ("DisTA", result.dista_bytes, f"{result.ratio:.2f}x"),
+    ]
+    return render_table(
+        "Network overhead (§V-F)",
+        ["Mode", "Wire bytes", "Ratio"],
+        rows,
+        note=f"paper claim: ~{result.paper_claim:.0f}x (4-byte Global ID per data byte)",
+    )
+
+
+def taint_count_report(repeats: int = 1) -> str:
+    rows = [
+        (row.system, row.scenario, row.global_taints, fmt_ratio(row.overhead))
+        for row in measure_taint_counts(repeats=repeats)
+    ]
+    return render_table(
+        "Global taints per scenario (§V-F)",
+        ["System", "Scenario", "Global taints", "DisTA overhead"],
+        rows,
+        note="paper: SDT 1-6 taints, SIM 54-327; overhead grows only mildly with taints",
+    )
+
+
+def full_report(quick: bool = False) -> str:
+    """All tables, in paper order."""
+    size = 8 * 1024 if quick else 32 * 1024
+    repeats = 1 if quick else 2
+    sections = [
+        table1(),
+        table2(size=min(size, 8 * 1024)),
+        table3(),
+        table4(),
+        implementation_table(),
+        table5(size=size, repeats=repeats),
+        table6(repeats=repeats),
+        usability_table(),
+        network_overhead_report(),
+        taint_count_report(repeats=1),
+    ]
+    return "\n\n".join(sections)

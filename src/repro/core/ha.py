@@ -1,0 +1,117 @@
+"""High-availability Taint Map (paper §VI).
+
+    "it can be improved by some reliable designs, e.g., adding a standby
+    node to handle with the single point failure."
+
+This module implements that suggestion: a primary
+:class:`~repro.core.taintmap.TaintMapServer` streams every Global-ID
+allocation to a standby replica (``OP_SYNC``), and
+:class:`FailoverTaintMapClient` transparently switches to the standby
+when the primary becomes unreachable.  GID numbering is preserved across
+failover because the standby applies allocations verbatim.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from typing import Optional
+
+from repro.core import taintmap
+from repro.core.taintmap import (
+    STATUS_OK,
+    TaintMapClient,
+    TaintMapServer,
+    _recv_exact,
+    _send_frame,
+)
+from repro.errors import TaintMapError
+from repro.runtime.kernel import Address, SimKernel, TcpEndpoint
+
+#: Replication opcode: payload = 4-byte GID + serialized tag set.
+OP_SYNC = 3
+
+
+class StandbyTaintMapServer(TaintMapServer):
+    """A replica that accepts verbatim GID allocations from the primary."""
+
+    def _handle(self, op: int, payload: bytes) -> tuple[int, bytes]:
+        if op == OP_SYNC:
+            (gid,) = struct.unpack(">I", payload[:4])
+            serialized = payload[4:]
+            key = taintmap.taint_key(frozenset(taintmap.deserialize_tags(serialized)))
+            with self._lock:
+                self._by_key[key] = gid
+                self._by_gid[gid] = serialized
+                self._next_gid = max(self._next_gid, gid + 1)
+            return STATUS_OK, b""
+        return super()._handle(op, payload)
+
+
+class ReplicatedTaintMapServer(TaintMapServer):
+    """A primary that synchronously replicates allocations to a standby.
+
+    Replication failures are tolerated (the standby may be down); the
+    primary keeps serving, which matches the paper's best-effort framing.
+    """
+
+    def __init__(self, kernel: SimKernel, ip: str, port: int, standby: Address):
+        super().__init__(kernel, ip, port)
+        self._standby_address = standby
+        self._standby_lock = threading.Lock()
+        self._standby_endpoint: Optional[TcpEndpoint] = None
+        self.replicated = 0
+        self.replication_failures = 0
+
+    def _register(self, tags, serialized: bytes) -> int:
+        known = taintmap.taint_key(tags) in self._by_key
+        gid = super()._register(tags, serialized)
+        if not known:
+            self._replicate(gid, serialized)
+        return gid
+
+    def _replicate(self, gid: int, serialized: bytes) -> None:
+        payload = struct.pack(">I", gid) + serialized
+        with self._standby_lock:
+            try:
+                if self._standby_endpoint is None or self._standby_endpoint.closed:
+                    self._standby_endpoint = self._kernel.connect(
+                        self.address[0], self._standby_address
+                    )
+                _send_frame(self._standby_endpoint, bytes([OP_SYNC]), payload)
+                status = _recv_exact(self._standby_endpoint, 1)[0]
+                (length,) = struct.unpack(">I", _recv_exact(self._standby_endpoint, 4))
+                if length:
+                    _recv_exact(self._standby_endpoint, length)
+                if status == STATUS_OK:
+                    self.replicated += 1
+                else:
+                    self.replication_failures += 1
+            except Exception:
+                self.replication_failures += 1
+                self._standby_endpoint = None
+
+
+class FailoverTaintMapClient(TaintMapClient):
+    """A client that falls back to the standby when the primary dies."""
+
+    def __init__(self, node, primary: Address, standby: Address, cache_enabled: bool = True):
+        super().__init__(node, primary, cache_enabled)
+        self._addresses = [primary, standby]
+        self._active = 0
+
+    @property
+    def active_address(self) -> Address:
+        return self._addresses[self._active]
+
+    def _request(self, op: int, payload: bytes) -> bytes:
+        last_error: Optional[Exception] = None
+        for _ in range(len(self._addresses)):
+            self._address = self._addresses[self._active]
+            try:
+                return super()._request(op, payload)
+            except (ConnectionError, EOFError, OSError, TimeoutError) as exc:
+                last_error = exc
+                self._endpoint = None
+                self._active = (self._active + 1) % len(self._addresses)
+        raise TaintMapError(f"all taint map replicas unreachable: {last_error}")

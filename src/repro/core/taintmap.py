@@ -1,0 +1,363 @@
+"""The Taint Map service (paper §III-D, Fig. 9).
+
+An independent process that every node can reach, keeping the bijection
+*global taint ⇄ Global ID*.  It exists to solve two problems:
+
+* **bandwidth** — a serialized taint is 200+ bytes and grows with its tag
+  count; nodes transfer the fixed 4-byte Global ID instead and consult
+  the map once per distinct taint (client-side caches make repeats free —
+  Fig. 9's note that b2 needs no second request);
+* **mismatched length** — fixed-width IDs let the receiver size its
+  enlarged buffer exactly (see :mod:`repro.core.wire`).
+
+The server runs on its own simulated node and speaks a tiny
+request/response protocol over a **raw** kernel TCP connection — its own
+traffic must not pass through instrumented JNI methods, both to avoid
+recursion and to keep it out of the workload's overhead accounting.
+
+As in the paper, this is the "simplest implementation" (202 LOC there):
+a single-point map, replaceable by ZooKeeper/etcd in production.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from typing import Optional
+
+from repro.errors import TaintMapError
+from repro.runtime.kernel import Address, SimKernel, TcpEndpoint
+from repro.taint.tags import LocalId, TaintTag
+from repro.taint.tree import Taint, TaintTree
+
+OP_REGISTER = 1
+OP_LOOKUP = 2
+
+STATUS_OK = 0
+STATUS_UNKNOWN_GID = 1
+STATUS_BAD_REQUEST = 2
+
+_KIND_STR = ord("s")
+_KIND_INT = ord("i")
+_KIND_BYTES = ord("b")
+
+
+# --------------------------------------------------------------------- #
+# Taint (tag set) serialization
+# --------------------------------------------------------------------- #
+
+
+def _encode_tag_value(value) -> tuple[int, bytes]:
+    if isinstance(value, str):
+        return _KIND_STR, value.encode("utf-8")
+    if isinstance(value, bool):
+        raise TaintMapError("boolean tag values are not supported")
+    if isinstance(value, int):
+        try:
+            return _KIND_INT, struct.pack(">q", value)
+        except struct.error as exc:
+            raise TaintMapError(f"integer tag {value} exceeds 64 bits") from exc
+    if isinstance(value, (bytes, bytearray)):
+        return _KIND_BYTES, bytes(value)
+    raise TaintMapError(
+        f"tag value of type {type(value).__name__} is not wire-serializable"
+    )
+
+
+def _decode_tag_value(kind: int, payload: bytes):
+    if kind == _KIND_STR:
+        return payload.decode("utf-8")
+    if kind == _KIND_INT:
+        return struct.unpack(">q", payload)[0]
+    if kind == _KIND_BYTES:
+        return payload
+    raise TaintMapError(f"unknown tag value kind {kind}")
+
+
+def serialize_tags(tags: frozenset[TaintTag]) -> bytes:
+    """Canonical serialization of a tag set (a *global taint*)."""
+    records = []
+    for tag in tags:
+        kind, payload = _encode_tag_value(tag.tag)
+        ip = tag.local_id.ip.encode("ascii")
+        records.append(
+            struct.pack(">B", len(ip))
+            + ip
+            + struct.pack(">IIB H", tag.local_id.pid, tag.global_id, kind, len(payload))
+            + payload
+        )
+    records.sort()
+    return struct.pack(">H", len(records)) + b"".join(records)
+
+
+def taint_key(tags: frozenset[TaintTag]) -> bytes:
+    """Canonical identity of a taint, ignoring per-node GlobalID fields."""
+    records = []
+    for tag in tags:
+        kind, payload = _encode_tag_value(tag.tag)
+        records.append((tag.local_id.ip, tag.local_id.pid, kind, payload))
+    return repr(sorted(records)).encode()
+
+
+def deserialize_tags(raw: bytes) -> list[TaintTag]:
+    (count,) = struct.unpack(">H", raw[:2])
+    pos = 2
+    tags = []
+    for _ in range(count):
+        ip_len = raw[pos]
+        pos += 1
+        ip = raw[pos : pos + ip_len].decode("ascii")
+        pos += ip_len
+        pid, global_id, kind, payload_len = struct.unpack(">IIB H", raw[pos : pos + 11])
+        pos += 11
+        payload = raw[pos : pos + payload_len]
+        pos += payload_len
+        tags.append(
+            TaintTag(_decode_tag_value(kind, payload), LocalId(ip, pid), global_id=global_id)
+        )
+    if pos != len(raw):
+        raise TaintMapError(f"trailing bytes in serialized taint ({len(raw) - pos})")
+    return tags
+
+
+# --------------------------------------------------------------------- #
+# Framing helpers (shared by client and server)
+# --------------------------------------------------------------------- #
+
+
+def _send_frame(endpoint: TcpEndpoint, head: bytes, payload: bytes) -> None:
+    endpoint.send_all(head + struct.pack(">I", len(payload)) + payload)
+
+
+def _recv_exact(endpoint: TcpEndpoint, n: int) -> bytes:
+    out = bytearray()
+    while len(out) < n:
+        chunk = endpoint.recv(n - len(out))
+        if not chunk:
+            # Transport-level failure (distinct from protocol errors, so
+            # HA clients know the replica itself is gone).
+            from repro.errors import PipeClosed
+
+            raise PipeClosed("taint map connection closed mid-frame")
+        out.extend(chunk)
+    return bytes(out)
+
+
+class TaintMapStats:
+    """Server-side counters (feed the §V-F scalability analysis)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.register_requests = 0
+        self.lookup_requests = 0
+        self.global_taints = 0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "register_requests": self.register_requests,
+                "lookup_requests": self.lookup_requests,
+                "global_taints": self.global_taints,
+            }
+
+
+class TaintMapServer:
+    """The map service: allocates Global IDs, answers lookups."""
+
+    def __init__(self, kernel: SimKernel, ip: str, port: int):
+        self._kernel = kernel
+        self.address: Address = (ip, port)
+        self._listener = None
+        self._lock = threading.Lock()
+        self._by_key: dict[bytes, int] = {}
+        self._by_gid: dict[int, bytes] = {}
+        self._next_gid = 1
+        self._running = False
+        self._connections: list[TcpEndpoint] = []
+        self.stats = TaintMapStats()
+
+    # -- lifecycle ------------------------------------------------------- #
+
+    def start(self) -> "TaintMapServer":
+        self._listener = self._kernel.listen(*self.address)
+        self._running = True
+        thread = threading.Thread(target=self._accept_loop, name="taintmap", daemon=True)
+        thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        if self._listener is not None:
+            self._listener.close()
+        with self._lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for endpoint in connections:
+            endpoint.close()
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                endpoint = self._listener.accept(timeout=3600)
+            except Exception:
+                return
+            with self._lock:
+                self._connections.append(endpoint)
+            threading.Thread(
+                target=self._serve, args=(endpoint,), name="taintmap-conn", daemon=True
+            ).start()
+
+    # -- request handling --------------------------------------------------- #
+
+    def _serve(self, endpoint: TcpEndpoint) -> None:
+        try:
+            while self._running:
+                head = endpoint.recv(1)
+                if not head:
+                    return
+                (length,) = struct.unpack(">I", _recv_exact(endpoint, 4))
+                payload = _recv_exact(endpoint, length) if length else b""
+                status, response = self._handle(head[0], payload)
+                _send_frame(endpoint, bytes([status]), response)
+        except Exception:
+            pass
+        finally:
+            endpoint.close()
+
+    def _handle(self, op: int, payload: bytes) -> tuple[int, bytes]:
+        if op == OP_REGISTER:
+            with self.stats._lock:
+                self.stats.register_requests += 1
+            try:
+                tags = frozenset(deserialize_tags(payload))
+            except Exception:
+                return STATUS_BAD_REQUEST, b""
+            gid = self._register(tags, payload)
+            return STATUS_OK, struct.pack(">I", gid)
+        if op == OP_LOOKUP:
+            with self.stats._lock:
+                self.stats.lookup_requests += 1
+            if len(payload) != 4:
+                return STATUS_BAD_REQUEST, b""
+            (gid,) = struct.unpack(">I", payload)
+            with self._lock:
+                serialized = self._by_gid.get(gid)
+            if serialized is None:
+                return STATUS_UNKNOWN_GID, b""
+            return STATUS_OK, serialized
+        return STATUS_BAD_REQUEST, b""
+
+    def _register(self, tags: frozenset[TaintTag], serialized: bytes) -> int:
+        key = taint_key(tags)
+        with self._lock:
+            gid = self._by_key.get(key)
+            if gid is not None:
+                return gid
+            gid = self._next_gid
+            self._next_gid += 1
+            self._by_key[key] = gid
+            self._by_gid[gid] = serialized
+        with self.stats._lock:
+            self.stats.global_taints += 1
+        return gid
+
+    # -- introspection -------------------------------------------------------- #
+
+    def global_taint_count(self) -> int:
+        with self._lock:
+            return len(self._by_key)
+
+
+class TaintMapClient:
+    """Per-node connection to the Taint Map, with both-direction caches.
+
+    ``cache_enabled=False`` exists only for the ablation benchmark — it
+    re-registers every byte's taint, demonstrating why Fig. 9's step ②
+    ("does not need to request a Global ID again") matters.
+    """
+
+    def __init__(
+        self,
+        node,
+        address: Address,
+        cache_enabled: bool = True,
+    ):
+        self._node = node
+        self._address = address
+        self._cache_enabled = cache_enabled
+        self._lock = threading.Lock()
+        self._endpoint: Optional[TcpEndpoint] = None
+        #: taint node identity → Global ID.  Keyed by ``id(node)`` (not
+        #: the per-tree rank, which collides between different trees when
+        #: a foreign taint handle is registered).
+        self._gid_cache: dict[int, int] = {}
+        #: Global ID → local Taint handle.
+        self._taint_cache: dict[int, Taint] = {}
+        self.requests_sent = 0
+
+    def _connection(self) -> TcpEndpoint:
+        if self._endpoint is None or self._endpoint.closed:
+            self._endpoint = self._node.kernel.connect(self._node.ip, self._address)
+        return self._endpoint
+
+    def _request(self, op: int, payload: bytes) -> bytes:
+        with self._lock:
+            endpoint = self._connection()
+            _send_frame(endpoint, bytes([op]), payload)
+            status = _recv_exact(endpoint, 1)[0]
+            (length,) = struct.unpack(">I", _recv_exact(endpoint, 4))
+            response = _recv_exact(endpoint, length) if length else b""
+            self.requests_sent += 1
+        if status == STATUS_UNKNOWN_GID:
+            raise TaintMapError("unknown Global ID")
+        if status != STATUS_OK:
+            raise TaintMapError(f"taint map rejected request (status {status})")
+        return response
+
+    # -- sender side (Fig. 9 steps 1-2) ---------------------------------- #
+
+    def gid_for(self, taint: Optional[Taint]) -> int:
+        """Global ID for a taint; 0 for the empty taint."""
+        if taint is None or taint.is_empty:
+            return 0
+        key = id(taint.node)
+        if self._cache_enabled:
+            cached = self._gid_cache.get(key)
+            if cached is not None:
+                return cached
+        response = self._request(OP_REGISTER, serialize_tags(taint.tags))
+        (gid,) = struct.unpack(">I", response)
+        if self._cache_enabled:
+            self._gid_cache[key] = gid
+            self._taint_cache.setdefault(gid, taint)
+        # Paper §III-D.1: a tag's GlobalID field is set when it first
+        # crosses the network (meaningful for singleton taints).
+        if len(taint.tags) == 1:
+            tag = next(iter(taint.tags))
+            if tag.global_id == 0:
+                tag.global_id = gid
+        return gid
+
+    # -- receiver side (Fig. 9 steps 4-5) ---------------------------------- #
+
+    def taint_for(self, gid: int) -> Optional[Taint]:
+        """Resolve a received Global ID into a taint in *this* node's tree."""
+        if gid == 0:
+            return None
+        if self._cache_enabled:
+            cached = self._taint_cache.get(gid)
+            if cached is not None:
+                return cached
+        serialized = self._request(OP_LOOKUP, struct.pack(">I", gid))
+        tags = deserialize_tags(serialized)
+        taint = self._node.tree.taint_for_tags(tags)
+        if self._cache_enabled:
+            self._taint_cache[gid] = taint
+            self._gid_cache.setdefault(id(taint.node), gid)
+        return taint
+
+    def close(self) -> None:
+        with self._lock:
+            if self._endpoint is not None:
+                self._endpoint.close()
+                self._endpoint = None

@@ -1,0 +1,106 @@
+"""Inter-node taint crossing trace.
+
+DisTA is pitched for debugging and in-house analysis; knowing *that* a
+taint reached a sink is often not enough — you want the path.  This
+module records every tainted boundary crossing the wrappers perform
+(send or receive, per JNI method) into a cluster-wide
+:class:`CrossingTrace`, and renders per-tag timelines.
+
+Enable per cluster::
+
+    cluster = Cluster(Mode.DISTA, agent_options={"trace": CrossingTrace()})
+
+The trace only records *tainted* crossings (untainted traffic would
+swamp it), ordered by a global sequence number.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Crossing:
+    """One tainted message crossing a node boundary."""
+
+    sequence: int
+    node: str
+    direction: str  # "send" | "receive"
+    method: str
+    data_bytes: int
+    tags: frozenset
+
+    def describe(self) -> str:
+        arrow = "->" if self.direction == "send" else "<-"
+        tag_names = ",".join(sorted(str(t.tag) for t in self.tags))
+        return (
+            f"#{self.sequence:<4d} {self.node:12s} {arrow} {self.method:22s} "
+            f"{self.data_bytes:6d}B  [{tag_names}]"
+        )
+
+
+class CrossingTrace:
+    """Thread-safe recorder shared by every wrapper in a cluster."""
+
+    def __init__(self, capacity: int = 10_000):
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._sequence = itertools.count(1)
+        self.crossings: list[Crossing] = []
+
+    def record(self, node: str, direction: str, method: str, data) -> None:
+        taint = data.overall_taint() if hasattr(data, "overall_taint") else None
+        if taint is None or taint.is_empty:
+            return
+        with self._lock:
+            if len(self.crossings) >= self._capacity:
+                return
+            self.crossings.append(
+                Crossing(
+                    next(self._sequence),
+                    node,
+                    direction,
+                    method,
+                    len(data),
+                    frozenset(taint.tags),
+                )
+            )
+
+    # -- queries ---------------------------------------------------------- #
+
+    def for_tag(self, tag_value) -> list[Crossing]:
+        """Crossings carrying a tag with the given value, in order."""
+        with self._lock:
+            return [
+                c for c in self.crossings if any(t.tag == tag_value for t in c.tags)
+            ]
+
+    def hops(self, tag_value) -> list[str]:
+        """The node path a tag travelled, deduplicating repeats."""
+        path: list[str] = []
+        for crossing in self.for_tag(tag_value):
+            if not path or path[-1] != crossing.node:
+                path.append(crossing.node)
+        return path
+
+    def render(self, tag_value=None, title: str = "Taint crossings") -> str:
+        crossings = self.for_tag(tag_value) if tag_value is not None else list(self.crossings)
+        lines = [f"=== {title} ==="]
+        lines.extend(c.describe() for c in crossings)
+        lines.append(f"--- {len(crossings)} crossing(s) ---")
+        return "\n".join(lines)
+
+
+class NullTrace:
+    """Default no-op trace (zero overhead when tracing is off)."""
+
+    __slots__ = ()
+
+    def record(self, node: str, direction: str, method: str, data) -> None:
+        return None
+
+
+NULL_TRACE = NullTrace()

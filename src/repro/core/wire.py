@@ -1,0 +1,186 @@
+"""DisTA's wire formats (paper §III-C/D).
+
+Two encodings, matching the instrumentation types:
+
+* **Cell stream** (Type 1 streams and Type 3 TCP dispatchers): every data
+  byte is followed by its taint's 4-byte Global ID — the fixed-length
+  design that solves the "mismatched serialized taint length" problem
+  (§III-D): a receiver can consume any prefix of the stream at 5-byte
+  cell granularity, so partially received messages still deserialize.
+  It also pins network overhead at exactly 5× (§V-F).
+
+* **Packet envelope** (Type 2 datagrams and the datagram-channel
+  methods): datagrams are atomic, so the taints ride in a trailer —
+  ``MAGIC | version | data_len | data | gid * data_len``.  A receiver
+  whose buffer is smaller than the payload keeps the taints aligned
+  because the envelope always arrives whole (UDP preserves boundaries).
+
+Global ID 0 is the empty taint and never touches the Taint Map.
+
+Implementation note: the codecs vectorize with numpy over *runs* of
+identical labels (real messages taint long byte runs with one taint), so
+the simulated encode/decode cost scales the way DisTA's JIT-compiled
+instrumentation does rather than paying Python interpreter cost per byte.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import WireFormatError
+from repro.taint.values import TBytes
+
+#: Width of a Global ID on the wire ("4 bytes in default", §V-F).
+GID_WIDTH = 4
+
+#: One data byte + one Global ID.
+CELL_WIDTH = 1 + GID_WIDTH
+
+#: Envelope magic for packet-oriented methods.
+PACKET_MAGIC = b"\xd7\x5a"
+PACKET_VERSION = 1
+PACKET_HEADER = len(PACKET_MAGIC) + 1 + 4
+
+#: ``gid_for(label)`` maps a Taint (or None) to its Global ID.
+GidFor = Callable[[Optional[object]], int]
+#: ``taint_for(gid)`` maps a Global ID back to a local Taint (or None).
+TaintFor = Callable[[int], Optional[object]]
+
+
+def _gid_array(length: int, labels, gid_for: GidFor) -> np.ndarray:
+    """Per-byte Global IDs as a big-endian u32 array, by label runs."""
+    gids = np.zeros(length, dtype=">u4")
+    if labels is None:
+        return gids
+    i = 0
+    while i < length:
+        label = labels[i]
+        j = i + 1
+        while j < length and labels[j] is label:
+            j += 1
+        if label is not None:
+            gids[i:j] = gid_for(label)
+        i = j
+    return gids
+
+
+def _labels_list(gids: np.ndarray, taint_for: TaintFor) -> Optional[list]:
+    """Per-byte labels from a GID array, resolving each GID once."""
+    if not gids.any():
+        return None
+    unique = np.unique(gids)
+    mapping = {int(g): (None if g == 0 else taint_for(int(g))) for g in unique}
+    if len(mapping) == 1:
+        return [mapping[int(unique[0])]] * len(gids)
+    return [mapping[g] for g in gids.tolist()]
+
+
+def encode_cells(data: TBytes, gid_for: GidFor) -> bytes:
+    """Serialize data + per-byte labels into a 5-byte cell stream."""
+    length = len(data)
+    if length == 0:
+        return b""
+    out = np.empty((length, CELL_WIDTH), dtype=np.uint8)
+    out[:, 0] = np.frombuffer(data.data, dtype=np.uint8)
+    out[:, 1:] = _gid_array(length, data.labels, gid_for).view(np.uint8).reshape(length, GID_WIDTH)
+    return out.tobytes()
+
+
+class CellDecoder:
+    """Stateful cell-stream decoder: tolerates arbitrary read boundaries.
+
+    The kernel delivers whatever byte counts it likes; whole cells are
+    decoded and partial trailing cells are kept as residue for the next
+    ``feed`` — this is DisTA's receiver-side answer to partial reads.
+    """
+
+    def __init__(self) -> None:
+        self._residue = b""
+
+    def feed(self, wire: bytes, taint_for: TaintFor) -> TBytes:
+        """Decode every complete cell in ``residue + wire``."""
+        stream = self._residue + wire
+        cells = len(stream) // CELL_WIDTH
+        self._residue = stream[cells * CELL_WIDTH :]
+        if cells == 0:
+            return TBytes.empty()
+        body = np.frombuffer(stream[: cells * CELL_WIDTH], dtype=np.uint8).reshape(
+            cells, CELL_WIDTH
+        )
+        data = body[:, 0].tobytes()
+        gids = body[:, 1:].copy().view(">u4").reshape(cells)
+        labels = _labels_list(gids, taint_for)
+        if labels is None:
+            return TBytes.raw(data)
+        return TBytes(data, labels)
+
+    @property
+    def residue_len(self) -> int:
+        return len(self._residue)
+
+    def check_clean_eof(self) -> None:
+        """EOF with a partial cell buffered means a truncated stream."""
+        if self._residue:
+            raise WireFormatError(
+                f"stream ended inside a cell ({len(self._residue)} residual bytes)"
+            )
+
+
+def wire_length(data_length: int) -> int:
+    """Wire bytes needed to carry ``data_length`` data bytes as cells."""
+    return data_length * CELL_WIDTH
+
+
+def max_data_for_wire(wire_budget: int) -> int:
+    """Data bytes representable within ``wire_budget`` wire bytes."""
+    return wire_budget // CELL_WIDTH
+
+
+def encode_packet(data: TBytes, gid_for: GidFor) -> bytes:
+    """Serialize one datagram payload + taints into an envelope."""
+    gids = _gid_array(len(data), data.labels, gid_for)
+    return (
+        PACKET_MAGIC
+        + bytes([PACKET_VERSION])
+        + struct.pack(">I", len(data))
+        + data.data
+        + gids.tobytes()
+    )
+
+
+def is_enveloped(raw: bytes) -> bool:
+    return raw[: len(PACKET_MAGIC)] == PACKET_MAGIC
+
+
+def decode_packet(raw: bytes, taint_for: TaintFor) -> TBytes:
+    """Parse an envelope back into labelled bytes.
+
+    Raises :class:`WireFormatError` on malformed envelopes; callers that
+    want uninstrumented-sender interop should check :func:`is_enveloped`
+    first and fall back to treating the payload as plain data.
+    """
+    if not is_enveloped(raw):
+        raise WireFormatError("datagram payload lacks the DisTA envelope magic")
+    version = raw[len(PACKET_MAGIC)]
+    if version != PACKET_VERSION:
+        raise WireFormatError(f"unsupported envelope version {version}")
+    (length,) = struct.unpack(">I", raw[len(PACKET_MAGIC) + 1 : PACKET_HEADER])
+    expected = PACKET_HEADER + length * CELL_WIDTH
+    if len(raw) < expected:
+        raise WireFormatError(
+            f"envelope truncated: {len(raw)} bytes, header promises {expected}"
+        )
+    data = raw[PACKET_HEADER : PACKET_HEADER + length]
+    gid_area = raw[PACKET_HEADER + length : expected]
+    gids = np.frombuffer(gid_area, dtype=">u4")
+    labels = _labels_list(gids, taint_for)
+    if labels is None:
+        return TBytes.raw(data)
+    return TBytes(data, labels)
+
+
+def envelope_length(data_length: int) -> int:
+    return PACKET_HEADER + data_length * CELL_WIDTH

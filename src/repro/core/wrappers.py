@@ -1,0 +1,385 @@
+"""The three JNI wrapper types (paper §III-C, Figs. 6–8).
+
+The agent patches a node's :class:`~repro.jre.jni.JniTable` with the
+closures built here.  Senders combine message bytes with their taints
+(as Global-ID cells or packet envelopes) and push them through the
+*original* JNI method; receivers invoke the original method into an
+enlarged buffer and split the result back into data and taints.
+
+* **Type 1 — stream oriented** (``socketRead0``/``socketWrite0``): the
+  TCP byte stream becomes a stream of 5-byte cells; a per-fd
+  :class:`~repro.core.wire.CellDecoder` absorbs arbitrary read
+  boundaries.
+* **Type 2 — packet oriented** (``send``/``receive0``/``peekData``):
+  each datagram is re-wrapped in a fresh packet carrying the envelope —
+  the original packet object is never mutated on the send path, because
+  the application may keep using it (Fig. 7's note).
+* **Type 3 — direct buffer oriented** (dispatcher read/write families +
+  ``DirectByteBuffer`` get/put): native memory gets a shadow label array
+  keyed by block address; get/put move labels between heap and shadow,
+  and the dispatchers translate shadow ↔ wire cells.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.core import wire
+from repro.core.taintmap import TaintMapClient
+from repro.core.trace import NULL_TRACE
+from repro.errors import WireFormatError
+from repro.jre.jni import EOF, UNAVAILABLE
+from repro.jre.buffer import NativeMemory
+from repro.jre.datagram_api import DatagramPacket
+from repro.runtime.kernel import MAX_DATAGRAM
+from repro.taint.values import TByteArray, TBytes
+
+
+class DisTARuntime:
+    """Per-node runtime state shared by all wrappers on one JVM."""
+
+    def __init__(
+        self,
+        node,
+        client: TaintMapClient,
+        byte_granularity: bool = True,
+        trace=NULL_TRACE,
+    ):
+        self.node = node
+        self.client = client
+        #: False only in the granularity ablation: whole-message tainting.
+        self.byte_granularity = byte_granularity
+        #: Optional CrossingTrace recording tainted boundary crossings.
+        self.trace = trace
+        self._lock = threading.Lock()
+        self._decoders: dict[int, wire.CellDecoder] = {}
+
+    def outgoing(self, data: TBytes) -> TBytes:
+        """Apply the configured tracking granularity to outgoing data."""
+        if self.byte_granularity:
+            return data
+        overall = data.overall_taint()
+        if overall is None:
+            return data
+        return TBytes.tainted(data.data, overall)
+
+    # -- cell-stream state -------------------------------------------------- #
+
+    def decoder_for(self, fd) -> wire.CellDecoder:
+        key = id(fd)
+        with self._lock:
+            decoder = self._decoders.get(key)
+            if decoder is None:
+                decoder = wire.CellDecoder()
+                self._decoders[key] = decoder
+            return decoder
+
+    # -- native-memory shadow ------------------------------------------------ #
+
+    def shadow_for(self, mem: NativeMemory) -> list:
+        shadow = self.node.jni.native_shadow.get(mem.address)
+        if shadow is None:
+            shadow = [None] * mem.size
+            self.node.jni.native_shadow[mem.address] = shadow
+        return shadow
+
+    def native_read(self, mem: NativeMemory, position: int, count: int) -> TBytes:
+        """Bytes + shadow labels from native memory."""
+        shadow = self.node.jni.native_shadow.get(mem.address)
+        labels = None if shadow is None else shadow[position : position + count]
+        return TBytes(mem.read(position, count), labels)
+
+    def native_write(self, mem: NativeMemory, position: int, data: TBytes) -> None:
+        """Bytes into native memory, labels into its shadow."""
+        mem.write(position, data.data)
+        shadow = self.shadow_for(mem)
+        shadow[position : position + len(data)] = data.effective_labels()
+
+
+# --------------------------------------------------------------------- #
+# Type 1: stream oriented
+# --------------------------------------------------------------------- #
+
+
+def make_socket_write0(runtime: DisTARuntime):
+    def wrapper(original):
+        def socket_write0(fd, data: TBytes) -> None:
+            runtime.trace.record(runtime.node.name, "send", "socketWrite0", data)
+            cells = wire.encode_cells(runtime.outgoing(data), runtime.client.gid_for)
+            original(fd, TBytes.raw(cells))
+
+        return socket_write0
+
+    return wrapper
+
+
+def make_socket_read0(runtime: DisTARuntime):
+    def wrapper(original):
+        def socket_read0(fd, buf: TByteArray, offset: int, length: int, timeout=None) -> int:
+            length = min(length, len(buf) - offset)
+            decoder = runtime.decoder_for(fd)
+            staging = TByteArray.raw(wire.wire_length(length))
+            while True:
+                kwargs = {} if timeout is None else {"timeout": timeout}
+                count = original(fd, staging, 0, len(staging), **kwargs)
+                if count == EOF:
+                    decoder.check_clean_eof()
+                    return EOF
+                decoded = decoder.feed(
+                    staging.read(0, count).data, runtime.client.taint_for
+                )
+                if decoded:
+                    runtime.trace.record(
+                        runtime.node.name, "receive", "socketRead0", decoded
+                    )
+                    buf.write(offset, decoded)
+                    return len(decoded)
+                # A partial cell arrived; keep blocking until a whole
+                # cell (the receiver-side fix for mismatched lengths).
+
+        return socket_read0
+
+    return wrapper
+
+
+def make_socket_available(runtime: DisTARuntime):
+    def wrapper(original):
+        def socket_available(fd) -> int:
+            decoder = runtime.decoder_for(fd)
+            return (original(fd) + decoder.residue_len) // wire.CELL_WIDTH
+
+        return socket_available
+
+    return wrapper
+
+
+# --------------------------------------------------------------------- #
+# Type 2: packet oriented
+# --------------------------------------------------------------------- #
+
+
+def _check_envelope_fits(data_length: int) -> None:
+    if wire.envelope_length(data_length) > MAX_DATAGRAM:
+        raise WireFormatError(
+            f"datagram payload of {data_length} bytes cannot carry its taint "
+            f"envelope within {MAX_DATAGRAM} bytes; send smaller datagrams"
+        )
+
+
+def make_datagram_send(runtime: DisTARuntime):
+    def wrapper(original):
+        def datagram_send(fd, packet: DatagramPacket) -> None:
+            runtime.trace.record(runtime.node.name, "send", "datagram.send", packet.payload())
+            payload = runtime.outgoing(packet.payload())
+            _check_envelope_fits(len(payload))
+            envelope = wire.encode_packet(payload, runtime.client.gid_for)
+            # A fresh packet: mutating the caller's packet could change
+            # application semantics (paper Fig. 7).
+            wrapped = DatagramPacket(TBytes.raw(envelope), address=packet.socket_address())
+            original(fd, wrapped)
+
+        return datagram_send
+
+    return wrapper
+
+
+def _decode_incoming_datagram(runtime: DisTARuntime, raw: TBytes) -> TBytes:
+    if wire.is_enveloped(raw.data):
+        return wire.decode_packet(raw.data, runtime.client.taint_for)
+    # Uninstrumented sender: plain payload, no taints to recover.
+    return TBytes(raw.data)
+
+
+def make_datagram_receive0(runtime: DisTARuntime):
+    def wrapper(original):
+        def datagram_receive0(fd, packet: DatagramPacket, timeout=None) -> None:
+            staging = DatagramPacket(TByteArray.raw(MAX_DATAGRAM))
+            kwargs = {} if timeout is None else {"timeout": timeout}
+            original(fd, staging, **kwargs)
+            decoded = _decode_incoming_datagram(runtime, staging.payload())
+            runtime.trace.record(runtime.node.name, "receive", "datagram.receive0", decoded)
+            packet.fill_from_wire(decoded, staging.address)
+
+        return datagram_receive0
+
+    return wrapper
+
+
+def make_datagram_peek_data(runtime: DisTARuntime):
+    def wrapper(original):
+        def datagram_peek_data(fd, packet: DatagramPacket, timeout=None) -> int:
+            staging = DatagramPacket(TByteArray.raw(MAX_DATAGRAM))
+            kwargs = {} if timeout is None else {"timeout": timeout}
+            port = original(fd, staging, **kwargs)
+            decoded = _decode_incoming_datagram(runtime, staging.payload())
+            packet.fill_from_wire(decoded, staging.address)
+            return port
+
+        return datagram_peek_data
+
+    return wrapper
+
+
+# --------------------------------------------------------------------- #
+# Type 3: direct buffer oriented
+# --------------------------------------------------------------------- #
+
+
+def make_direct_put(runtime: DisTARuntime):
+    def wrapper(original):
+        def direct_put(mem: NativeMemory, position: int, src: TBytes) -> None:
+            original(mem, position, src)
+            shadow = runtime.shadow_for(mem)
+            shadow[position : position + len(src)] = src.effective_labels()
+
+        return direct_put
+
+    return wrapper
+
+
+def make_direct_get(runtime: DisTARuntime):
+    def wrapper(original):
+        def direct_get(
+            mem: NativeMemory, position: int, dst: TByteArray, dst_offset: int, length: int
+        ) -> None:
+            original(mem, position, dst, dst_offset, length)
+            shadow = runtime.node.jni.native_shadow.get(mem.address)
+            if shadow is not None:
+                dst._ensure_labels()[dst_offset : dst_offset + length] = shadow[
+                    position : position + length
+                ]
+
+        return direct_get
+
+    return wrapper
+
+
+def make_disp_write0(runtime: DisTARuntime):
+    def wrapper(original):
+        def disp_write0(fd, mem, position, count, blocking=True, timeout=None) -> int:
+            runtime.node.jni.calls.hit("FileDispatcherImpl#write0")
+            data = runtime.outgoing(runtime.native_read(mem, position, count))
+            runtime.trace.record(runtime.node.name, "send", "dispatcher.write0", data)
+            cells = wire.encode_cells(data, runtime.client.gid_for)
+            # The simulated kernel's buffers are sized so a full cell
+            # write completes; see DESIGN.md (blocking simplification).
+            fd.send_all(cells)
+            return count
+
+        return disp_write0
+
+    return wrapper
+
+
+def make_disp_read0(runtime: DisTARuntime):
+    def wrapper(original):
+        def disp_read0(fd, mem, position, count, blocking=True, timeout=None) -> int:
+            runtime.node.jni.calls.hit("FileDispatcherImpl#read0")
+            decoder = runtime.decoder_for(fd)
+            budget = wire.wire_length(count)
+            while True:
+                if blocking:
+                    kwargs = {} if timeout is None else {"timeout": timeout}
+                    raw = fd.recv(budget, **kwargs)
+                    if not raw:
+                        decoder.check_clean_eof()
+                        return EOF
+                else:
+                    raw = fd.recv_nonblocking(budget)
+                    if raw is None:
+                        # Nothing ready (possibly mid-cell); the selector
+                        # will re-arm when more wire bytes arrive.
+                        return UNAVAILABLE
+                    if raw == b"":
+                        decoder.check_clean_eof()
+                        return EOF
+                decoded = decoder.feed(raw, runtime.client.taint_for)
+                if decoded:
+                    runtime.trace.record(
+                        runtime.node.name, "receive", "dispatcher.read0", decoded
+                    )
+                    runtime.native_write(mem, position, decoded)
+                    return len(decoded)
+                if not blocking and not decoder.residue_len:
+                    return UNAVAILABLE
+
+        return disp_read0
+
+    return wrapper
+
+
+def make_dgram_disp_write0(runtime: DisTARuntime):
+    def wrapper(original):
+        def dgram_disp_write0(fd, mem, position, count, destination) -> int:
+            runtime.node.jni.calls.hit("DatagramDispatcherImpl#write0")
+            data = runtime.outgoing(runtime.native_read(mem, position, count))
+            _check_envelope_fits(count)
+            fd.sendto(wire.encode_packet(data, runtime.client.gid_for), destination)
+            return count
+
+        return dgram_disp_write0
+
+    return wrapper
+
+
+def make_dgram_disp_read0(runtime: DisTARuntime):
+    def wrapper(original):
+        def dgram_disp_read0(fd, mem, position, count, blocking=True, timeout=None) -> int:
+            runtime.node.jni.calls.hit("DatagramDispatcherImpl#read0")
+            from repro.errors import SimTimeout
+
+            try:
+                raw, _source = fd.recvfrom(
+                    (timeout if timeout is not None else 30.0) if blocking else 0.001
+                )
+            except SimTimeout:
+                if blocking:
+                    raise
+                return UNAVAILABLE
+            decoded = _decode_incoming_datagram(runtime, TBytes(raw))[:count]
+            runtime.native_write(mem, position, decoded)
+            return len(decoded)
+
+        return dgram_disp_read0
+
+    return wrapper
+
+
+def make_dgram_channel_send0(runtime: DisTARuntime):
+    def wrapper(original):
+        def dgram_channel_send0(fd, mem, position, count, destination) -> int:
+            runtime.node.jni.calls.hit("DatagramChannelImpl#send0")
+            data = runtime.outgoing(runtime.native_read(mem, position, count))
+            _check_envelope_fits(count)
+            fd.sendto(wire.encode_packet(data, runtime.client.gid_for), destination)
+            return count
+
+        return dgram_channel_send0
+
+    return wrapper
+
+
+def make_dgram_channel_receive0(runtime: DisTARuntime):
+    def wrapper(original):
+        def dgram_channel_receive0(
+            fd, mem, position, count, blocking=True, timeout=None
+        ) -> tuple[int, Optional[tuple]]:
+            runtime.node.jni.calls.hit("DatagramChannelImpl#receive0")
+            from repro.errors import SimTimeout
+
+            try:
+                raw, source = fd.recvfrom(
+                    (timeout if timeout is not None else 30.0) if blocking else 0.001
+                )
+            except SimTimeout:
+                if blocking:
+                    raise
+                return UNAVAILABLE, None
+            decoded = _decode_incoming_datagram(runtime, TBytes(raw))[:count]
+            runtime.native_write(mem, position, decoded)
+            return len(decoded), source
+
+        return dgram_channel_receive0
+
+    return wrapper

@@ -1,0 +1,51 @@
+"""Exception hierarchy shared across the simulated stack."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SimTimeout(ReproError, TimeoutError):
+    """A blocking simulated-OS operation exceeded its timeout."""
+
+
+class PipeClosed(ReproError, EOFError):
+    """Read/write on a byte pipe whose peer has closed the connection."""
+
+
+class ConnectionRefused(ReproError, ConnectionError):
+    """TCP connect to an address nobody is listening on."""
+
+
+class AddressInUse(ReproError, OSError):
+    """bind() on an (ip, port) already bound."""
+
+
+class NoRouteToHost(ReproError, OSError):
+    """Destination IP is not registered with the simulated kernel."""
+
+
+class TaintMapError(ReproError):
+    """Taint Map protocol violation or unavailable Taint Map service."""
+
+
+class WireFormatError(ReproError):
+    """Malformed DisTA cell stream / packet envelope on the wire."""
+
+
+class InstrumentationError(ReproError):
+    """Agent attach/patch failures (e.g. double instrumentation)."""
+
+
+class JavaIOError(ReproError, IOError):
+    """Simulated ``java.io.IOException``."""
+
+
+class JavaEOFException(JavaIOError):
+    """Simulated ``java.io.EOFException``."""
+
+
+class SocketClosedError(JavaIOError):
+    """Simulated ``java.net.SocketException: Socket closed``."""

@@ -1,0 +1,102 @@
+"""Simulated JRE networking stack.
+
+Every API here — streams, sockets, datagrams, NIO, AIO, HTTP — bottoms
+out in the per-JVM JNI method table (:mod:`repro.jre.jni`), the exact
+surface DisTA instruments (paper Table I).
+"""
+
+from repro.jre.aio import (
+    AsynchronousServerSocketChannel,
+    AsynchronousSocketChannel,
+    CompletionHandler,
+)
+from repro.jre.buffer import ByteBuffer, NativeMemory
+from repro.jre.datagram_api import DatagramPacket, DatagramSocket
+from repro.jre.http import (
+    HttpRequest,
+    HttpResponse,
+    HttpServer,
+    http_get,
+    http_post,
+    http_request,
+)
+from repro.jre.jni import EOF, UNAVAILABLE, JniTable, PATCHABLE_METHODS
+from repro.jre.nio import (
+    OP_ACCEPT,
+    OP_CONNECT,
+    OP_READ,
+    OP_WRITE,
+    DatagramChannel,
+    IOUtil,
+    SelectionKey,
+    Selector,
+    ServerSocketChannel,
+    SocketChannel,
+)
+from repro.jre.object_io import (
+    ObjectInputStream,
+    ObjectOutputStream,
+    deserialize,
+    register_serializable,
+    serialize,
+)
+from repro.jre.socket_api import ServerSocket, Socket
+from repro.jre.streams import (
+    BufferedInputStream,
+    BufferedOutputStream,
+    BufferedReader,
+    DataInputStream,
+    DataOutputStream,
+    InputStream,
+    OutputStream,
+    PrintWriter,
+    SocketInputStream,
+    SocketOutputStream,
+)
+
+__all__ = [
+    "AsynchronousServerSocketChannel",
+    "AsynchronousSocketChannel",
+    "BufferedInputStream",
+    "BufferedOutputStream",
+    "BufferedReader",
+    "ByteBuffer",
+    "CompletionHandler",
+    "DataInputStream",
+    "DataOutputStream",
+    "DatagramChannel",
+    "DatagramPacket",
+    "DatagramSocket",
+    "EOF",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "IOUtil",
+    "InputStream",
+    "JniTable",
+    "NativeMemory",
+    "OP_ACCEPT",
+    "OP_CONNECT",
+    "OP_READ",
+    "OP_WRITE",
+    "ObjectInputStream",
+    "ObjectOutputStream",
+    "OutputStream",
+    "PATCHABLE_METHODS",
+    "PrintWriter",
+    "SelectionKey",
+    "Selector",
+    "ServerSocket",
+    "ServerSocketChannel",
+    "Socket",
+    "SocketChannel",
+    "SocketInputStream",
+    "SocketOutputStream",
+    "UNAVAILABLE",
+    "deserialize",
+    "http_get",
+    "http_post",
+    "http_request",
+    "register_serializable",
+    "serialize",
+]

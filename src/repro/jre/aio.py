@@ -1,0 +1,116 @@
+"""``java.nio.channels.Asynchronous*Channel`` (AIO).
+
+On Linux the JDK implements AIO as blocking NIO operations executed on an
+internal thread pool — which is precisely why DisTA's dispatcher-level
+instrumentation covers AIO "for free" (paper §III-B: the AIO channels
+bottom out in the same ``FileDispatcherImpl`` JNI methods).  We model it
+the same way: each operation runs the synchronous channel code on a pool
+thread and completes a future / invokes a completion handler.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Callable, Optional
+
+from repro.jre.buffer import ByteBuffer
+from repro.jre.nio import ServerSocketChannel, SocketChannel
+from repro.runtime.kernel import Address
+from repro.runtime.pipes import DEFAULT_TIMEOUT
+
+
+class CompletionHandler:
+    """``java.nio.channels.CompletionHandler`` duck type."""
+
+    def completed(self, result, attachment) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def failed(self, exc: BaseException, attachment) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+def _run_async(node, label: str, operation: Callable, handler, attachment) -> Future:
+    future: Future = Future()
+
+    def runner() -> None:
+        try:
+            result = operation()
+        except BaseException as exc:  # noqa: BLE001 - delivered to caller
+            future.set_exception(exc)
+            if handler is not None:
+                handler.failed(exc, attachment)
+            return
+        future.set_result(result)
+        if handler is not None:
+            handler.completed(result, attachment)
+
+    thread = threading.Thread(target=runner, name=f"{node.name}-aio-{label}", daemon=True)
+    thread.start()
+    return future
+
+
+class AsynchronousSocketChannel:
+    """``AsynchronousSocketChannel``: futures/handlers over blocking NIO."""
+
+    def __init__(self, node, channel: Optional[SocketChannel] = None):
+        self._node = node
+        self._channel = channel or SocketChannel(node)
+        self._channel.configure_blocking(True)
+
+    @classmethod
+    def open(cls, node) -> "AsynchronousSocketChannel":
+        return cls(node)
+
+    def connect(self, destination: Address, handler: Optional[CompletionHandler] = None,
+                attachment=None) -> Future:
+        return _run_async(
+            self._node, "connect", lambda: self._channel.connect(destination) and None,
+            handler, attachment,
+        )
+
+    def read(self, buf: ByteBuffer, handler: Optional[CompletionHandler] = None,
+             attachment=None) -> Future:
+        """Completes with the byte count (or -1 at EOF), like the JDK."""
+        return _run_async(self._node, "read", lambda: self._channel.read(buf), handler, attachment)
+
+    def write(self, buf: ByteBuffer, handler: Optional[CompletionHandler] = None,
+              attachment=None) -> Future:
+        return _run_async(self._node, "write", lambda: self._channel.write(buf), handler, attachment)
+
+    @property
+    def remote_address(self) -> Address:
+        return self._channel.remote_address
+
+    def shutdown_output(self) -> None:
+        self._channel.shutdown_output()
+
+    def close(self) -> None:
+        self._channel.close()
+
+
+class AsynchronousServerSocketChannel:
+    """``AsynchronousServerSocketChannel``."""
+
+    def __init__(self, node):
+        self._node = node
+        self._server = ServerSocketChannel(node)
+
+    @classmethod
+    def open(cls, node) -> "AsynchronousServerSocketChannel":
+        return cls(node)
+
+    def bind(self, port: int, backlog: int = 64) -> "AsynchronousServerSocketChannel":
+        self._server.bind(port, backlog)
+        return self
+
+    def accept(self, handler: Optional[CompletionHandler] = None, attachment=None,
+               timeout: float = DEFAULT_TIMEOUT) -> Future:
+        def operation():
+            channel = self._server.accept(timeout)
+            return AsynchronousSocketChannel(self._node, channel)
+
+        return _run_async(self._node, "accept", operation, handler, attachment)
+
+    def close(self) -> None:
+        self._server.close()

@@ -1,0 +1,99 @@
+"""``java.net.DatagramSocket`` / ``DatagramPacket`` (UDP, paper Type 2).
+
+``DatagramPacket`` "stores the message data in the field data" (Fig. 7);
+the per-byte taints field the paper's instrumentation adds corresponds to
+the label array inside our :class:`~repro.taint.values.TByteArray`
+backing store.  The JNI methods ``send`` / ``receive0`` are on
+:class:`~repro.jre.jni.JniTable` and are what DisTA patches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import SocketClosedError
+from repro.runtime.kernel import Address
+from repro.runtime.pipes import DEFAULT_TIMEOUT
+from repro.taint.values import TByteArray, TBytes, as_tbytes
+
+
+class DatagramPacket:
+    """A UDP packet: buffer + offset/length window + peer address."""
+
+    def __init__(
+        self,
+        buf: Union[TByteArray, TBytes, bytes, int],
+        length: Optional[int] = None,
+        address: Optional[Address] = None,
+    ):
+        if isinstance(buf, int):
+            buf = TByteArray(buf)
+        elif not isinstance(buf, TByteArray):
+            buf = TByteArray(as_tbytes(buf))
+        self.data = buf
+        self.offset = 0
+        self.length = length if length is not None else len(buf)
+        if self.length > len(buf):
+            raise ValueError("packet length exceeds buffer size")
+        self.address = address
+
+    def payload(self) -> TBytes:
+        """The live window [offset, offset+length) with labels."""
+        return self.data.read(self.offset, self.length)
+
+    def set_payload(self, data: TBytes) -> None:
+        """Replace the window contents (grows the window, not the buffer)."""
+        if len(data) > len(self.data) - self.offset:
+            raise ValueError("payload larger than packet buffer")
+        self.data.write(self.offset, data)
+        self.length = len(data)
+
+    def fill_from_wire(self, data: TBytes, source: Address) -> None:
+        """Kernel delivery: truncate to the buffer window (UDP semantics)."""
+        room = len(self.data) - self.offset
+        window = data[:room]
+        self.data.write(self.offset, window)
+        self.length = len(window)
+        self.address = source
+
+    def socket_address(self) -> Address:
+        if self.address is None:
+            raise ValueError("packet has no destination address")
+        return self.address
+
+
+class DatagramSocket:
+    """``java.net.DatagramSocket`` over the simulated kernel."""
+
+    def __init__(self, node, port: Optional[int] = None):
+        self._node = node
+        self._endpoint = node.kernel.udp_bind(node.ip, port)
+        self._timeout = DEFAULT_TIMEOUT
+        self._closed = False
+
+    @property
+    def local_address(self) -> Address:
+        return self._endpoint.address
+
+    def set_so_timeout(self, seconds: float) -> None:
+        self._timeout = seconds
+
+    def send(self, packet: DatagramPacket) -> None:
+        if self._closed:
+            raise SocketClosedError("socket closed")
+        self._node.jni.datagram_send(self._endpoint, packet)
+
+    def receive(self, packet: DatagramPacket) -> None:
+        if self._closed:
+            raise SocketClosedError("socket closed")
+        self._node.jni.datagram_receive0(self._endpoint, packet, self._timeout)
+
+    def peek(self, packet: DatagramPacket) -> int:
+        if self._closed:
+            raise SocketClosedError("socket closed")
+        return self._node.jni.datagram_peek_data(self._endpoint, packet, self._timeout)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._endpoint.close()

@@ -1,0 +1,150 @@
+"""Minimal HTTP/1.1 over the simulated socket stack.
+
+Models the ``HttpURLConnection`` / ``com.sun.net.httpserver`` pair the
+micro benchmark's *JRE HTTP* case uses (paper Table II).  HTTP is plain
+text over a ``Socket``, so all of its bytes flow through the Type-1 JNI
+methods — no HTTP-specific instrumentation exists or is needed, which is
+part of the genericity claim.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import JavaIOError
+from repro.jre.socket_api import ServerSocket, Socket
+from repro.jre.streams import BufferedReader
+from repro.runtime.kernel import Address
+from repro.taint.values import TBytes, TStr, as_tbytes, as_tstr
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    headers: dict
+    body: TBytes
+
+
+@dataclass
+class HttpResponse:
+    status: int = 200
+    reason: str = "OK"
+    headers: dict = field(default_factory=dict)
+    body: TBytes = field(default_factory=TBytes.empty)
+
+
+def _write_head(out, first_line: str, headers: dict, body_len: int) -> None:
+    out.write(TBytes(first_line.encode("ascii")))
+    out.write(b"\r\n")
+    headers = dict(headers)
+    headers.setdefault("Content-Length", str(body_len))
+    for name, value in headers.items():
+        out.write(TBytes(f"{name}: ".encode("ascii")))
+        out.write(as_tstr(str(value) if not isinstance(value, TStr) else value).encode())
+        out.write(b"\r\n")
+    out.write(b"\r\n")
+
+
+def _read_head(reader: BufferedReader) -> tuple[str, dict]:
+    first = reader.read_line()
+    if first is None:
+        raise JavaIOError("connection closed before HTTP head")
+    headers: dict = {}
+    while True:
+        line = reader.read_line()
+        if line is None:
+            raise JavaIOError("connection closed inside HTTP head")
+        text = line.value.rstrip("\r")
+        if not text:
+            return first.value.rstrip("\r"), headers
+        name, value = text.split(":", 1)
+        headers[name.strip().lower()] = value.strip()
+
+
+def _read_body(reader: BufferedReader, headers: dict) -> TBytes:
+    length = int(headers.get("content-length", "0"))
+    return reader.read_bytes(length)
+
+
+class HttpServer:
+    """``com.sun.net.httpserver.HttpServer``: one handler for all paths."""
+
+    def __init__(self, node, port: int, handler: Callable[[HttpRequest], HttpResponse]):
+        self._node = node
+        self._handler = handler
+        self._server = ServerSocket(node, port)
+        self._running = False
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "HttpServer":
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._accept_loop, name=f"{self._node.name}-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                socket = self._server.accept()
+            except Exception:
+                return
+            self._node.spawn(self._serve, socket, name=f"{self._node.name}-http-conn")
+
+    def _serve(self, socket: Socket) -> None:
+        try:
+            reader = BufferedReader(socket.get_input_stream())
+            first, headers = _read_head(reader)
+            method, path, _version = first.split(" ", 2)
+            body = _read_body(reader, headers)
+            response = self._handler(HttpRequest(method, path, headers, body))
+            out = socket.get_output_stream()
+            _write_head(
+                out, f"HTTP/1.1 {response.status} {response.reason}", response.headers,
+                len(response.body),
+            )
+            out.write(response.body)
+        finally:
+            socket.close()
+
+    def stop(self) -> None:
+        self._running = False
+        self._server.close()
+
+
+def http_request(
+    node,
+    destination: Address,
+    method: str = "GET",
+    path: str = "/",
+    body=b"",
+    headers: Optional[dict] = None,
+) -> HttpResponse:
+    """``HttpURLConnection``-style one-shot request."""
+    body = as_tbytes(body if not isinstance(body, TStr) else body.encode())
+    socket = Socket.connect(node, destination)
+    try:
+        out = socket.get_output_stream()
+        _write_head(out, f"{method} {path} HTTP/1.1", headers or {}, len(body))
+        out.write(body)
+        reader = BufferedReader(socket.get_input_stream())
+        first, response_headers = _read_head(reader)
+        _version, status, *reason = first.split(" ", 2)
+        response_body = _read_body(reader, response_headers)
+        return HttpResponse(
+            int(status), reason[0] if reason else "", response_headers, response_body
+        )
+    finally:
+        socket.close()
+
+
+def http_get(node, destination: Address, path: str = "/") -> HttpResponse:
+    return http_request(node, destination, "GET", path)
+
+
+def http_post(node, destination: Address, path: str, body) -> HttpResponse:
+    return http_request(node, destination, "POST", path, body)

@@ -1,0 +1,423 @@
+"""``java.nio`` — channels, selector, and the IOUtil copy path.
+
+NIO is where the paper's **Type 3** methods live: channel reads and
+writes move bytes between the wire and *native memory* through the
+``FileDispatcherImpl`` / ``DatagramDispatcherImpl`` JNI families, and
+between native memory and the Java heap through ``DirectByteBuffer``
+get/put.  As in the real JDK, a channel operation on a *heap* buffer
+silently routes through a temporary direct buffer (``sun.nio.ch.IOUtil``),
+so instrumenting the direct-buffer JNI surface covers heap-buffer I/O
+too — one reason DisTA needs only 23 methods.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.errors import JavaIOError, SocketClosedError
+from repro.jre.buffer import ByteBuffer
+from repro.jre.jni import EOF, UNAVAILABLE
+from repro.runtime.kernel import Address, TcpEndpoint, TcpListener, UdpEndpoint
+from repro.runtime.pipes import DEFAULT_TIMEOUT
+
+OP_READ = 1 << 0
+OP_WRITE = 1 << 2
+OP_CONNECT = 1 << 3
+OP_ACCEPT = 1 << 4
+
+
+class IOUtil:
+    """``sun.nio.ch.IOUtil``: buffer staging around the dispatcher JNI.
+
+    ``read``/``write`` accept either buffer kind; heap buffers are staged
+    through a temporary direct buffer exactly like the JDK does.
+    """
+
+    @staticmethod
+    def write(node, buf: ByteBuffer, disp_write: Callable) -> int:
+        count = buf.remaining()
+        if count == 0:
+            return 0
+        if buf.direct:
+            written = disp_write(buf.native, buf.position, count)
+            if written > 0:
+                buf.position += written
+            return written
+        staging = ByteBuffer.allocate_direct(count, node.jni)
+        staging.put(buf._read_raw(buf.position, count))
+        written = disp_write(staging.native, 0, count)
+        if written > 0:
+            buf.position += written
+        return written
+
+    @staticmethod
+    def read(node, buf: ByteBuffer, disp_read: Callable) -> int:
+        count = buf.remaining()
+        if count == 0:
+            return 0
+        if buf.direct:
+            result = disp_read(buf.native, buf.position, count)
+            if result > 0:
+                buf.position += result
+            return result
+        staging = ByteBuffer.allocate_direct(count, node.jni)
+        result = disp_read(staging.native, 0, count)
+        if result > 0:
+            staging.position = 0
+            staging.limit = result
+            buf.put(staging.get(result))
+        return result
+
+
+class SelectableChannel:
+    """Base for channels usable with :class:`Selector`."""
+
+    def __init__(self) -> None:
+        self.blocking = True
+        self._keys: list[SelectionKey] = []
+
+    def configure_blocking(self, blocking: bool) -> "SelectableChannel":
+        self.blocking = blocking
+        return self
+
+    def _ready_ops(self) -> int:
+        return 0
+
+    def close(self) -> None:
+        for key in self._keys:
+            key.cancel()
+
+
+class SelectionKey:
+    """Registration of one channel with one selector."""
+
+    def __init__(self, selector: "Selector", channel: SelectableChannel, ops: int, attachment):
+        self.selector = selector
+        self.channel = channel
+        self.interest_ops = ops
+        self.attachment = attachment
+        self.ready_ops = 0
+        self._cancelled = False
+
+    def is_readable(self) -> bool:
+        return bool(self.ready_ops & OP_READ)
+
+    def is_writable(self) -> bool:
+        return bool(self.ready_ops & OP_WRITE)
+
+    def is_acceptable(self) -> bool:
+        return bool(self.ready_ops & OP_ACCEPT)
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class Selector:
+    """``java.nio.channels.Selector`` via readiness polling.
+
+    The simulated kernel has no epoll; a sub-millisecond poll loop gives
+    the same observable semantics for our workloads.
+    """
+
+    POLL_INTERVAL = 0.0005
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._keys: list[SelectionKey] = []
+        self._woken = threading.Event()
+        self._open = True
+
+    def register(self, channel: SelectableChannel, ops: int, attachment=None) -> SelectionKey:
+        key = SelectionKey(self, channel, ops, attachment)
+        channel._keys.append(key)
+        with self._lock:
+            self._keys.append(key)
+        return key
+
+    def keys(self) -> list[SelectionKey]:
+        with self._lock:
+            return [k for k in self._keys if not k.cancelled]
+
+    def select(self, timeout: float = DEFAULT_TIMEOUT) -> list[SelectionKey]:
+        """Block until ≥1 key is ready, wakeup() is called, or timeout.
+
+        Returns the ready keys (a fresh list)."""
+        deadline = time.monotonic() + timeout
+        while self._open:
+            with self._lock:
+                self._keys = [k for k in self._keys if not k.cancelled]
+                ready = []
+                for key in self._keys:
+                    key.ready_ops = key.channel._ready_ops() & key.interest_ops
+                    if key.ready_ops:
+                        ready.append(key)
+            if ready:
+                return ready
+            if self._woken.is_set():
+                self._woken.clear()
+                return []
+            if time.monotonic() >= deadline:
+                return []
+            time.sleep(self.POLL_INTERVAL)
+        return []
+
+    def select_now(self) -> list[SelectionKey]:
+        return self.select(timeout=0)
+
+    def wakeup(self) -> None:
+        self._woken.set()
+
+    def close(self) -> None:
+        self._open = False
+        self.wakeup()
+
+
+class SocketChannel(SelectableChannel):
+    """``java.nio.channels.SocketChannel``."""
+
+    def __init__(self, node, endpoint: Optional[TcpEndpoint] = None):
+        super().__init__()
+        self._node = node
+        self._endpoint = endpoint
+        self._timeout = DEFAULT_TIMEOUT
+
+    @classmethod
+    def open(cls, node) -> "SocketChannel":
+        return cls(node)
+
+    def connect(self, destination: Address) -> "SocketChannel":
+        if self._endpoint is not None:
+            raise JavaIOError("AlreadyConnectedException")
+        self._endpoint = self._node.kernel.connect(self._node.ip, destination, self._timeout)
+        return self
+
+    @property
+    def connected(self) -> bool:
+        return self._endpoint is not None and not self._endpoint.closed
+
+    @property
+    def remote_address(self) -> Address:
+        self._require_connected()
+        return self._endpoint.remote_address
+
+    def _require_connected(self) -> None:
+        if self._endpoint is None:
+            raise JavaIOError("NotYetConnectedException")
+
+    def read(self, buf: ByteBuffer) -> int:
+        """Returns bytes read, 0 (non-blocking, nothing ready), or -1 EOF."""
+        self._require_connected()
+        result = IOUtil.read(
+            self._node,
+            buf,
+            lambda mem, pos, count: self._node.jni.disp_read0(
+                self._endpoint, mem, pos, count, blocking=self.blocking, timeout=self._timeout
+            ),
+        )
+        if result == UNAVAILABLE:
+            return 0
+        return result
+
+    def write(self, buf: ByteBuffer) -> int:
+        self._require_connected()
+        result = IOUtil.write(
+            self._node,
+            buf,
+            lambda mem, pos, count: self._node.jni.disp_write0(
+                self._endpoint, mem, pos, count, blocking=self.blocking, timeout=self._timeout
+            ),
+        )
+        return max(result, 0)
+
+    def write_fully(self, buf: ByteBuffer) -> int:
+        total = 0
+        while buf.has_remaining():
+            written = self.write(buf)
+            if written == 0:
+                time.sleep(0.0005)  # non-blocking socket with a full buffer
+            total += written
+        return total
+
+    def read_fully(self, buf: ByteBuffer) -> int:
+        """Fill the buffer completely or raise at EOF."""
+        total = 0
+        while buf.has_remaining():
+            n = self.read(buf)
+            if n == EOF:
+                raise JavaIOError(f"EOF after {total} bytes, wanted {buf.limit}")
+            total += n
+        return total
+
+    def _ready_ops(self) -> int:
+        if self._endpoint is None:
+            return 0
+        ops = 0
+        if self._endpoint.readable():
+            ops |= OP_READ
+        if self._endpoint.writable():
+            ops |= OP_WRITE
+        return ops
+
+    def shutdown_output(self) -> None:
+        self._require_connected()
+        self._endpoint.shutdown_output()
+
+    def close(self) -> None:
+        super().close()
+        if self._endpoint is not None:
+            self._endpoint.close()
+
+
+class ServerSocketChannel(SelectableChannel):
+    """``java.nio.channels.ServerSocketChannel``."""
+
+    def __init__(self, node):
+        super().__init__()
+        self._node = node
+        self._listener: Optional[TcpListener] = None
+
+    @classmethod
+    def open(cls, node) -> "ServerSocketChannel":
+        return cls(node)
+
+    def bind(self, port: int, backlog: int = 64) -> "ServerSocketChannel":
+        self._listener = self._node.kernel.listen(self._node.ip, port, backlog)
+        return self
+
+    @property
+    def local_address(self) -> Address:
+        if self._listener is None:
+            raise JavaIOError("NotYetBoundException")
+        return self._listener.address
+
+    def accept(self, timeout: float = DEFAULT_TIMEOUT) -> Optional[SocketChannel]:
+        if self._listener is None:
+            raise JavaIOError("NotYetBoundException")
+        if self.blocking:
+            endpoint = self._listener.accept(timeout)
+            return SocketChannel(self._node, endpoint)
+        endpoint = self._listener.accept_nonblocking()
+        if endpoint is None:
+            return None
+        return SocketChannel(self._node, endpoint)
+
+    def _ready_ops(self) -> int:
+        if self._listener is not None and self._listener.pending() > 0:
+            return OP_ACCEPT
+        return 0
+
+    def close(self) -> None:
+        super().close()
+        if self._listener is not None:
+            self._listener.close()
+
+
+class DatagramChannel(SelectableChannel):
+    """``java.nio.channels.DatagramChannel``."""
+
+    def __init__(self, node):
+        super().__init__()
+        self._node = node
+        self._endpoint: Optional[UdpEndpoint] = None
+        self._peer: Optional[Address] = None
+        self._timeout = DEFAULT_TIMEOUT
+
+    @classmethod
+    def open(cls, node) -> "DatagramChannel":
+        return cls(node)
+
+    def bind(self, port: Optional[int] = None) -> "DatagramChannel":
+        self._endpoint = self._node.kernel.udp_bind(self._node.ip, port)
+        return self
+
+    def connect(self, peer: Address) -> "DatagramChannel":
+        if self._endpoint is None:
+            self.bind()
+        self._peer = peer
+        return self
+
+    @property
+    def local_address(self) -> Address:
+        if self._endpoint is None:
+            raise JavaIOError("NotYetBoundException")
+        return self._endpoint.address
+
+    def _require_bound(self) -> UdpEndpoint:
+        if self._endpoint is None:
+            raise JavaIOError("NotYetBoundException")
+        return self._endpoint
+
+    def send(self, buf: ByteBuffer, destination: Address) -> int:
+        """Unconnected send (``send0``): one datagram per call."""
+        if self._endpoint is None:
+            self.bind()
+        return IOUtil.write(
+            self._node,
+            buf,
+            lambda mem, pos, count: self._node.jni.dgram_channel_send0(
+                self._endpoint, mem, pos, count, destination
+            ),
+        )
+
+    def receive(self, buf: ByteBuffer) -> Optional[Address]:
+        """Unconnected receive (``receive0``): returns the source address."""
+        endpoint = self._require_bound()
+        source_holder: list = [None]
+
+        def disp(mem, pos, count):
+            result, source = self._node.jni.dgram_channel_receive0(
+                endpoint, mem, pos, count, blocking=self.blocking, timeout=self._timeout
+            )
+            source_holder[0] = source
+            return result
+
+        result = IOUtil.read(self._node, buf, disp)
+        if result == UNAVAILABLE:
+            return None
+        return source_holder[0]
+
+    def read(self, buf: ByteBuffer) -> int:
+        """Connected read (``DatagramDispatcherImpl.read0``)."""
+        if self._peer is None:
+            raise JavaIOError("NotYetConnectedException")
+        result = IOUtil.read(
+            self._node,
+            buf,
+            lambda mem, pos, count: self._node.jni.dgram_disp_read0(
+                self._require_bound(), mem, pos, count, blocking=self.blocking, timeout=self._timeout
+            ),
+        )
+        if result == UNAVAILABLE:
+            return 0
+        return result
+
+    def write(self, buf: ByteBuffer) -> int:
+        """Connected write (``DatagramDispatcherImpl.write0``)."""
+        if self._peer is None:
+            raise JavaIOError("NotYetConnectedException")
+        return IOUtil.write(
+            self._node,
+            buf,
+            lambda mem, pos, count: self._node.jni.dgram_disp_write0(
+                self._require_bound(), mem, pos, count, self._peer
+            ),
+        )
+
+    def _ready_ops(self) -> int:
+        if self._endpoint is None:
+            return 0
+        ops = OP_WRITE
+        if self._endpoint.pending() > 0:
+            ops |= OP_READ
+        return ops
+
+    def close(self) -> None:
+        super().close()
+        if self._endpoint is not None:
+            self._endpoint.close()

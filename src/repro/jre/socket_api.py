@@ -1,0 +1,90 @@
+"""``java.net.Socket`` / ``ServerSocket`` over the simulated kernel."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SocketClosedError
+from repro.runtime.kernel import Address, TcpEndpoint, TcpListener
+from repro.runtime.pipes import DEFAULT_TIMEOUT
+from repro.jre.streams import SocketInputStream, SocketOutputStream
+
+
+class Socket:
+    """A connected TCP socket bound to one simulated JVM."""
+
+    def __init__(self, node, endpoint: TcpEndpoint):
+        self._node = node
+        self._endpoint = endpoint
+        self._timeout = DEFAULT_TIMEOUT
+        self._in: Optional[SocketInputStream] = None
+        self._out: Optional[SocketOutputStream] = None
+
+    @classmethod
+    def connect(cls, node, destination: Address, timeout: float = DEFAULT_TIMEOUT) -> "Socket":
+        endpoint = node.kernel.connect(node.ip, destination, timeout)
+        return cls(node, endpoint)
+
+    @property
+    def local_address(self) -> Address:
+        return self._endpoint.local_address
+
+    @property
+    def remote_address(self) -> Address:
+        return self._endpoint.remote_address
+
+    def set_so_timeout(self, seconds: float) -> None:
+        self._timeout = seconds
+        if self._in is not None:
+            self._in._timeout = seconds
+
+    def get_input_stream(self) -> SocketInputStream:
+        if self._endpoint.closed:
+            raise SocketClosedError("socket closed")
+        if self._in is None:
+            self._in = SocketInputStream(self._node, self._endpoint, self._timeout)
+        return self._in
+
+    def get_output_stream(self) -> SocketOutputStream:
+        if self._endpoint.closed:
+            raise SocketClosedError("socket closed")
+        if self._out is None:
+            self._out = SocketOutputStream(self._node, self._endpoint)
+        return self._out
+
+    def shutdown_output(self) -> None:
+        self._endpoint.shutdown_output()
+
+    def close(self) -> None:
+        self._endpoint.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._endpoint.closed
+
+
+class ServerSocket:
+    """A listening TCP socket bound to one simulated JVM."""
+
+    def __init__(self, node, port: int, backlog: int = 64):
+        self._node = node
+        self._listener: TcpListener = node.kernel.listen(node.ip, port, backlog)
+        self._timeout = DEFAULT_TIMEOUT
+
+    @property
+    def local_address(self) -> Address:
+        return self._listener.address
+
+    def set_so_timeout(self, seconds: float) -> None:
+        self._timeout = seconds
+
+    def accept(self) -> Socket:
+        endpoint = self._listener.accept(self._timeout)
+        return Socket(self._node, endpoint)
+
+    def close(self) -> None:
+        self._listener.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._listener.closed

@@ -1,0 +1,22 @@
+"""The micro benchmark: 30 network-communication cases (paper Table II)."""
+
+from repro.microbench.cases import CASES, CASES_BY_NAME, SOCKET_CASES, MicroMessage
+from repro.microbench.workload import (
+    DEFAULT_SIZE,
+    CaseContext,
+    CaseResult,
+    MicroCase,
+    run_case,
+)
+
+__all__ = [
+    "CASES",
+    "CASES_BY_NAME",
+    "CaseContext",
+    "CaseResult",
+    "DEFAULT_SIZE",
+    "MicroCase",
+    "MicroMessage",
+    "SOCKET_CASES",
+    "run_case",
+]

@@ -1,0 +1,44 @@
+"""``python -m repro.microbench`` — run micro-benchmark cases by hand.
+
+Usage::
+
+    python -m repro.microbench                      # list the 30 cases
+    python -m repro.microbench socket_bytes_bulk    # run one (all modes)
+    python -m repro.microbench jre_http --mode dista --size 65536
+"""
+
+import argparse
+
+from repro.microbench.cases import CASES, CASES_BY_NAME
+from repro.microbench.workload import run_case
+from repro.runtime.modes import Mode
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("case", nargs="?", help="case name (omit to list)")
+    parser.add_argument("--mode", choices=[m.value for m in Mode], default=None)
+    parser.add_argument("--size", type=int, default=16 * 1024)
+    args = parser.parse_args()
+
+    if args.case is None:
+        for case in CASES:
+            print(f"{case.name:32s} {case.protocol:22s} {case.api}")
+        return
+    case = CASES_BY_NAME.get(args.case)
+    if case is None:
+        raise SystemExit(f"unknown case {args.case!r}; run without arguments to list")
+    modes = [Mode(args.mode)] if args.mode else list(Mode)
+    for mode in modes:
+        result = run_case(case, mode, size=args.size)
+        verdict = ""
+        if result.sound is not None:
+            verdict = f" sound={result.sound} precise={result.precise}"
+        print(
+            f"{mode.value:9s} {result.duration * 1000:8.2f} ms "
+            f"wire={result.wire_bytes}B taints={result.global_taints}{verdict}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,842 @@
+"""The 30 micro-benchmark cases of paper Table II.
+
+22 *JRE Socket* cases exercise distinct stream I/O APIs (raw, buffered,
+data-primitive, object, text), and 8 further cases cover UDP, NIO
+channels, AIO, HTTP and the three Netty protocols.  Every case runs the
+Fig.-10 workload via :func:`repro.microbench.workload.run_case`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.jre import (
+    AsynchronousServerSocketChannel,
+    AsynchronousSocketChannel,
+    BufferedInputStream,
+    BufferedOutputStream,
+    BufferedReader,
+    ByteBuffer,
+    DataInputStream,
+    DataOutputStream,
+    DatagramChannel,
+    DatagramPacket,
+    DatagramSocket,
+    HttpResponse,
+    HttpServer,
+    ObjectInputStream,
+    ObjectOutputStream,
+    PrintWriter,
+    ServerSocket,
+    ServerSocketChannel,
+    Socket,
+    SocketChannel,
+    http_post,
+    register_serializable,
+)
+from repro.microbench.workload import CaseContext, MicroCase
+from repro.taint.values import TBool, TByteArray, TBytes, TDouble, TInt, TLong, TObj, TStr
+
+PORT = 9700
+
+
+# --------------------------------------------------------------------- #
+# Generic socket exchange (the 22 JRE Socket cases)
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class StreamCodec:
+    """How one socket case encodes its Data on the stream."""
+
+    from_bytes: Callable  # TBytes -> typed value
+    write: Callable  # (DataOutputStream, value) -> None
+    read: Callable  # (DataInputStream) -> value
+    combine: Callable  # (value, value) -> value
+    wrap_streams: bool = False  # buffered wrappers around the raw streams
+
+
+def _socket_exchange(ctx: CaseContext, codec: StreamCodec, port: int):
+    """Node1 → Node2 → Node1 over ``java.net.Socket`` streams."""
+    server_socket = ServerSocket(ctx.n2, port)
+    failures: list[BaseException] = []
+
+    def server() -> None:
+        conn = server_socket.accept()
+        raw_in, raw_out = conn.get_input_stream(), conn.get_output_stream()
+        if codec.wrap_streams:
+            raw_in = BufferedInputStream(raw_in)
+            raw_out = BufferedOutputStream(raw_out)
+        ins, outs = DataInputStream(raw_in), DataOutputStream(raw_out)
+        incoming = codec.read(ins)
+        own = codec.from_bytes(ctx.data2())
+        codec.write(outs, codec.combine(incoming, own))
+        outs.flush()
+        conn.close()
+
+    thread = threading.Thread(target=lambda: _guard(server, failures), daemon=True)
+    thread.start()
+
+    client = Socket.connect(ctx.n1, (ctx.n2.ip, port))
+    raw_in, raw_out = client.get_input_stream(), client.get_output_stream()
+    if codec.wrap_streams:
+        raw_in = BufferedInputStream(raw_in)
+        raw_out = BufferedOutputStream(raw_out)
+    ins, outs = DataInputStream(raw_in), DataOutputStream(raw_out)
+    codec.write(outs, codec.from_bytes(ctx.data1()))
+    outs.flush()
+    final = codec.read(ins)
+    client.close()
+    thread.join(timeout=30)
+    server_socket.close()
+    if failures:
+        raise failures[0]
+    return final
+
+
+def _guard(fn: Callable, failures: list) -> None:
+    try:
+        fn()
+    except BaseException as exc:  # noqa: BLE001 - surfaced to the workload
+        failures.append(exc)
+
+
+def _stream_case(name: str, api: str, codec: StreamCodec, scale: float = 1.0) -> MicroCase:
+    # Each case runs in its own isolated cluster/kernel, so a fixed port
+    # is safe and keeps runs reproducible.
+    def fn(ctx: CaseContext):
+        return _socket_exchange(ctx, codec, PORT)
+
+    return MicroCase(name, "JRE Socket", api, fn, size_scale=scale)
+
+
+# -- byte-oriented codecs ------------------------------------------------ #
+
+_bytes_codec = StreamCodec(
+    from_bytes=lambda tb: tb,
+    write=lambda out, v: (out.write_int(TInt(len(v))), out.write(v)),
+    read=lambda ins: ins.read_fully(ins.read_int().value),
+    combine=lambda a, b: a + b,
+)
+
+
+def _chunked_codec(chunk: int) -> StreamCodec:
+    def write(out, value):
+        out.write_int(TInt(len(value)))
+        for start in range(0, len(value), chunk):
+            out.write(value[start : start + chunk])
+
+    return StreamCodec(
+        from_bytes=lambda tb: tb,
+        write=write,
+        read=lambda ins: ins.read_fully(ins.read_int().value),
+        combine=lambda a, b: a + b,
+    )
+
+
+def _single_byte_codec() -> StreamCodec:
+    def write(out, value):
+        out.write_int(TInt(len(value)))
+        for i in range(len(value)):
+            out.write_byte(value[i])
+
+    def read(ins):
+        count = ins.read_int().value
+        return ins.read_fully(count)
+
+    return StreamCodec(
+        from_bytes=lambda tb: tb, write=write, read=read, combine=lambda a, b: a + b
+    )
+
+
+# -- primitive-oriented codecs ------------------------------------------- #
+
+
+def _primitive_codec(writer: str, reader: str, wrap) -> StreamCodec:
+    """Value = list of tainted scalars, one per payload byte."""
+
+    def write(out, values):
+        out.write_int(TInt(len(values)))
+        write_one = getattr(out, writer)
+        for value in values:
+            write_one(value)
+
+    def read(ins):
+        count = ins.read_int().value
+        read_one = getattr(ins, reader)
+        return [read_one() for _ in range(count)]
+
+    return StreamCodec(
+        from_bytes=lambda tb: [wrap(tb[i]) for i in range(len(tb))],
+        write=write,
+        read=read,
+        combine=lambda a, b: a + b,
+    )
+
+
+def _utf_codec(line_width: int = 256) -> StreamCodec:
+    def from_bytes(tb: TBytes):
+        text = _to_text(tb)
+        return [text[i : i + line_width] for i in range(0, len(text), line_width)]
+
+    def write(out, lines):
+        out.write_int(TInt(len(lines)))
+        for line in lines:
+            out.write_utf(line)
+
+    def read(ins):
+        return [ins.read_utf() for _ in range(ins.read_int().value)]
+
+    return StreamCodec(
+        from_bytes=from_bytes, write=write, read=read, combine=lambda a, b: a + b
+    )
+
+
+def _mixed_record_codec() -> StreamCodec:
+    """Alternating int/long/utf fields derived from the payload."""
+
+    def from_bytes(tb: TBytes):
+        third = max(1, len(tb) // 3)
+        return {
+            "count": TInt(len(tb), tb[0].taint if len(tb) else None),
+            "checksum": TLong(sum(tb.data) & 0x7FFFFFFF, tb.overall_taint()),
+            "text": _to_text(tb[: min(third, 512)]),
+            "blob": tb[third:],
+        }
+
+    def write(out, record):
+        out.write_int(record["count"])
+        out.write_long(record["checksum"])
+        out.write_utf(record["text"])
+        out.write_int(TInt(len(record["blob"])))
+        out.write(record["blob"])
+
+    def read(ins):
+        return {
+            "count": ins.read_int(),
+            "checksum": ins.read_long(),
+            "text": ins.read_utf(),
+            "blob": ins.read_fully(ins.read_int().value),
+        }
+
+    def combine(a, b):
+        return {
+            "count": a["count"] + b["count"],
+            "checksum": a["checksum"] + b["checksum"],
+            "text": a["text"] + b["text"],
+            "blob": a["blob"] + b["blob"],
+        }
+
+    return StreamCodec(from_bytes=from_bytes, write=write, read=read, combine=combine)
+
+
+# -- object-oriented codecs ------------------------------------------------- #
+
+
+@register_serializable
+class MicroMessage(TObj):
+    """The custom serializable object of the object-stream cases."""
+
+    def __init__(self, body, length):
+        self.body = body
+        self.length = length
+
+
+def _object_codec(from_bytes, combine) -> StreamCodec:
+    return StreamCodec(
+        from_bytes=from_bytes,
+        write=lambda out, v: ObjectOutputStream(out).write_object(v),
+        read=lambda ins: ObjectInputStream(ins).read_object(),
+        combine=combine,
+    )
+
+
+def _to_text(tb: TBytes) -> TStr:
+    """Map payload bytes to printable chars, label-preserving."""
+    chars = "".join(chr(33 + (b % 90)) for b in tb.data)
+    labels = list(tb.labels) if tb.labels is not None else None
+    return TStr(chars, labels)
+
+
+# -- text codecs ------------------------------------------------------------- #
+
+
+def _line_case_fn(line_width: int, port: int):
+    """PrintWriter/BufferedReader exchange (text protocol)."""
+
+    def fn(ctx: CaseContext):
+        server_socket = ServerSocket(ctx.n2, port)
+        failures: list[BaseException] = []
+
+        def server() -> None:
+            conn = server_socket.accept()
+            reader = BufferedReader(conn.get_input_stream())
+            writer = PrintWriter(conn.get_output_stream())
+            count = int(reader.read_line().value)
+            incoming = TStr("")
+            for _ in range(count):
+                incoming = incoming + reader.read_line()
+            combined = incoming + _to_text(ctx.data2())
+            lines = [combined[i : i + line_width] for i in range(0, len(combined), line_width)]
+            writer.println(TStr(str(len(lines))))
+            for line in lines:
+                writer.println(line)
+            conn.close()
+
+        thread = threading.Thread(target=lambda: _guard(server, failures), daemon=True)
+        thread.start()
+
+        client = Socket.connect(ctx.n1, (ctx.n2.ip, port))
+        writer = PrintWriter(client.get_output_stream())
+        reader = BufferedReader(client.get_input_stream())
+        text = _to_text(ctx.data1())
+        lines = [text[i : i + line_width] for i in range(0, len(text), line_width)]
+        writer.println(TStr(str(len(lines))))
+        for line in lines:
+            writer.println(line)
+        final = TStr("")
+        for _ in range(int(reader.read_line().value)):
+            final = final + reader.read_line()
+        client.close()
+        thread.join(timeout=30)
+        server_socket.close()
+        if failures:
+            raise failures[0]
+        return final
+
+    return fn
+
+
+def _read_into_offsets_fn(port: int):
+    """Receiver reads into one pre-allocated array at offsets."""
+
+    def fn(ctx: CaseContext):
+        server_socket = ServerSocket(ctx.n2, port)
+        failures: list[BaseException] = []
+
+        def server() -> None:
+            conn = server_socket.accept()
+            ins = DataInputStream(conn.get_input_stream())
+            length = ins.read_int().value
+            buf = TByteArray(length)
+            offset = 0
+            while offset < length:
+                count = ins.read_into(buf, offset, min(4096, length - offset))
+                if count < 0:
+                    break
+                offset += count
+            combined = buf.snapshot() + ctx.data2()
+            outs = DataOutputStream(conn.get_output_stream())
+            outs.write_int(TInt(len(combined)))
+            outs.write(combined)
+            conn.close()
+
+        thread = threading.Thread(target=lambda: _guard(server, failures), daemon=True)
+        thread.start()
+
+        client = Socket.connect(ctx.n1, (ctx.n2.ip, port))
+        outs = DataOutputStream(client.get_output_stream())
+        data1 = ctx.data1()
+        outs.write_int(TInt(len(data1)))
+        outs.write(data1)
+        ins = DataInputStream(client.get_input_stream())
+        final = ins.read_fully(ins.read_int().value)
+        client.close()
+        thread.join(timeout=30)
+        server_socket.close()
+        if failures:
+            raise failures[0]
+        return final
+
+    return fn
+
+
+def _available_polling_fn(port: int):
+    """Reader polls ``available()`` before each read (legacy idiom)."""
+
+    def fn(ctx: CaseContext):
+        import time as _time
+
+        server_socket = ServerSocket(ctx.n2, port)
+        failures: list[BaseException] = []
+
+        def server() -> None:
+            conn = server_socket.accept()
+            ins = DataInputStream(conn.get_input_stream())
+            length = ins.read_int().value
+            received = TBytes.empty()
+            while len(received) < length:
+                ready = ins.available()
+                if ready == 0:
+                    _time.sleep(0.0005)
+                    continue
+                received = received + ins.read(min(ready, length - len(received)))
+            combined = received + ctx.data2()
+            outs = DataOutputStream(conn.get_output_stream())
+            outs.write_int(TInt(len(combined)))
+            outs.write(combined)
+            conn.close()
+
+        thread = threading.Thread(target=lambda: _guard(server, failures), daemon=True)
+        thread.start()
+
+        client = Socket.connect(ctx.n1, (ctx.n2.ip, port))
+        outs = DataOutputStream(client.get_output_stream())
+        data1 = ctx.data1()
+        outs.write_int(TInt(len(data1)))
+        outs.write(data1)
+        ins = DataInputStream(client.get_input_stream())
+        final = ins.read_fully(ins.read_int().value)
+        client.close()
+        thread.join(timeout=30)
+        server_socket.close()
+        if failures:
+            raise failures[0]
+        return final
+
+    return fn
+
+
+# --------------------------------------------------------------------- #
+# Non-socket protocols (8 cases)
+# --------------------------------------------------------------------- #
+
+_DGRAM_CHUNK = 4096
+
+
+def _datagram_fn(ctx: CaseContext):
+    """JRE Datagram: chunked UDP exchange with an end-marker packet."""
+    a = DatagramSocket(ctx.n1, 6100)
+    b = DatagramSocket(ctx.n2, 6100)
+    failures: list[BaseException] = []
+
+    def server() -> None:
+        received = TBytes.empty()
+        while True:
+            packet = DatagramPacket(_DGRAM_CHUNK + 16)
+            b.receive(packet)
+            payload = packet.payload()
+            if payload.data == b"<END>":
+                break
+            received = received + payload
+        combined = received + ctx.data2()
+        for start in range(0, len(combined), _DGRAM_CHUNK):
+            chunk = combined[start : start + _DGRAM_CHUNK]
+            b.send(DatagramPacket(chunk, address=(ctx.n1.ip, 6100)))
+        b.send(DatagramPacket(TBytes(b"<END>"), address=(ctx.n1.ip, 6100)))
+
+    thread = threading.Thread(target=lambda: _guard(server, failures), daemon=True)
+    thread.start()
+
+    data1 = ctx.data1()
+    for start in range(0, len(data1), _DGRAM_CHUNK):
+        a.send(DatagramPacket(data1[start : start + _DGRAM_CHUNK], address=(ctx.n2.ip, 6100)))
+    a.send(DatagramPacket(TBytes(b"<END>"), address=(ctx.n2.ip, 6100)))
+    final = TBytes.empty()
+    while True:
+        packet = DatagramPacket(_DGRAM_CHUNK + 16)
+        a.receive(packet)
+        payload = packet.payload()
+        if payload.data == b"<END>":
+            break
+        final = final + payload
+    thread.join(timeout=30)
+    a.close()
+    b.close()
+    if failures:
+        raise failures[0]
+    return final
+
+
+def _channel_write_framed(channel, data: TBytes) -> None:
+    head = ByteBuffer.allocate(4)
+    head.put(TBytes(len(data).to_bytes(4, "big")))
+    head.flip()
+    channel.write_fully(head)
+    channel.write_fully(ByteBuffer.wrap(data))
+
+
+def _channel_read_framed(channel) -> TBytes:
+    head = ByteBuffer.allocate(4)
+    channel.read_fully(head)
+    head.flip()
+    length = int.from_bytes(head.get(4).data, "big")
+    body = ByteBuffer.allocate(length)
+    channel.read_fully(body)
+    body.flip()
+    return body.get(length)
+
+
+def _socket_channel_fn(ctx: CaseContext):
+    """JRE SocketChannel (NIO, heap buffers staged through direct)."""
+    server_channel = ServerSocketChannel.open(ctx.n2).bind(6200)
+    failures: list[BaseException] = []
+
+    def server() -> None:
+        conn = server_channel.accept()
+        incoming = _channel_read_framed(conn)
+        _channel_write_framed(conn, incoming + ctx.data2())
+        conn.close()
+
+    thread = threading.Thread(target=lambda: _guard(server, failures), daemon=True)
+    thread.start()
+
+    client = SocketChannel.open(ctx.n1).connect((ctx.n2.ip, 6200))
+    _channel_write_framed(client, ctx.data1())
+    final = _channel_read_framed(client)
+    client.close()
+    thread.join(timeout=30)
+    server_channel.close()
+    if failures:
+        raise failures[0]
+    return final
+
+
+def _datagram_channel_fn(ctx: CaseContext):
+    """JRE DatagramChannel (NIO UDP)."""
+    a = DatagramChannel.open(ctx.n1).bind(6300)
+    b = DatagramChannel.open(ctx.n2).bind(6300)
+    failures: list[BaseException] = []
+
+    def receive_all(channel) -> TBytes:
+        received = TBytes.empty()
+        while True:
+            buf = ByteBuffer.allocate(_DGRAM_CHUNK + 16)
+            channel.receive(buf)
+            buf.flip()
+            payload = buf.get()
+            if payload.data == b"<END>":
+                return received
+            received = received + payload
+
+    def send_all(channel, data: TBytes, destination) -> None:
+        for start in range(0, len(data), _DGRAM_CHUNK):
+            channel.send(ByteBuffer.wrap(data[start : start + _DGRAM_CHUNK]), destination)
+        channel.send(ByteBuffer.wrap(b"<END>"), destination)
+
+    def server() -> None:
+        incoming = receive_all(b)
+        send_all(b, incoming + ctx.data2(), (ctx.n1.ip, 6300))
+
+    thread = threading.Thread(target=lambda: _guard(server, failures), daemon=True)
+    thread.start()
+    send_all(a, ctx.data1(), (ctx.n2.ip, 6300))
+    final = receive_all(a)
+    thread.join(timeout=30)
+    a.close()
+    b.close()
+    if failures:
+        raise failures[0]
+    return final
+
+
+def _aio_fn(ctx: CaseContext):
+    """JRE AIO (AsynchronousSocketChannel futures)."""
+    server = AsynchronousServerSocketChannel.open(ctx.n2).bind(6400)
+    failures: list[BaseException] = []
+
+    def aio_read_framed(channel) -> TBytes:
+        head = ByteBuffer.allocate(4)
+        while head.has_remaining():
+            if channel.read(head).result(timeout=30) < 0:
+                raise EOFError("EOF in frame header")
+        head.flip()
+        length = int.from_bytes(head.get(4).data, "big")
+        body = ByteBuffer.allocate(length)
+        while body.has_remaining():
+            if channel.read(body).result(timeout=30) < 0:
+                raise EOFError("EOF in frame body")
+        body.flip()
+        return body.get(length)
+
+    def aio_write_framed(channel, data: TBytes) -> None:
+        head = ByteBuffer.wrap(TBytes(len(data).to_bytes(4, "big")))
+        while head.has_remaining():
+            channel.write(head).result(timeout=30)
+        body = ByteBuffer.wrap(data)
+        while body.has_remaining():
+            channel.write(body).result(timeout=30)
+
+    def server_fn() -> None:
+        conn = server.accept().result(timeout=30)
+        incoming = aio_read_framed(conn)
+        aio_write_framed(conn, incoming + ctx.data2())
+        conn.close()
+
+    thread = threading.Thread(target=lambda: _guard(server_fn, failures), daemon=True)
+    thread.start()
+
+    client = AsynchronousSocketChannel.open(ctx.n1)
+    client.connect((ctx.n2.ip, 6400)).result(timeout=30)
+    aio_write_framed(client, ctx.data1())
+    final = aio_read_framed(client)
+    client.close()
+    thread.join(timeout=30)
+    server.close()
+    if failures:
+        raise failures[0]
+    return final
+
+
+def _http_fn(ctx: CaseContext):
+    """JRE HTTP: POST Data1, the server's page appends Data2."""
+
+    def handler(request):
+        return HttpResponse(body=request.body + ctx.data2())
+
+    server = HttpServer(ctx.n2, 6500, handler).start()
+    try:
+        response = http_post(ctx.n1, (ctx.n2.ip, 6500), "/combine", ctx.data1())
+        return response.body
+    finally:
+        server.stop()
+
+
+# -- Netty cases --------------------------------------------------------- #
+
+
+def _netty_socket_fn(ctx: CaseContext):
+    from repro.netty import (
+        Bootstrap,
+        LengthFieldBasedFrameDecoder,
+        LengthFieldPrepender,
+        NioEventLoopGroup,
+        ServerBootstrap,
+    )
+
+    group = NioEventLoopGroup(2, name=f"micro-{ctx.n1.name}")
+    done = threading.Event()
+    result: list = []
+
+    class Combiner:
+        def channel_read(self, inner_ctx, frame):
+            inner_ctx.channel.write(frame.read_all() + ctx.data2())
+
+    class Collector:
+        def channel_read(self, inner_ctx, frame):
+            result.append(frame.read_all())
+            done.set()
+
+    server = ServerBootstrap(ctx.n2, group).child_handler(
+        lambda ch: ch.pipeline.add_last(
+            LengthFieldBasedFrameDecoder(), Combiner(), LengthFieldPrepender()
+        )
+    ).bind(6600)
+    try:
+        client = Bootstrap(ctx.n1, group).handler(
+            lambda ch: ch.pipeline.add_last(
+                LengthFieldBasedFrameDecoder(), Collector(), LengthFieldPrepender()
+            )
+        ).connect((ctx.n2.ip, 6600))
+        client.write(ctx.data1())
+        if not done.wait(timeout=30):
+            raise TimeoutError("netty socket case timed out")
+        return result[0]
+    finally:
+        server.close()
+        group.shutdown_gracefully()
+
+
+def _netty_datagram_fn(ctx: CaseContext):
+    from repro.netty import DatagramBootstrap, NioEventLoopGroup
+
+    group = NioEventLoopGroup(2, name=f"microdg-{ctx.n1.name}")
+    done = threading.Event()
+    received: list = []
+    collected = TBytes.empty()
+
+    class Combiner:
+        def __init__(self):
+            self.buffer = TBytes.empty()
+
+        def channel_read(self, inner_ctx, msg):
+            buf, source = msg
+            payload = buf.read_all()
+            if payload.data == b"<END>":
+                combined = self.buffer + ctx.data2()
+                for start in range(0, len(combined), _DGRAM_CHUNK):
+                    inner_ctx.channel.send(
+                        combined[start : start + _DGRAM_CHUNK], (ctx.n1.ip, 6700)
+                    )
+                inner_ctx.channel.send(TBytes(b"<END>"), (ctx.n1.ip, 6700))
+            else:
+                self.buffer = self.buffer + payload
+
+    class Collector:
+        def channel_read(self, inner_ctx, msg):
+            buf, _source = msg
+            payload = buf.read_all()
+            if payload.data == b"<END>":
+                done.set()
+            else:
+                received.append(payload)
+
+    try:
+        DatagramBootstrap(ctx.n2, group).handler(
+            lambda ch: ch.pipeline.add_last(Combiner())
+        ).bind(6700)
+        sender = DatagramBootstrap(ctx.n1, group).handler(
+            lambda ch: ch.pipeline.add_last(Collector())
+        ).bind(6700)
+        data1 = ctx.data1()
+        for start in range(0, len(data1), _DGRAM_CHUNK):
+            sender.send(data1[start : start + _DGRAM_CHUNK], (ctx.n2.ip, 6700))
+        sender.send(TBytes(b"<END>"), (ctx.n2.ip, 6700))
+        if not done.wait(timeout=30):
+            raise TimeoutError("netty datagram case timed out")
+        for part in received:
+            collected = collected + part
+        return collected
+    finally:
+        group.shutdown_gracefully()
+
+
+def _netty_http_fn(ctx: CaseContext):
+    from repro.netty import (
+        Bootstrap,
+        HttpClientCodec,
+        HttpServerCodec,
+        NettyHttpRequest,
+        NettyHttpResponse,
+        NioEventLoopGroup,
+        ServerBootstrap,
+    )
+
+    group = NioEventLoopGroup(2, name=f"microhttp-{ctx.n1.name}")
+    done = threading.Event()
+    result: list = []
+
+    class App:
+        def channel_read(self, inner_ctx, request):
+            inner_ctx.channel.write(NettyHttpResponse(200, request.content + ctx.data2()))
+
+    class Collector:
+        def channel_read(self, inner_ctx, response):
+            result.append(response.content)
+            done.set()
+
+    server = ServerBootstrap(ctx.n2, group).child_handler(
+        lambda ch: ch.pipeline.add_last(HttpServerCodec(), App())
+    ).bind(6800)
+    try:
+        client = Bootstrap(ctx.n1, group).handler(
+            lambda ch: ch.pipeline.add_last(HttpClientCodec(), Collector())
+        ).connect((ctx.n2.ip, 6800))
+        client.write(NettyHttpRequest("POST", "/combine", {}, ctx.data1()))
+        if not done.wait(timeout=30):
+            raise TimeoutError("netty http case timed out")
+        return result[0]
+    finally:
+        server.close()
+        group.shutdown_gracefully()
+
+
+# --------------------------------------------------------------------- #
+# The Table-II registry
+# --------------------------------------------------------------------- #
+
+
+def _object_cases() -> list[MicroCase]:
+    return [
+        _stream_case(
+            "socket_object_string", "ObjectOutputStream.writeObject(String)",
+            _object_codec(lambda tb: _to_text(tb), lambda a, b: a + b), 0.5,
+        ),
+        _stream_case(
+            "socket_object_bytes", "ObjectOutputStream.writeObject(byte[])",
+            _object_codec(lambda tb: tb, lambda a, b: a + b), 0.5,
+        ),
+        _stream_case(
+            "socket_object_custom", "ObjectOutputStream.writeObject(custom)",
+            _object_codec(
+                lambda tb: MicroMessage(tb, TInt(len(tb))),
+                lambda a, b: MicroMessage(a.body + b.body, a.length + b.length),
+            ),
+            0.5,
+        ),
+        _stream_case(
+            "socket_object_list", "ObjectOutputStream.writeObject(List)",
+            _object_codec(
+                lambda tb: [tb[i : i + 1024] for i in range(0, len(tb), 1024)],
+                lambda a, b: a + b,
+            ),
+            0.25,
+        ),
+        _stream_case(
+            "socket_object_map", "ObjectOutputStream.writeObject(Map)",
+            _object_codec(
+                lambda tb: {"len": TInt(len(tb)), "payload": tb},
+                lambda a, b: {
+                    "len": a["len"] + b["len"],
+                    "payload": a["payload"] + b["payload"],
+                },
+            ),
+            0.5,
+        ),
+    ]
+
+
+def build_cases() -> list[MicroCase]:
+    """All 30 Table-II cases."""
+    cases: list[MicroCase] = [
+        # -- 22 JRE Socket stream variants ------------------------------ #
+        _stream_case("socket_bytes_bulk", "OutputStream.write(byte[])", _bytes_codec),
+        _stream_case("socket_bytes_chunked", "OutputStream.write(byte[], chunked)", _chunked_codec(1024)),
+        _stream_case("socket_bytes_single", "OutputStream.write(int)", _single_byte_codec(), 0.02),
+        _stream_case(
+            "socket_bytes_buffered", "BufferedOutputStream.write",
+            StreamCodec(
+                from_bytes=_bytes_codec.from_bytes, write=_bytes_codec.write,
+                read=_bytes_codec.read, combine=_bytes_codec.combine, wrap_streams=True,
+            ),
+        ),
+        _stream_case(
+            "socket_bytes_buffered_small", "BufferedOutputStream.write(small chunks)",
+            StreamCodec(
+                from_bytes=_bytes_codec.from_bytes, write=_chunked_codec(256).write,
+                read=_bytes_codec.read, combine=_bytes_codec.combine, wrap_streams=True,
+            ),
+            0.25,
+        ),
+        _stream_case("socket_data_int", "DataOutputStream.writeInt", _primitive_codec("write_int", "read_int", lambda v: v), 0.05),
+        _stream_case("socket_data_long", "DataOutputStream.writeLong", _primitive_codec("write_long", "read_long", lambda v: TLong(v.value, v.taint)), 0.05),
+        _stream_case("socket_data_short", "DataOutputStream.writeShort", _primitive_codec("write_short", "read_short", lambda v: v), 0.05),
+        _stream_case("socket_data_double", "DataOutputStream.writeDouble", _primitive_codec("write_double", "read_double", lambda v: TDouble(float(v.value), v.taint)), 0.05),
+        _stream_case("socket_data_boolean", "DataOutputStream.writeBoolean", _primitive_codec("write_boolean", "read_boolean", lambda v: TBool(v.value & 1, v.taint)), 0.05),
+        _stream_case("socket_data_utf", "DataOutputStream.writeUTF", _utf_codec(), 0.25),
+        _stream_case(
+            "socket_data_int_array", "DataOutputStream.writeInt(int[])",
+            StreamCodec(
+                from_bytes=lambda tb: [tb[i] for i in range(len(tb))],
+                write=lambda out, v: out.write_int_array(v),
+                read=lambda ins: ins.read_int_array(),
+                combine=lambda a, b: a + b,
+            ),
+            0.05,
+        ),
+        _stream_case("socket_data_mixed", "DataOutputStream mixed record", _mixed_record_codec(), 0.5),
+        *_object_cases(),
+        MicroCase("socket_text_lines", "JRE Socket", "PrintWriter.println/BufferedReader.readLine", _line_case_fn(256, 6010), size_scale=0.25),
+        MicroCase("socket_text_small_lines", "JRE Socket", "PrintWriter.println(small lines)", _line_case_fn(32, 6011), size_scale=0.05),
+        MicroCase("socket_read_offsets", "JRE Socket", "InputStream.read(byte[], off, len)", _read_into_offsets_fn(6012)),
+        MicroCase("socket_available_poll", "JRE Socket", "InputStream.available + read", _available_polling_fn(6013), size_scale=0.5),
+        # -- 8 other protocols ----------------------------------------- #
+        MicroCase("jre_datagram", "JRE Datagram", "DatagramSocket.send/receive", _datagram_fn, size_scale=0.5),
+        MicroCase("jre_socket_channel", "JRE SocketChannel", "SocketChannel.read/write", _socket_channel_fn),
+        MicroCase("jre_datagram_channel", "JRE DatagramChannel", "DatagramChannel.send/receive", _datagram_channel_fn, size_scale=0.5),
+        MicroCase("jre_aio", "JRE AIO", "AsynchronousSocketChannel.read/write", _aio_fn, size_scale=0.5),
+        MicroCase("jre_http", "JRE HTTP", "HttpURLConnection POST", _http_fn),
+        MicroCase("netty_socket", "Netty Socket", "3rd-party TCP", _netty_socket_fn, size_scale=0.5),
+        MicroCase("netty_datagram", "Netty DatagramSocket", "3rd-party UDP", _netty_datagram_fn, size_scale=0.25),
+        MicroCase("netty_http", "Netty HTTP", "3rd-party HTTP", _netty_http_fn, size_scale=0.5),
+    ]
+    return cases
+
+
+CASES: list[MicroCase] = build_cases()
+
+CASES_BY_NAME: dict[str, MicroCase] = {case.name: case for case in CASES}
+
+SOCKET_CASES: list[MicroCase] = [c for c in CASES if c.protocol == "JRE Socket"]

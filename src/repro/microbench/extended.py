@@ -1,0 +1,133 @@
+"""Extended micro cases beyond the paper's 30 (kept out of ``CASES``).
+
+Table II is a fixed artifact; these additional cases exercise the same
+Fig.-10 workload through stacks this repository adds on top of it —
+STOMP, WebSocket, Yarn RPC, RocketMQ remoting — demonstrating that the
+harness (and DisTA's genericity) extends past the paper's protocol list.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.microbench.workload import CaseContext, MicroCase
+from repro.taint.values import TBytes, TStr
+
+
+def _to_text(data: TBytes) -> TStr:
+    chars = "".join(chr(33 + (b % 90)) for b in data.data)
+    labels = list(data.labels) if data.labels is not None else None
+    return TStr(chars, labels)
+
+
+def _stomp_fn(ctx: CaseContext):
+    """STOMP relay (Fig. 10 shape): n1 sends Data1; a relay *on n2*
+    combines it with Data2 and republishes; n1 receives the result."""
+    from repro.systems.activemq.broker import Broker, write_default_conf
+    from repro.systems.activemq.stomp import StompClient, StompListener
+
+    write_default_conf(ctx.cluster.fs)
+    broker = Broker(ctx.n2, 1, [])
+    listener = StompListener(broker)
+
+    def relay() -> None:
+        consumer = StompClient(ctx.n2, ctx.n2.ip)
+        _, incoming = consumer.subscribe_and_receive("/bench-in")
+        consumer.close()
+        producer = StompClient(ctx.n2, ctx.n2.ip)
+        producer.send("/bench-out", incoming + _to_text(ctx.data2()))
+        producer.close()
+
+    thread = threading.Thread(target=relay, daemon=True)
+    thread.start()
+    try:
+        sender = StompClient(ctx.n1, ctx.n2.ip)
+        sender.send("/bench-in", _to_text(ctx.data1()))
+        sender.close()
+        receiver = StompClient(ctx.n1, ctx.n2.ip)
+        _, body = receiver.subscribe_and_receive("/bench-out")
+        receiver.close()
+        thread.join(30)
+        return body
+    finally:
+        listener.stop()
+        broker.stop()
+
+
+def _websocket_fn(ctx: CaseContext):
+    """STOMP-over-WebSocket relay (masked frames, Fig. 10 shape)."""
+    from repro.systems.activemq.broker import Broker, write_default_conf
+    from repro.systems.activemq.websocket import WsStompClient, WsStompListener
+
+    write_default_conf(ctx.cluster.fs)
+    broker = Broker(ctx.n2, 1, [])
+    listener = WsStompListener(broker)
+
+    def relay() -> None:
+        consumer = WsStompClient(ctx.n2, ctx.n2.ip)
+        _, incoming = consumer.subscribe_and_receive("/ws-in")
+        consumer.close()
+        producer = WsStompClient(ctx.n2, ctx.n2.ip)
+        producer.send("/ws-out", incoming + _to_text(ctx.data2()))
+        producer.close()
+
+    thread = threading.Thread(target=relay, daemon=True)
+    thread.start()
+    try:
+        sender = WsStompClient(ctx.n1, ctx.n2.ip)
+        sender.send("/ws-in", _to_text(ctx.data1()))
+        sender.close()
+        receiver = WsStompClient(ctx.n1, ctx.n2.ip)
+        _, body = receiver.subscribe_and_receive("/ws-out")
+        receiver.close()
+        thread.join(30)
+        return body
+    finally:
+        listener.stop()
+        broker.stop()
+
+
+def _yarn_rpc_fn(ctx: CaseContext):
+    """Yarn-style NIO RPC echo+combine."""
+    from repro.systems.mapreduce.rpc import RpcClient, RpcServer
+
+    server = RpcServer(ctx.n2, 8200, name="bench")
+    server.register("combine", lambda data: data + ctx.data2())
+    try:
+        client = RpcClient(ctx.n1, (ctx.n2.ip, 8200))
+        final = client.call("combine", ctx.data1())
+        client.close()
+        return final
+    finally:
+        server.stop()
+
+
+def _rocketmq_remoting_fn(ctx: CaseContext):
+    """RocketMQ Netty remoting echo+combine."""
+    from repro.netty import NioEventLoopGroup
+    from repro.systems.rocketmq.remoting import RemotingClient, RemotingServer
+
+    group = NioEventLoopGroup(2, name="bench-remoting")
+    server = RemotingServer(ctx.n2, 8201, group, name="bench")
+    server.register("combine", lambda data: data + ctx.data2())
+    try:
+        client = RemotingClient(ctx.n1, (ctx.n2.ip, 8201), group)
+        final = client.invoke("combine", ctx.data1())
+        client.close()
+        return final
+    finally:
+        server.stop()
+        group.shutdown_gracefully()
+
+
+EXTENDED_CASES: list[MicroCase] = [
+    MicroCase("ext_stomp", "STOMP", "STOMP 1.2 over TCP", _stomp_fn, size_scale=0.25),
+    MicroCase("ext_websocket", "WebSocket", "STOMP over WebSocket", _websocket_fn, size_scale=0.25),
+    MicroCase("ext_yarn_rpc", "Yarn RPC", "object RPC over NIO", _yarn_rpc_fn, size_scale=0.5),
+    MicroCase(
+        "ext_rocketmq_remoting", "RocketMQ remoting", "request/response over Netty",
+        _rocketmq_remoting_fn, size_scale=0.5,
+    ),
+]
+
+EXTENDED_BY_NAME = {case.name: case for case in EXTENDED_CASES}

@@ -1,0 +1,47 @@
+"""Netty-like network application framework over simulated NIO.
+
+Third-party framework of the micro benchmark's three Netty cases (paper
+Table II): event loops, channel pipelines, bootstraps and codecs, all
+riding on the instrumented-able JNI dispatcher methods.
+"""
+
+from repro.netty.bootstrap import Bootstrap, DatagramBootstrap, ServerBootstrap
+from repro.netty.bytebuf import ByteBuf
+from repro.netty.channel import (
+    ChannelHandlerContext,
+    ChannelPipeline,
+    NettyChannel,
+    NettyDatagramChannel,
+)
+from repro.netty.codecs import (
+    HttpClientCodec,
+    HttpServerCodec,
+    LengthFieldBasedFrameDecoder,
+    LengthFieldPrepender,
+    NettyHttpRequest,
+    NettyHttpResponse,
+    StringDecoder,
+    StringEncoder,
+)
+from repro.netty.eventloop import NioEventLoop, NioEventLoopGroup
+
+__all__ = [
+    "Bootstrap",
+    "ByteBuf",
+    "ChannelHandlerContext",
+    "ChannelPipeline",
+    "DatagramBootstrap",
+    "HttpClientCodec",
+    "HttpServerCodec",
+    "LengthFieldBasedFrameDecoder",
+    "LengthFieldPrepender",
+    "NettyChannel",
+    "NettyDatagramChannel",
+    "NettyHttpRequest",
+    "NettyHttpResponse",
+    "NioEventLoop",
+    "NioEventLoopGroup",
+    "ServerBootstrap",
+    "StringDecoder",
+    "StringEncoder",
+]

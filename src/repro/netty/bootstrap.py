@@ -1,0 +1,100 @@
+"""Netty bootstraps: server accept loop + client connector."""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.jre.nio import DatagramChannel, ServerSocketChannel, SocketChannel
+from repro.netty.channel import NettyChannel, NettyDatagramChannel
+from repro.netty.eventloop import NioEventLoopGroup
+
+
+class ServerBootstrap:
+    """``ServerBootstrap``: accepts connections, initializes pipelines."""
+
+    def __init__(self, node, group: NioEventLoopGroup):
+        self._node = node
+        self._group = group
+        self._initializer: Optional[Callable[[NettyChannel], None]] = None
+        self._server: Optional[ServerSocketChannel] = None
+        self._running = False
+        self.children: list[NettyChannel] = []
+
+    def child_handler(self, initializer: Callable[[NettyChannel], None]) -> "ServerBootstrap":
+        """``initializer(channel)`` populates the child pipeline."""
+        self._initializer = initializer
+        return self
+
+    def bind(self, port: int) -> "ServerBootstrap":
+        if self._initializer is None:
+            raise ValueError("child_handler must be set before bind()")
+        self._server = ServerSocketChannel.open(self._node).bind(port)
+        self._running = True
+        thread = threading.Thread(
+            target=self._accept_loop, name=f"{self._node.name}-boss", daemon=True
+        )
+        thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                nio_channel = self._server.accept(timeout=3600)
+            except Exception:
+                return
+            channel = NettyChannel(self._node, nio_channel)
+            self._initializer(channel)
+            self.children.append(channel)
+            self._group.next_loop().register(channel)
+
+    def close(self) -> None:
+        self._running = False
+        if self._server is not None:
+            self._server.close()
+        for child in self.children:
+            child.close()
+
+
+class Bootstrap:
+    """Client ``Bootstrap``: connect and register with an event loop."""
+
+    def __init__(self, node, group: NioEventLoopGroup):
+        self._node = node
+        self._group = group
+        self._initializer: Optional[Callable[[NettyChannel], None]] = None
+
+    def handler(self, initializer: Callable[[NettyChannel], None]) -> "Bootstrap":
+        self._initializer = initializer
+        return self
+
+    def connect(self, destination) -> NettyChannel:
+        if self._initializer is None:
+            raise ValueError("handler must be set before connect()")
+        nio_channel = SocketChannel.open(self._node).connect(destination)
+        channel = NettyChannel(self._node, nio_channel)
+        self._initializer(channel)
+        self._group.next_loop().register(channel)
+        return channel
+
+
+class DatagramBootstrap:
+    """UDP bootstrap (Netty's ``Bootstrap`` with ``NioDatagramChannel``)."""
+
+    def __init__(self, node, group: NioEventLoopGroup):
+        self._node = node
+        self._group = group
+        self._initializer: Optional[Callable[[NettyDatagramChannel], None]] = None
+
+    def handler(self, initializer: Callable[[NettyDatagramChannel], None]) -> "DatagramBootstrap":
+        self._initializer = initializer
+        return self
+
+    def bind(self, port: Optional[int] = None) -> NettyDatagramChannel:
+        if self._initializer is None:
+            raise ValueError("handler must be set before bind()")
+        nio_channel = DatagramChannel.open(self._node).bind(port)
+        channel = NettyDatagramChannel(self._node, nio_channel)
+        self._initializer(channel)
+        self._group.next_loop().register(channel)
+        return channel

@@ -1,0 +1,97 @@
+"""Netty's ``ByteBuf``: a dynamic buffer with reader/writer indices.
+
+Backed by :class:`~repro.taint.values.TBytes`, so per-byte shadow labels
+flow through every codec untouched — Netty is "just library code" above
+the instrumented JNI layer (paper Table II's three Netty cases need no
+Netty-specific instrumentation).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Union
+
+from repro.errors import JavaIOError
+from repro.taint.values import TBytes, TInt, TStr, as_tbytes
+
+
+class ByteBuf:
+    """Reader/writer-indexed byte buffer (grows on demand)."""
+
+    def __init__(self, initial: Union[TBytes, bytes] = b""):
+        self._data = as_tbytes(initial)
+        self.reader_index = 0
+
+    # -- capacity / indices ---------------------------------------------- #
+
+    def readable_bytes(self) -> int:
+        return len(self._data) - self.reader_index
+
+    def is_readable(self) -> bool:
+        return self.readable_bytes() > 0
+
+    def discard_read_bytes(self) -> "ByteBuf":
+        self._data = self._data[self.reader_index :]
+        self.reader_index = 0
+        return self
+
+    # -- writes ------------------------------------------------------------ #
+
+    def write_bytes(self, data: Union[TBytes, bytes, "ByteBuf"]) -> "ByteBuf":
+        if isinstance(data, ByteBuf):
+            data = data.read_bytes(data.readable_bytes())
+        self._data = self._data + as_tbytes(data)
+        return self
+
+    def write_int(self, value: Union[TInt, int]) -> "ByteBuf":
+        number = value.value if isinstance(value, TInt) else value
+        raw = TBytes(struct.pack(">i", number))
+        if isinstance(value, TInt) and value.taint is not None:
+            raw = raw.with_taint(value.taint)
+        return self.write_bytes(raw)
+
+    def write_short(self, value: int) -> "ByteBuf":
+        return self.write_bytes(TBytes(struct.pack(">h", value)))
+
+    def write_byte(self, value: int) -> "ByteBuf":
+        return self.write_bytes(TBytes(bytes([value & 0xFF])))
+
+    def write_str(self, value: Union[TStr, str]) -> "ByteBuf":
+        return self.write_bytes((value if isinstance(value, TStr) else TStr(value)).encode())
+
+    # -- reads --------------------------------------------------------------- #
+
+    def _take(self, count: int) -> TBytes:
+        if count > self.readable_bytes():
+            raise JavaIOError(
+                f"IndexOutOfBoundsException: read {count}, readable {self.readable_bytes()}"
+            )
+        out = self._data[self.reader_index : self.reader_index + count]
+        self.reader_index += count
+        return out
+
+    def read_bytes(self, count: int) -> TBytes:
+        return self._take(count)
+
+    def read_int(self) -> TInt:
+        data = self._take(4)
+        return TInt(struct.unpack(">i", data.data)[0], data.overall_taint())
+
+    def read_short(self) -> TInt:
+        data = self._take(2)
+        return TInt(struct.unpack(">h", data.data)[0], data.overall_taint())
+
+    def read_byte(self) -> TInt:
+        return self._take(1)[0]
+
+    def peek_int(self) -> int:
+        if self.readable_bytes() < 4:
+            raise JavaIOError("not enough bytes to peek an int")
+        raw = self._data[self.reader_index : self.reader_index + 4]
+        return struct.unpack(">i", raw.data)[0]
+
+    def read_all(self) -> TBytes:
+        return self._take(self.readable_bytes())
+
+    def __repr__(self) -> str:
+        return f"ByteBuf(ridx={self.reader_index}, len={len(self._data)})"

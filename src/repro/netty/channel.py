@@ -1,0 +1,222 @@
+"""Netty channel/pipeline core.
+
+A :class:`NettyChannel` wraps an NIO channel; its
+:class:`ChannelPipeline` carries inbound events head→tail and outbound
+writes tail→head, as in Netty.  Handlers are duck-typed: implement any of
+``channel_active`` / ``channel_read`` / ``channel_inactive`` /
+``exception_caught`` (inbound) and ``write`` (outbound).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.jre.buffer import ByteBuffer
+from repro.netty.bytebuf import ByteBuf
+from repro.taint.values import TBytes, as_tbytes
+
+
+class ChannelHandlerContext:
+    """One handler's position in a pipeline."""
+
+    def __init__(self, pipeline: "ChannelPipeline", handler, index: int):
+        self.pipeline = pipeline
+        self.handler = handler
+        self._index = index
+
+    @property
+    def channel(self) -> "NettyChannel":
+        return self.pipeline.channel
+
+    # -- inbound propagation ------------------------------------------------ #
+
+    def fire_channel_read(self, msg) -> None:
+        self.pipeline._invoke_read(self._index + 1, msg)
+
+    def fire_channel_active(self) -> None:
+        self.pipeline._invoke_active(self._index + 1)
+
+    def fire_channel_inactive(self) -> None:
+        self.pipeline._invoke_inactive(self._index + 1)
+
+    def fire_exception_caught(self, exc: BaseException) -> None:
+        self.pipeline._invoke_exception(self._index + 1, exc)
+
+    # -- outbound propagation ------------------------------------------------ #
+
+    def write(self, msg) -> None:
+        self.pipeline._invoke_write(self._index - 1, msg)
+
+    def write_and_flush(self, msg) -> None:
+        self.write(msg)
+
+    def close(self) -> None:
+        self.channel.close()
+
+
+class ChannelPipeline:
+    """Ordered handler chain of one channel."""
+
+    def __init__(self, channel: "NettyChannel"):
+        self.channel = channel
+        self._contexts: list[ChannelHandlerContext] = []
+
+    def add_last(self, *handlers) -> "ChannelPipeline":
+        for handler in handlers:
+            self._contexts.append(
+                ChannelHandlerContext(self, handler, len(self._contexts))
+            )
+        return self
+
+    # -- inbound ---------------------------------------------------------- #
+
+    def fire_channel_read(self, msg) -> None:
+        self._invoke_read(0, msg)
+
+    def fire_channel_active(self) -> None:
+        self._invoke_active(0)
+
+    def fire_channel_inactive(self) -> None:
+        self._invoke_inactive(0)
+
+    def fire_exception_caught(self, exc: BaseException) -> None:
+        self._invoke_exception(0, exc)
+
+    def _invoke_read(self, index: int, msg) -> None:
+        for i in range(index, len(self._contexts)):
+            ctx = self._contexts[i]
+            if hasattr(ctx.handler, "channel_read"):
+                try:
+                    ctx.handler.channel_read(ctx, msg)
+                except Exception as exc:  # noqa: BLE001 — netty semantics
+                    self._invoke_exception(i + 1, exc)
+                return
+
+    def _invoke_active(self, index: int) -> None:
+        for i in range(index, len(self._contexts)):
+            ctx = self._contexts[i]
+            if hasattr(ctx.handler, "channel_active"):
+                ctx.handler.channel_active(ctx)
+                return
+
+    def _invoke_inactive(self, index: int) -> None:
+        for i in range(index, len(self._contexts)):
+            ctx = self._contexts[i]
+            if hasattr(ctx.handler, "channel_inactive"):
+                ctx.handler.channel_inactive(ctx)
+                return
+
+    def _invoke_exception(self, index: int, exc: BaseException) -> None:
+        for i in range(index, len(self._contexts)):
+            ctx = self._contexts[i]
+            if hasattr(ctx.handler, "exception_caught"):
+                ctx.handler.exception_caught(ctx, exc)
+                return
+        self.channel._record_error(exc)
+
+    # -- outbound ----------------------------------------------------------- #
+
+    def write(self, msg) -> None:
+        self._invoke_write(len(self._contexts) - 1, msg)
+
+    def _invoke_write(self, index: int, msg) -> None:
+        for i in range(index, -1, -1):
+            ctx = self._contexts[i]
+            if hasattr(ctx.handler, "write"):
+                ctx.handler.write(ctx, msg)
+                return
+        self.channel._write_to_transport(msg)
+
+
+class NettyChannel:
+    """A TCP Netty channel over a (non-blocking) NIO socket channel."""
+
+    READ_CHUNK = 8192
+
+    def __init__(self, node, nio_channel):
+        self.node = node
+        self.nio = nio_channel
+        self.pipeline = ChannelPipeline(self)
+        self._write_lock = threading.Lock()
+        self.errors: list[BaseException] = []
+        self.closed = threading.Event()
+
+    # -- outbound transport ------------------------------------------------- #
+
+    def write(self, msg) -> None:
+        self.pipeline.write(msg)
+
+    write_and_flush = write
+
+    def _write_to_transport(self, msg) -> None:
+        if isinstance(msg, ByteBuf):
+            msg = msg.read_all()
+        data = as_tbytes(msg)
+        with self._write_lock:
+            self.nio.write_fully(ByteBuffer.wrap(data))
+
+    # -- inbound (driven by the event loop) ---------------------------------- #
+
+    def _read_ready(self) -> bool:
+        """Drain readable bytes into the pipeline. False when EOF."""
+        from repro.jre.jni import EOF
+
+        buffer = ByteBuffer.allocate(self.READ_CHUNK)
+        count = self.nio.read(buffer)
+        if count == EOF:
+            return False
+        if count > 0:
+            buffer.flip()
+            self.pipeline.fire_channel_read(ByteBuf(buffer.get(count)))
+        return True
+
+    def _record_error(self, exc: BaseException) -> None:
+        self.errors.append(exc)
+
+    @property
+    def remote_address(self):
+        return self.nio.remote_address
+
+    def close(self) -> None:
+        if not self.closed.is_set():
+            self.closed.set()
+            self.nio.close()
+
+
+class NettyDatagramChannel:
+    """A UDP Netty channel; inbound messages are (ByteBuf, sender) pairs."""
+
+    MAX_RECEIVE = 65536
+
+    def __init__(self, node, nio_channel):
+        self.node = node
+        self.nio = nio_channel
+        self.pipeline = ChannelPipeline(self)
+        self.errors: list[BaseException] = []
+        self.closed = threading.Event()
+
+    def send(self, msg, destination) -> None:
+        data = msg.read_all() if isinstance(msg, ByteBuf) else as_tbytes(msg)
+        self.nio.send(ByteBuffer.wrap(data), destination)
+
+    def _write_to_transport(self, msg) -> None:
+        data, destination = msg  # outbound messages are (payload, address)
+        self.send(data, destination)
+
+    def _read_ready(self) -> bool:
+        buffer = ByteBuffer.allocate(self.MAX_RECEIVE)
+        source = self.nio.receive(buffer)
+        if source is None:
+            return True
+        buffer.flip()
+        self.pipeline.fire_channel_read((ByteBuf(buffer.get()), source))
+        return True
+
+    def _record_error(self, exc: BaseException) -> None:
+        self.errors.append(exc)
+
+    def close(self) -> None:
+        if not self.closed.is_set():
+            self.closed.set()
+            self.nio.close()

@@ -1,0 +1,168 @@
+"""Netty codecs: framing, strings, HTTP.
+
+All codecs operate on :class:`~repro.netty.bytebuf.ByteBuf`, so shadow
+labels pass through untouched — a frame header is plain (untainted)
+bytes, the framed payload keeps its per-byte taints.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.netty.bytebuf import ByteBuf
+from repro.taint.values import TBytes, TStr, as_tbytes
+
+
+def _coerce_bytes(msg) -> TBytes:
+    """Byte-ify any codec message, preserving labels."""
+    if isinstance(msg, ByteBuf):
+        return msg.read_all()
+    if isinstance(msg, (TStr, str)):
+        return (msg if isinstance(msg, TStr) else TStr(msg)).encode()
+    return as_tbytes(msg)
+
+
+class LengthFieldPrepender:
+    """Outbound: prepend a 4-byte length to each message."""
+
+    def write(self, ctx, msg) -> None:
+        data = _coerce_bytes(msg)
+        frame = ByteBuf()
+        frame.write_int(len(data))
+        frame.write_bytes(data)
+        ctx.write(frame)
+
+
+class LengthFieldBasedFrameDecoder:
+    """Inbound: reassemble 4-byte-length-prefixed frames."""
+
+    def __init__(self, max_frame_length: int = 16 * 1024 * 1024):
+        self._max = max_frame_length
+        self._cumulation = ByteBuf()
+
+    def channel_read(self, ctx, msg: ByteBuf) -> None:
+        self._cumulation.write_bytes(msg)
+        while self._cumulation.readable_bytes() >= 4:
+            length = self._cumulation.peek_int()
+            if length < 0 or length > self._max:
+                raise ValueError(f"TooLongFrameException: {length}")
+            if self._cumulation.readable_bytes() < 4 + length:
+                break
+            self._cumulation.read_int()
+            frame = ByteBuf(self._cumulation.read_bytes(length))
+            self._cumulation.discard_read_bytes()
+            ctx.fire_channel_read(frame)
+
+
+class StringEncoder:
+    """Outbound: TStr/str → UTF-8 bytes."""
+
+    def write(self, ctx, msg) -> None:
+        if isinstance(msg, (TStr, str)):
+            msg = (msg if isinstance(msg, TStr) else TStr(msg)).encode()
+        ctx.write(msg)
+
+
+class StringDecoder:
+    """Inbound: ByteBuf → TStr (whole frame)."""
+
+    def channel_read(self, ctx, msg: ByteBuf) -> None:
+        ctx.fire_channel_read(msg.read_all().decode("utf-8"))
+
+
+class NettyHttpRequest:
+    def __init__(self, method: str, uri: str, headers: dict, content: TBytes):
+        self.method = method
+        self.uri = uri
+        self.headers = headers
+        self.content = content
+
+
+class NettyHttpResponse:
+    def __init__(self, status: int = 200, content: TBytes = None, headers: Optional[dict] = None):
+        self.status = status
+        self.content = content if content is not None else TBytes.empty()
+        self.headers = headers or {}
+
+
+class _HttpMessageDecoder:
+    """Shared head+body accumulation for the two HTTP codecs."""
+
+    def __init__(self) -> None:
+        self._cumulation = ByteBuf()
+
+    def _try_decode(self) -> Optional[tuple[str, dict, TBytes]]:
+        data = self._cumulation._data[self._cumulation.reader_index :]
+        head_end = data.data.find(b"\r\n\r\n")
+        if head_end < 0:
+            return None
+        head = data.data[:head_end].decode("ascii", "replace")
+        lines = head.split("\r\n")
+        headers = {}
+        for line in lines[1:]:
+            if ":" in line:
+                name, value = line.split(":", 1)
+                headers[name.strip().lower()] = value.strip()
+        body_len = int(headers.get("content-length", "0"))
+        total = head_end + 4 + body_len
+        if len(data) < total:
+            return None
+        self._cumulation.read_bytes(head_end + 4)
+        body = self._cumulation.read_bytes(body_len)
+        self._cumulation.discard_read_bytes()
+        return lines[0], headers, body
+
+
+class HttpServerCodec(_HttpMessageDecoder):
+    """Inbound: bytes → NettyHttpRequest; outbound: NettyHttpResponse → bytes."""
+
+    def channel_read(self, ctx, msg: ByteBuf) -> None:
+        self._cumulation.write_bytes(msg)
+        while True:
+            decoded = self._try_decode()
+            if decoded is None:
+                return
+            first, headers, body = decoded
+            method, uri, _ = first.split(" ", 2)
+            ctx.fire_channel_read(NettyHttpRequest(method, uri, headers, body))
+
+    def write(self, ctx, msg) -> None:
+        if isinstance(msg, NettyHttpResponse):
+            head = f"HTTP/1.1 {msg.status} OK\r\nContent-Length: {len(msg.content)}\r\n"
+            for name, value in msg.headers.items():
+                head += f"{name}: {value}\r\n"
+            out = ByteBuf()
+            out.write_bytes(TBytes(head.encode("ascii") + b"\r\n"))
+            out.write_bytes(msg.content)
+            ctx.write(out)
+        else:
+            ctx.write(msg)
+
+
+class HttpClientCodec(_HttpMessageDecoder):
+    """Outbound: NettyHttpRequest → bytes; inbound: bytes → NettyHttpResponse."""
+
+    def channel_read(self, ctx, msg: ByteBuf) -> None:
+        self._cumulation.write_bytes(msg)
+        while True:
+            decoded = self._try_decode()
+            if decoded is None:
+                return
+            first, headers, body = decoded
+            status = int(first.split(" ")[1])
+            ctx.fire_channel_read(NettyHttpResponse(status, body, headers))
+
+    def write(self, ctx, msg) -> None:
+        if isinstance(msg, NettyHttpRequest):
+            head = (
+                f"{msg.method} {msg.uri} HTTP/1.1\r\n"
+                f"Content-Length: {len(msg.content)}\r\n"
+            )
+            for name, value in msg.headers.items():
+                head += f"{name}: {value}\r\n"
+            out = ByteBuf()
+            out.write_bytes(TBytes(head.encode("ascii") + b"\r\n"))
+            out.write_bytes(msg.content)
+            ctx.write(out)
+        else:
+            ctx.write(msg)

@@ -1,0 +1,86 @@
+"""Netty event loops: selector-driven readiness dispatch.
+
+One :class:`NioEventLoop` thread multiplexes its registered channels with
+a :class:`~repro.jre.nio.Selector`, firing ``channel_read`` on readable
+channels and ``channel_inactive`` at EOF — the same single-threaded
+dispatch model as Netty's ``NioEventLoop``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+from repro.jre.nio import OP_READ, Selector
+
+
+class NioEventLoop:
+    """One selector + one dispatch thread."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.selector = Selector()
+        self._lock = threading.Lock()
+        self._pending: list = []
+        self._running = False
+        self._thread: threading.Thread | None = None
+
+    def register(self, channel) -> None:
+        """Register a Netty channel whose nio transport is non-blocking."""
+        channel.nio.configure_blocking(False)
+        with self._lock:
+            self._pending.append(channel)
+        self.selector.wakeup()
+
+    def start(self) -> "NioEventLoop":
+        if self._running:
+            return self
+        self._running = True
+        self._thread = threading.Thread(target=self._run, name=self.name, daemon=True)
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while self._running:
+            with self._lock:
+                for channel in self._pending:
+                    key = self.selector.register(channel.nio, OP_READ, attachment=channel)
+                    channel._selection_key = key
+                    channel.pipeline.fire_channel_active()
+                self._pending.clear()
+            ready = self.selector.select(timeout=0.05)
+            for key in ready:
+                channel = key.attachment
+                if channel.closed.is_set():
+                    key.cancel()
+                    continue
+                try:
+                    alive = channel._read_ready()
+                except Exception as exc:  # noqa: BLE001 — netty semantics
+                    channel.pipeline.fire_exception_caught(exc)
+                    alive = True
+                if not alive:
+                    key.cancel()
+                    channel.pipeline.fire_channel_inactive()
+                    channel.close()
+
+    def shutdown(self) -> None:
+        self._running = False
+        self.selector.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+
+class NioEventLoopGroup:
+    """A pool of event loops, assigned round-robin."""
+
+    def __init__(self, threads: int = 1, name: str = "netty"):
+        self._loops = [NioEventLoop(f"{name}-loop-{i}").start() for i in range(threads)]
+        self._next = itertools.count()
+
+    def next_loop(self) -> NioEventLoop:
+        return self._loops[next(self._next) % len(self._loops)]
+
+    def shutdown_gracefully(self) -> None:
+        for loop in self._loops:
+            loop.shutdown()

@@ -1,0 +1,47 @@
+"""Simulated cluster substrate: the OS, nodes, and deployment model.
+
+The kernel (:mod:`repro.runtime.kernel`) carries plain bytes only —
+taints cannot cross it, which is the fact DisTA's JNI wrappers exist to
+work around.  A :class:`~repro.runtime.cluster.Cluster` deploys one
+workload under one :class:`~repro.runtime.modes.Mode`.
+"""
+
+from repro.runtime.cluster import TAINT_MAP_IP, TAINT_MAP_PORT, Cluster
+from repro.runtime.fs import FILE_READ_DESCRIPTOR, NodeFiles, SimFileSystem
+from repro.runtime.kernel import (
+    MAX_DATAGRAM,
+    Address,
+    NetStats,
+    SimKernel,
+    TcpEndpoint,
+    TcpListener,
+    UdpEndpoint,
+)
+from repro.runtime.logger import LOG_INFO_DESCRIPTOR, LogRecord, NodeLogger
+from repro.runtime.modes import Mode
+from repro.runtime.node import SimNode
+from repro.runtime.pipes import DEFAULT_TIMEOUT, BytePipe, DatagramBox
+
+__all__ = [
+    "Address",
+    "BytePipe",
+    "Cluster",
+    "DEFAULT_TIMEOUT",
+    "DatagramBox",
+    "FILE_READ_DESCRIPTOR",
+    "LOG_INFO_DESCRIPTOR",
+    "LogRecord",
+    "MAX_DATAGRAM",
+    "Mode",
+    "NetStats",
+    "NodeFiles",
+    "NodeLogger",
+    "SimFileSystem",
+    "SimKernel",
+    "SimNode",
+    "TAINT_MAP_IP",
+    "TAINT_MAP_PORT",
+    "TcpEndpoint",
+    "TcpListener",
+    "UdpEndpoint",
+]

@@ -1,0 +1,164 @@
+"""Cluster orchestration: nodes, mode, agent attachment, Taint Map.
+
+A :class:`Cluster` is one deployment of one workload in one tracking
+mode — the unit the paper measures (each Table V/VI cell is one cluster
+run).  Entering the cluster context:
+
+* flips the process-wide shadow policy to match the mode (re-launching
+  under a differently instrumented JRE, in paper terms);
+* under :attr:`Mode.DISTA`, boots the Taint Map service on its own node
+  and attaches the DisTA agent (JNI wrappers + Taint Map client) to every
+  node — the ``-javaagent:DisTA.jar`` step of §V-E.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.runtime.fs import SimFileSystem
+from repro.runtime.kernel import SimKernel
+from repro.runtime.modes import Mode
+from repro.runtime.node import SimNode
+from repro.taint.policy import POLICY
+
+#: Address reserved for the Taint Map service node.
+TAINT_MAP_IP = "10.0.255.1"
+TAINT_MAP_PORT = 7170
+
+
+class Cluster:
+    """A simulated cluster of JVM nodes running under one tracking mode."""
+
+    def __init__(
+        self,
+        mode: Mode = Mode.ORIGINAL,
+        name: str = "cluster",
+        agent_options: Optional[dict] = None,
+    ):
+        self.mode = mode
+        self.name = name
+        #: Extra DisTAAgent keyword options (ablation benchmarks only).
+        self.agent_options = dict(agent_options or {})
+        self.kernel = SimKernel(name)
+        self.fs = SimFileSystem()
+        self.nodes: dict[str, SimNode] = {}
+        self._ips = (f"10.0.0.{i}" for i in itertools.count(1))
+        self._pids = itertools.count(1000)
+        self._default_sources: list[str] = []
+        self._default_sinks: list[str] = []
+        self.taint_map_server = None
+        self._started = False
+        self._previous_shadow: Optional[bool] = None
+
+    # -- topology ----------------------------------------------------------- #
+
+    def add_node(self, name: str, ip: Optional[str] = None) -> SimNode:
+        if name in self.nodes:
+            raise ReproError(f"duplicate node name {name!r}")
+        ip = ip or next(self._ips)
+        self.kernel.register_node(ip)
+        node = SimNode(name, ip, next(self._pids), self.kernel, self.fs, self.mode)
+        for pattern in self._default_sources:
+            node.registry.add_source(pattern)
+        for pattern in self._default_sinks:
+            node.registry.add_sink(pattern)
+        self.nodes[name] = node
+        if self._started:
+            self._attach_agent(node)
+        return node
+
+    def node(self, name: str) -> SimNode:
+        return self.nodes[name]
+
+    # -- source/sink specification (the two spec files of §V-E) ------------- #
+
+    def configure_sources(self, patterns: list[str]) -> None:
+        self._default_sources.extend(patterns)
+        for node in self.nodes.values():
+            for pattern in patterns:
+                node.registry.add_source(pattern)
+
+    def configure_sinks(self, patterns: list[str]) -> None:
+        self._default_sinks.extend(patterns)
+        for node in self.nodes.values():
+            for pattern in patterns:
+                node.registry.add_sink(pattern)
+
+    # -- lifecycle ------------------------------------------------------------ #
+
+    def start(self) -> "Cluster":
+        if self._started:
+            return self
+        self._previous_shadow = POLICY.shadow_enabled
+        if self.mode.shadows:
+            POLICY.enable_shadows()
+        else:
+            POLICY.disable_shadows()
+        if self.mode is Mode.DISTA:
+            self._start_taint_map()
+        for node in self.nodes.values():
+            self._attach_agent(node)
+        self._started = True
+        return self
+
+    def _start_taint_map(self) -> None:
+        from repro.core.taintmap import TaintMapServer
+
+        self.kernel.register_node(TAINT_MAP_IP)
+        self.taint_map_server = TaintMapServer(self.kernel, TAINT_MAP_IP, TAINT_MAP_PORT)
+        self.taint_map_server.start()
+
+    def _attach_agent(self, node: SimNode) -> None:
+        if self.mode is not Mode.DISTA:
+            return
+        from repro.core.agent import DisTAAgent
+
+        DisTAAgent(
+            taint_map_address=(TAINT_MAP_IP, TAINT_MAP_PORT), **self.agent_options
+        ).attach(node)
+
+    def shutdown(self) -> None:
+        for node in self.nodes.values():
+            if node.taintmap is not None:
+                node.taintmap.close()
+        if self.taint_map_server is not None:
+            self.taint_map_server.stop()
+            self.taint_map_server = None
+        if self._previous_shadow is not None:
+            if self._previous_shadow:
+                POLICY.enable_shadows()
+            else:
+                POLICY.disable_shadows()
+            self._previous_shadow = None
+        self._started = False
+
+    def __enter__(self) -> "Cluster":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    # -- reporting --------------------------------------------------------- #
+
+    def all_observations(self):
+        """Every sink observation across the cluster."""
+        out = []
+        for node in self.nodes.values():
+            out.extend(node.registry.observations)
+        return out
+
+    def tainted_observations(self):
+        return [o for o in self.all_observations() if o.tainted]
+
+    def generated_tags(self):
+        tags = set()
+        for node in self.nodes.values():
+            tags.update(node.registry.generated_tags())
+        return frozenset(tags)
+
+    def wire_bytes(self, exclude_taint_map: bool = True):
+        """Total bytes the kernel carried (for the 5× overhead check)."""
+        exclude = ((TAINT_MAP_IP, TAINT_MAP_PORT),) if exclude_taint_map else ()
+        return self.kernel.stats.total(exclude)

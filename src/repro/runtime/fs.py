@@ -1,0 +1,90 @@
+"""Simulated file system.
+
+Files matter to the reproduction for one reason: the SIM scenarios of
+Table IV set *file reading methods* as taint sources ("these files can be
+configuration files or data files, which may contain sensitive data").
+:class:`NodeFiles` is the per-node ``java.io`` facade whose ``read``
+fires that source point — once per invocation, so reading three files
+yields three distinct taints exactly as in paper Fig. 11.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.errors import JavaIOError
+from repro.taint.values import TBytes, as_tbytes
+
+#: The descriptor SIM scenarios configure as their source point.
+FILE_READ_DESCRIPTOR = "java.io.FileInputStream#read"
+
+
+class SimFileSystem:
+    """Cluster-wide path → content store (contents are :class:`TBytes`)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._files: dict[str, TBytes] = {}
+
+    def write_file(self, path: str, content) -> None:
+        with self._lock:
+            self._files[path] = as_tbytes(
+                content.encode() if isinstance(content, str) else content
+            )
+
+    def append_file(self, path: str, content) -> None:
+        extra = as_tbytes(content.encode() if isinstance(content, str) else content)
+        with self._lock:
+            existing = self._files.get(path, TBytes.empty())
+            self._files[path] = existing + extra
+
+    def read_file(self, path: str) -> TBytes:
+        with self._lock:
+            content = self._files.get(path)
+        if content is None:
+            raise JavaIOError(f"FileNotFoundException: {path}")
+        return content
+
+    def exists(self, path: str) -> bool:
+        with self._lock:
+            return path in self._files
+
+    def list_dir(self, prefix: str) -> list[str]:
+        if not prefix.endswith("/"):
+            prefix += "/"
+        with self._lock:
+            return sorted(p for p in self._files if p.startswith(prefix))
+
+    def delete(self, path: str) -> None:
+        with self._lock:
+            self._files.pop(path, None)
+
+
+class NodeFiles:
+    """Per-node file API; reads pass through the SIM source point."""
+
+    def __init__(self, fs: SimFileSystem, registry, node_name: str):
+        self._fs = fs
+        self._registry = registry
+        self._node_name = node_name
+
+    def read(self, path: str) -> TBytes:
+        """Read a whole file; fires the file-read source point."""
+        content = self._fs.read_file(path)
+        return self._registry.source(FILE_READ_DESCRIPTOR, content, detail=path)
+
+    def read_text(self, path: str, encoding: str = "utf-8"):
+        return self.read(path).decode(encoding)
+
+    def write(self, path: str, content) -> None:
+        self._fs.write_file(path, content)
+
+    def append(self, path: str, content) -> None:
+        self._fs.append_file(path, content)
+
+    def exists(self, path: str) -> bool:
+        return self._fs.exists(path)
+
+    def list_dir(self, prefix: str) -> list[str]:
+        return self._fs.list_dir(prefix)

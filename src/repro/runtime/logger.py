@@ -1,0 +1,65 @@
+"""Per-node logging — the SIM scenarios' sink point.
+
+Table IV sets ``LOG.info`` as the sink for all five systems and checks
+"if any log statement prints a tainted variable".  :class:`NodeLogger`
+is the slf4j-style facade the simulated systems log through; every call
+passes its arguments through the sink hook before formatting.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.taint.values import plain
+
+#: The descriptor SIM scenarios configure as their sink point.
+LOG_INFO_DESCRIPTOR = "org.slf4j.Logger#info"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    node: str
+    level: str
+    message: str
+
+
+class NodeLogger:
+    """slf4j-flavoured logger: ``log.info("leader is {}", leader)``."""
+
+    def __init__(self, registry, node_name: str, keep: int = 2000):
+        self._registry = registry
+        self._node_name = node_name
+        self._keep = keep
+        self._lock = threading.Lock()
+        self.records: list[LogRecord] = []
+
+    def _format(self, fmt: str, args: tuple) -> str:
+        message = fmt
+        for arg in args:
+            message = message.replace("{}", str(plain(arg)), 1)
+        return message
+
+    def _log(self, level: str, fmt: str, args: tuple) -> None:
+        message = self._format(fmt, args)
+        if level == "INFO":
+            self._registry.sink(LOG_INFO_DESCRIPTOR, *args, detail=message)
+        with self._lock:
+            if len(self.records) < self._keep:
+                self.records.append(LogRecord(self._node_name, level, message))
+
+    def info(self, fmt: str, *args) -> None:
+        self._log("INFO", fmt, args)
+
+    def warn(self, fmt: str, *args) -> None:
+        self._log("WARN", fmt, args)
+
+    def error(self, fmt: str, *args) -> None:
+        self._log("ERROR", fmt, args)
+
+    def debug(self, fmt: str, *args) -> None:
+        self._log("DEBUG", fmt, args)
+
+    def messages(self, level: str = "INFO") -> list[str]:
+        with self._lock:
+            return [r.message for r in self.records if r.level == level]

@@ -1,0 +1,99 @@
+"""A simulated node: one machine running one JVM process.
+
+Each :class:`SimNode` owns exactly the per-JVM state the paper's design
+relies on: its own taint tree (§II-B — the tree is a JVM singleton, *not*
+cluster-global), its own JNI method table (the instrumentation point the
+DisTA agent patches, §III-B), its source/sink registry, logger, file API
+and worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.errors import ReproError
+from repro.runtime.fs import NodeFiles, SimFileSystem
+from repro.runtime.kernel import SimKernel
+from repro.runtime.logger import NodeLogger
+from repro.runtime.modes import Mode
+from repro.taint.sources import SourceSinkRegistry
+from repro.taint.tags import LocalId
+from repro.taint.tree import TaintTree
+
+
+class SimNode:
+    """One machine + JVM of the simulated cluster."""
+
+    def __init__(
+        self,
+        name: str,
+        ip: str,
+        pid: int,
+        kernel: SimKernel,
+        fs: SimFileSystem,
+        mode: Mode = Mode.ORIGINAL,
+    ):
+        self.name = name
+        self.ip = ip
+        self.pid = pid
+        self.kernel = kernel
+        self.mode = mode
+        self.local_id = LocalId(ip, pid)
+        self.tree = TaintTree(self.local_id)
+        self.registry = SourceSinkRegistry(self.tree, node_name=name)
+        self.log = NodeLogger(self.registry, name)
+        self.files = NodeFiles(fs, self.registry, name)
+        #: Set by the DisTA agent when the node runs under Mode.DISTA.
+        self.taintmap = None
+        self._threads: list[threading.Thread] = []
+        self._thread_errors: list[BaseException] = []
+        self._lock = threading.Lock()
+        # The per-JVM JNI method table (imported here to keep layering:
+        # jre depends on runtime's kernel, not on SimNode).
+        from repro.jre.jni import JniTable
+
+        self.jni = JniTable(self)
+
+    # -- threading -------------------------------------------------------- #
+
+    def spawn(self, target: Callable, *args, name: Optional[str] = None) -> threading.Thread:
+        """Run ``target`` on a daemon thread tracked by this node."""
+
+        def runner() -> None:
+            try:
+                target(*args)
+            except BaseException as exc:  # noqa: BLE001 - surfaced in join_all
+                with self._lock:
+                    self._thread_errors.append(exc)
+
+        thread = threading.Thread(
+            target=runner, name=name or f"{self.name}-worker", daemon=True
+        )
+        with self._lock:
+            self._threads.append(thread)
+        thread.start()
+        return thread
+
+    def join_all(self, timeout: float = 30.0) -> None:
+        """Join every spawned thread; re-raise the first worker error."""
+        with self._lock:
+            threads = list(self._threads)
+        deadline = timeout
+        for thread in threads:
+            thread.join(deadline)
+            if thread.is_alive():
+                raise ReproError(f"thread {thread.name} did not finish in {timeout}s")
+        self.raise_thread_errors()
+
+    def raise_thread_errors(self) -> None:
+        with self._lock:
+            if self._thread_errors:
+                raise self._thread_errors[0]
+
+    def thread_errors(self) -> list[BaseException]:
+        with self._lock:
+            return list(self._thread_errors)
+
+    def __repr__(self) -> str:
+        return f"SimNode({self.name}@{self.ip}, pid={self.pid}, mode={self.mode.value})"

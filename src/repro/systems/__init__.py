@@ -1,0 +1,31 @@
+"""The five real-world distributed systems of the evaluation (Table III).
+
+Each subpackage re-implements one system's evaluated communication paths
+on the simulated JRE, exposing a uniform ``SYSTEM`` / ``sdt_spec`` /
+``sim_spec`` / ``run_workload`` surface (see :mod:`repro.systems.common`).
+"""
+
+from repro.systems import activemq, hbase, mapreduce, rocketmq, zookeeper
+from repro.systems.common import SDT, SIM, SystemInfo, WorkloadResult
+
+#: name → module, in Table III order.
+ALL_SYSTEMS = {
+    "ZooKeeper": zookeeper,
+    "MapReduce/Yarn": mapreduce,
+    "ActiveMQ": activemq,
+    "RocketMQ": rocketmq,
+    "HBase+ZooKeeper": hbase,
+}
+
+__all__ = [
+    "ALL_SYSTEMS",
+    "SDT",
+    "SIM",
+    "SystemInfo",
+    "WorkloadResult",
+    "activemq",
+    "hbase",
+    "mapreduce",
+    "rocketmq",
+    "zookeeper",
+]

@@ -1,0 +1,19 @@
+"""Simulated ActiveMQ: peer-broker network with OpenWire (TCP object
+streams), STOMP, and STOMP-over-WebSocket transports (paper Table III)."""
+
+from repro.systems.activemq.broker import (
+    CONSUMER_RECEIVE_DESCRIPTOR,
+    TEXT_MESSAGE_DESCRIPTOR,
+    ActiveMQTextMessage,
+    Broker,
+)
+from repro.systems.activemq.client import MessageConsumer, MessageProducer
+from repro.systems.activemq.stomp import StompClient, StompListener
+from repro.systems.activemq.websocket import WsStompClient, WsStompListener
+from repro.systems.activemq.workload import (
+    SYSTEM,
+    deploy_and_distribute,
+    run_workload,
+    sdt_spec,
+    sim_spec,
+)

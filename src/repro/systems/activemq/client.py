@@ -1,0 +1,77 @@
+"""JMS-flavoured producer/consumer clients for the broker network."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.jre.object_io import ObjectInputStream, ObjectOutputStream
+from repro.jre.socket_api import Socket
+from repro.systems.activemq.broker import (
+    BROKER_PORT,
+    CONSUMER_RECEIVE_DESCRIPTOR,
+    ActiveMQTextMessage,
+)
+from repro.taint.values import TInt, TStr
+
+
+class _Connection:
+    def __init__(self, node, broker_ip: str):
+        self.node = node
+        self._socket = Socket.connect(node, (broker_ip, BROKER_PORT))
+        self._ins = ObjectInputStream(self._socket.get_input_stream())
+        self._outs = ObjectOutputStream(self._socket.get_output_stream())
+        self._lock = threading.Lock()
+
+    def request(self, command: list):
+        with self._lock:
+            self._outs.write_object(command)
+            return self._ins.read_object()
+
+    def close(self) -> None:
+        self._socket.close()
+
+
+class MessageProducer:
+    """``session.createProducer(queue)`` equivalent."""
+
+    def __init__(self, node, broker_ip: str, queue: str):
+        self._connection = _Connection(node, broker_ip)
+        self._queue = queue
+
+    def send(self, message: ActiveMQTextMessage) -> None:
+        reply = self._connection.request(["send", TStr(self._queue), message])
+        assert reply[0].value == "ok", reply
+
+    def close(self) -> None:
+        self._connection.close()
+
+
+class MessageConsumer:
+    """``session.createConsumer(queue)`` equivalent (polling receive)."""
+
+    def __init__(self, node, broker_ip: str, queue: str):
+        self.node = node
+        self._connection = _Connection(node, broker_ip)
+        self._queue = queue
+
+    def receive(self, timeout_ms: int = 10000):
+        reply = self._connection.request(
+            ["receive", TStr(self._queue), TInt(timeout_ms)]
+        )
+        message = reply[1]
+        # The SDT sink point: the Message variable received on the
+        # consumer (Table IV).
+        self.node.registry.sink(
+            CONSUMER_RECEIVE_DESCRIPTOR,
+            message,
+            detail=f"queue={self._queue}",
+        )
+        if message is not None:
+            from repro.appmodel import app_process
+
+            app_process(message.text)  # the consumer's work over the body
+            self.node.log.info("Consumed message {}", message.message_id)
+        return message
+
+    def close(self) -> None:
+        self._connection.close()

@@ -1,0 +1,269 @@
+"""STOMP over WebSocket for the ActiveMQ broker (paper Table III).
+
+ActiveMQ exposes STOMP over a WebSocket transport; so does this module:
+an RFC-6455-style upgrade handshake on top of the simulated HTTP/socket
+stack, frames with real client-side masking, and STOMP frames as the
+message payloads.
+
+Taint-wise this is the most hostile transport in the repository: every
+client→server byte is XOR-masked, length-prefixed, and wrapped twice
+(WS frame inside TCP, STOMP frame inside WS) — and per-byte labels
+survive all of it, because masking is a byte-wise transform (the
+unmasked byte's taint is the masked byte's taint) and everything below
+rides the instrumented Type-1 JNI methods.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import struct
+from typing import Optional
+
+from repro.errors import JavaIOError
+from repro.jre.socket_api import ServerSocket, Socket
+from repro.jre.streams import BufferedReader
+from repro.systems.activemq.broker import ActiveMQTextMessage, Broker
+from repro.systems.activemq.stomp import decode_frame, encode_frame
+from repro.taint.values import TBytes, TStr
+
+WS_PORT = 61623
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_TEXT = 0x1
+OP_CLOSE = 0x8
+
+
+def accept_key(client_key: str) -> str:
+    """``Sec-WebSocket-Accept`` for a ``Sec-WebSocket-Key`` (RFC 6455)."""
+    digest = hashlib.sha1((client_key + _WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def xor_mask(data: TBytes, mask: bytes) -> TBytes:
+    """Byte-wise XOR with a 4-byte mask, labels preserved positionally."""
+    raw = bytes(b ^ mask[i % 4] for i, b in enumerate(data.data))
+    labels = list(data.labels) if data.labels is not None else None
+    return TBytes(raw, labels)
+
+
+def encode_ws_frame(payload: TBytes, opcode: int = OP_TEXT, mask: Optional[bytes] = None) -> TBytes:
+    """One FIN frame; ``mask`` (4 bytes) enables client-side masking."""
+    head = bytearray([0x80 | opcode])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0x00
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < 1 << 16:
+        head.append(mask_bit | 126)
+        head += struct.pack(">H", length)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack(">Q", length)
+    out = TBytes(bytes(head))
+    if mask:
+        out = out + TBytes(mask)
+        payload = xor_mask(payload, mask)
+    return out + payload
+
+
+class WsFrameReader:
+    """Reads WebSocket frames off a socket stream, unmasking as needed."""
+
+    def __init__(self, socket: Socket):
+        self._stream = socket.get_input_stream()
+
+    def next_frame(self) -> Optional[tuple[int, TBytes]]:
+        head = self._stream.read_fully(2)
+        opcode = head.data[0] & 0x0F
+        masked = bool(head.data[1] & 0x80)
+        length = head.data[1] & 0x7F
+        if length == 126:
+            (length,) = struct.unpack(">H", self._stream.read_fully(2).data)
+        elif length == 127:
+            (length,) = struct.unpack(">Q", self._stream.read_fully(8).data)
+        mask = self._stream.read_fully(4).data if masked else None
+        payload = self._stream.read_fully(length) if length else TBytes.empty()
+        if mask:
+            payload = xor_mask(payload, mask)
+        if opcode == OP_CLOSE:
+            return None
+        return opcode, payload
+
+
+def _server_handshake(socket: Socket) -> None:
+    reader = BufferedReader(socket.get_input_stream())
+    first = reader.read_line()
+    if first is None or not first.value.startswith("GET"):
+        raise JavaIOError("not a WebSocket upgrade request")
+    headers = {}
+    while True:
+        line = reader.read_line()
+        if line is None:
+            raise JavaIOError("connection closed in WS handshake")
+        text = line.value.rstrip("\r")
+        if not text:
+            break
+        name, value = text.split(":", 1)
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("upgrade", "").lower() != "websocket":
+        raise JavaIOError("missing Upgrade: websocket header")
+    key = headers["sec-websocket-key"]
+    response = (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\nConnection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {accept_key(key)}\r\n"
+        "Sec-WebSocket-Protocol: v12.stomp\r\n\r\n"
+    )
+    socket.get_output_stream().write(TBytes(response.encode("ascii")))
+
+
+def _client_handshake(socket: Socket, host: str) -> None:
+    key = base64.b64encode(b"0123456789abcdef").decode("ascii")
+    request = (
+        f"GET /stomp HTTP/1.1\r\nHost: {host}\r\n"
+        "Upgrade: websocket\r\nConnection: Upgrade\r\n"
+        f"Sec-WebSocket-Key: {key}\r\nSec-WebSocket-Version: 13\r\n"
+        "Sec-WebSocket-Protocol: v12.stomp\r\n\r\n"
+    )
+    socket.get_output_stream().write(TBytes(request.encode("ascii")))
+    reader = BufferedReader(socket.get_input_stream())
+    status = reader.read_line()
+    if status is None or "101" not in status.value:
+        raise JavaIOError(f"WS upgrade refused: {status}")
+    expected = accept_key(key)
+    accepted = False
+    while True:
+        line = reader.read_line()
+        if line is None:
+            raise JavaIOError("connection closed in WS handshake")
+        text = line.value.rstrip("\r")
+        if not text:
+            break
+        if text.lower().startswith("sec-websocket-accept:"):
+            accepted = text.split(":", 1)[1].strip() == expected
+    if not accepted:
+        raise JavaIOError("bad Sec-WebSocket-Accept")
+
+
+class WsStompListener:
+    """Broker-side WebSocket endpoint speaking STOMP payloads."""
+
+    def __init__(self, broker: Broker, port: int = WS_PORT):
+        self.broker = broker
+        self.node = broker.node
+        self._running = True
+        self._server = ServerSocket(self.node, port)
+        self.node.spawn(self._accept_loop, name=f"broker{broker.broker_id}-ws")
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                socket = self._server.accept()
+            except Exception:
+                return
+            self.node.spawn(self._serve, socket, name="ws-conn")
+
+    def _serve(self, socket: Socket) -> None:
+        out = socket.get_output_stream()
+        try:
+            _server_handshake(socket)
+            reader = WsFrameReader(socket)
+            while self._running:
+                frame = reader.next_frame()
+                if frame is None:
+                    return
+                _opcode, payload = frame
+                command, headers, body = decode_frame(payload)
+                if command == "CONNECT":
+                    out.write(encode_ws_frame(encode_frame("CONNECTED", {"version": "1.2"})))
+                elif command == "SEND":
+                    message = ActiveMQTextMessage(
+                        TStr(headers.get("message-id", "ws-msg")), body
+                    )
+                    self.broker._dispatch(headers["destination"], message, forward=True)
+                    if "receipt" in headers:
+                        out.write(
+                            encode_ws_frame(
+                                encode_frame("RECEIPT", {"receipt-id": headers["receipt"]})
+                            )
+                        )
+                elif command == "SUBSCRIBE":
+                    destination = headers["destination"]
+                    message = self.broker.store.take(destination, timeout=15.0)
+                    if message is not None:
+                        out.write(
+                            encode_ws_frame(
+                                encode_frame(
+                                    "MESSAGE",
+                                    {
+                                        "destination": destination,
+                                        "message-id": message.message_id.value,
+                                    },
+                                    message.text,
+                                )
+                            )
+                        )
+        except Exception:
+            pass
+        finally:
+            socket.close()
+
+    def stop(self) -> None:
+        self._running = False
+        self._server.close()
+
+
+class WsStompClient:
+    """STOMP over a masked WebSocket connection."""
+
+    MASK = b"\x37\xfa\x21\x3d"
+
+    def __init__(self, node, broker_ip: str, port: int = WS_PORT):
+        self.node = node
+        self._socket = Socket.connect(node, (broker_ip, port))
+        _client_handshake(self._socket, broker_ip)
+        self._reader = WsFrameReader(self._socket)
+        self._out = self._socket.get_output_stream()
+        self._send_stomp("CONNECT", {"accept-version": "1.2"})
+        command, _, _ = self._recv_stomp()
+        if command != "CONNECTED":
+            raise JavaIOError(f"STOMP-over-WS handshake failed: {command}")
+
+    def _send_stomp(self, command: str, headers: dict, body: TStr = None) -> None:
+        frame = encode_frame(command, headers, body)
+        # Strip the trailing NUL: the WS frame already delimits.
+        self._out.write(encode_ws_frame(frame[: len(frame) - 1], mask=self.MASK))
+
+    def _recv_stomp(self):
+        frame = self._reader.next_frame()
+        if frame is None:
+            raise JavaIOError("WebSocket closed")
+        payload = frame[1]
+        if payload.data.endswith(b"\x00"):
+            payload = payload[: len(payload) - 1]
+        return decode_frame(payload)
+
+    def send(self, destination: str, body: TStr, message_id: str = "ws-1") -> None:
+        self._send_stomp(
+            "SEND",
+            {"destination": destination, "message-id": message_id, "receipt": "r1"},
+            body,
+        )
+        command, _, _ = self._recv_stomp()
+        if command != "RECEIPT":
+            raise JavaIOError(f"expected RECEIPT, got {command}")
+
+    def subscribe_and_receive(self, destination: str):
+        self._send_stomp("SUBSCRIBE", {"destination": destination, "id": "0"})
+        command, headers, body = self._recv_stomp()
+        if command != "MESSAGE":
+            raise JavaIOError(f"expected MESSAGE, got {command}")
+        return headers, body
+
+    def close(self) -> None:
+        try:
+            self._out.write(encode_ws_frame(TBytes.empty(), opcode=OP_CLOSE, mask=self.MASK))
+        except Exception:
+            pass
+        self._socket.close()

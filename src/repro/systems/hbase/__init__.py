@@ -1,0 +1,19 @@
+"""Simulated HBase: HMaster + RegionServers over NIO RPC with ZK meta."""
+
+from repro.systems.hbase.model import (
+    RESULT_DESCRIPTOR,
+    TABLE_NAME_DESCRIPTOR,
+    Get,
+    Put,
+    RegionInfo,
+    Result,
+    TableName,
+)
+from repro.systems.hbase.servers import HMaster, HRegionServer, HTable
+from repro.systems.hbase.workload import (
+    SYSTEM,
+    deploy_and_get,
+    run_workload,
+    sdt_spec,
+    sim_spec,
+)

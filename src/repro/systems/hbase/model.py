@@ -1,0 +1,81 @@
+"""HBase client-facing records (serializable, shadow-carrying)."""
+
+from __future__ import annotations
+
+from repro.jre.object_io import register_serializable
+from repro.taint.values import TBytes, TObj, TStr, as_tbytes, as_tstr
+
+#: SDT descriptors (Table IV): TableName → the Result of Table#get.
+TABLE_NAME_DESCRIPTOR = "org.apache.hadoop.hbase.TableName#valueOf"
+RESULT_DESCRIPTOR = "org.apache.hadoop.hbase.client.Table#get"
+
+#: SIM config file.
+CONF_PATH = "/conf/hbase-site.xml"
+
+
+def write_default_conf(fs) -> None:
+    fs.write_file(
+        CONF_PATH,
+        "hbase.master.hostname=hmaster.example.com\nhbase.cluster.distributed=true\n",
+    )
+
+
+@register_serializable
+class TableName(TObj):
+    """The SDT source variable."""
+
+    def __init__(self, name):
+        self.name = as_tstr(name)
+
+    def text(self) -> str:
+        return self.name.value
+
+
+@register_serializable
+class Put(TObj):
+    def __init__(self, table: TableName, row, value):
+        self.table = table
+        self.row = as_tstr(row)
+        self.value = as_tbytes(value if not isinstance(value, (TStr, str)) else as_tstr(value).encode())
+
+
+@register_serializable
+class Get(TObj):
+    def __init__(self, table: TableName, row):
+        self.table = table
+        self.row = as_tstr(row)
+
+
+@register_serializable
+class Result(TObj):
+    """The SDT sink variable: the row returned to the client."""
+
+    def __init__(self, table: TableName, row, value, region):
+        self.table = table
+        self.row = as_tstr(row)
+        self.value = value if isinstance(value, TBytes) else as_tbytes(value)
+        self.region = as_tstr(region)
+
+    def is_empty(self) -> bool:
+        return len(self.value) == 0
+
+
+@register_serializable
+class RegionInfo(TObj):
+    """One region of a table: [start_key, end_key) hosted on a server."""
+
+    def __init__(self, table, start_key, end_key, server_ip):
+        self.table = as_tstr(table)
+        self.start_key = as_tstr(start_key)
+        self.end_key = as_tstr(end_key)
+        self.server_ip = as_tstr(server_ip)
+
+    def contains(self, row: str) -> bool:
+        if self.start_key.value and row < self.start_key.value:
+            return False
+        if self.end_key.value and row >= self.end_key.value:
+            return False
+        return True
+
+    def name(self) -> str:
+        return f"{self.table.value},{self.start_key.value or '-inf'}"

@@ -1,0 +1,227 @@
+"""HMaster and HRegionServer over protobuf-flavoured NIO RPC.
+
+Region metadata lives in ZooKeeper (``/hbase/table/<name>``), so table
+operations traverse **two systems**: the client resolves regions through
+the ZK ensemble (TCP streams), then talks to the right region server
+over NIO RPC — the paper's cross-system taint-tracking scenario.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ReproError
+from repro.jre.object_io import deserialize, serialize
+from repro.systems.hbase.model import CONF_PATH, Get, Put, RegionInfo, Result, TableName
+from repro.systems.mapreduce.rpc import RpcClient, RpcError, RpcServer
+from repro.systems.zookeeper.ensemble import ZNODE_PORT, ZkClient
+from repro.taint.values import TBytes, TStr
+
+MASTER_PORT = 16000
+REGIONSERVER_PORT = 16020
+
+MASTER_ZNODE = "/hbase/master"
+
+
+def table_znode(table: str) -> str:
+    return f"/hbase/table/{table}"
+
+
+def _conf_value(node, key: str) -> TStr:
+    text = node.files.read_text(CONF_PATH)
+    for line in text.split("\n"):
+        if line.value.startswith(key + "="):
+            return line[len(key) + 1 :]
+    return TStr("")
+
+
+#: Directory of live region servers (ephemeral znodes).
+RS_ZNODE_DIR = "/hbase/rs"
+
+
+class HRegionServer:
+    """Hosts regions; serves ``put`` and ``get``.
+
+    When given a ZooKeeper address, the server registers a session-bound
+    ephemeral znode under ``/hbase/rs/`` — the liveness mechanism real
+    HBase uses: the znode disappears the moment the RS's ZK session dies.
+    """
+
+    def __init__(self, node, server_name: str, zk_address=None):
+        self.node = node
+        self.server_name = server_name
+        self._lock = threading.Lock()
+        #: region name → {row: value}.
+        self._regions: dict[str, dict] = {}
+        self._region_infos: dict[str, RegionInfo] = {}
+        self._zk_session = None
+        if zk_address is not None:
+            self._zk_session = ZkClient(node, zk_address)
+            self._zk_session.create_ephemeral(
+                f"{RS_ZNODE_DIR}/{server_name}", f"{node.ip}:{REGIONSERVER_PORT}".encode()
+            )
+        self.node.log.info("RegionServer {} starting", TStr(server_name))
+        self.server = RpcServer(node, REGIONSERVER_PORT, name="rs")
+        self.server.register("openRegion", self.open_region)
+        self.server.register("put", self.put)
+        self.server.register("get", self.get)
+        self.server.register("scan", self.scan)
+
+    def open_region(self, region: RegionInfo) -> TStr:
+        with self._lock:
+            self._regions.setdefault(region.name(), {})
+            self._region_infos[region.name()] = region
+        self.node.log.info("Opened region {}", TStr(region.name()))
+        return TStr("opened")
+
+    def _region_for(self, table: str, row: str) -> RegionInfo:
+        with self._lock:
+            for region in self._region_infos.values():
+                if region.table.value == table and region.contains(row):
+                    return region
+        raise RpcError(f"NotServingRegionException: {table} row={row}")
+
+    def put(self, put: Put) -> TStr:
+        region = self._region_for(put.table.text(), put.row.value)
+        with self._lock:
+            self._regions[region.name()][put.row.value] = put.value
+        return TStr("ok")
+
+    def get(self, get: Get) -> Result:
+        region = self._region_for(get.table.text(), get.row.value)
+        with self._lock:
+            value = self._regions[region.name()].get(get.row.value, TBytes.empty())
+        # The Result carries the request's TableName object back, so the
+        # table-name taint rides client → RS → client.
+        return Result(get.table, get.row, value, region.name())
+
+    def scan(self, table: TableName, start_row, stop_row) -> list:
+        """Rows in ``[start_row, stop_row)`` from every local region of
+        the table, as a list of Results (row order preserved)."""
+        start = start_row.value
+        stop = stop_row.value
+        out = []
+        with self._lock:
+            for region in self._region_infos.values():
+                if region.table.value != table.text():
+                    continue
+                for row, value in sorted(self._regions[region.name()].items()):
+                    if row < start or (stop and row >= stop):
+                        continue
+                    out.append(Result(table, TStr(row), value, region.name()))
+        return out
+
+    def stop(self) -> None:
+        self.server.stop()
+        if self._zk_session is not None:
+            self._zk_session.close()
+
+
+class HMaster:
+    """Creates tables, assigns regions, publishes meta to ZooKeeper."""
+
+    def __init__(self, node, zk_address, region_server_ips: list):
+        self.node = node
+        self.hostname = _conf_value(node, "hbase.master.hostname")
+        self.node.log.info("HMaster starting on {}", self.hostname)
+        self._region_server_ips = region_server_ips
+        self._zk = ZkClient(node, zk_address)
+        # Publish the active master (its conf-derived hostname) into ZK:
+        # under SIM this taints the znode's bytes with the master's
+        # config-file read — the cross-system flow.
+        self._zk.create(MASTER_ZNODE, self.hostname.encode())
+        self.server = RpcServer(node, MASTER_PORT, name="master")
+        self.server.register("createTable", self.create_table)
+
+    def live_region_servers(self) -> list:
+        """Names of currently-live region servers (ephemeral znodes)."""
+        return [
+            path.rsplit("/", 1)[1] for path in self._zk.get_children(RS_ZNODE_DIR)
+        ]
+
+    def create_table(self, table: TableName, split_key: TStr) -> list:
+        """Split the table at ``split_key`` across the region servers."""
+        regions = []
+        boundaries = [TStr(""), split_key, TStr("")]
+        for index, ip in enumerate(self._region_server_ips[:2]):
+            region = RegionInfo(
+                table.name, boundaries[index], boundaries[index + 1], TStr(ip)
+            )
+            client = RpcClient(self.node, (ip, REGIONSERVER_PORT))
+            try:
+                client.call("openRegion", region)
+            finally:
+                client.close()
+            regions.append(region)
+        self._zk.create(table_znode(table.text()), serialize(regions))
+        self.node.log.info("Created table {} with {} regions", table.name, TStr("2"))
+        return regions
+
+    def stop(self) -> None:
+        self.server.stop()
+        self._zk.close()
+
+
+class HTable:
+    """Client-side table handle: ZK meta lookup + region-server RPC."""
+
+    def __init__(self, node, zk_address):
+        self.node = node
+        self._zk = ZkClient(node, zk_address)
+        master = self._zk.get_data(MASTER_ZNODE).decode()
+        self.node.log.info("Connected to HBase, active master is {}", master)
+        self._region_cache: dict[str, list] = {}
+        self._rs_clients: dict[str, RpcClient] = {}
+
+    def _regions(self, table: str) -> list:
+        regions = self._region_cache.get(table)
+        if regions is None:
+            regions = deserialize(self._zk.get_data(table_znode(table)))
+            self._region_cache[table] = regions
+        return regions
+
+    def _locate(self, table: str, row: str) -> RegionInfo:
+        for region in self._regions(table):
+            if region.contains(row):
+                return region
+        raise ReproError(f"TableNotFoundException: {table}")
+
+    def _rs(self, ip: str) -> RpcClient:
+        client = self._rs_clients.get(ip)
+        if client is None:
+            client = RpcClient(self.node, (ip, REGIONSERVER_PORT))
+            self._rs_clients[ip] = client
+        return client
+
+    def put(self, put: Put) -> None:
+        region = self._locate(put.table.text(), put.row.value)
+        self._rs(region.server_ip.value).call("put", put)
+
+    def get(self, get: Get) -> Result:
+        region = self._locate(get.table.text(), get.row.value)
+        result = self._rs(region.server_ip.value).call("get", get)
+        self.node.log.info("Got row {} from region {}", result.row, result.region)
+        return result
+
+    def scan(self, table: TableName, start_row: str = "", stop_row: str = "") -> list:
+        """Cross-region scan: queries every region server hosting the
+        table and merges the row streams in order."""
+        from repro.taint.values import TStr
+
+        results = []
+        seen_servers = set()
+        for region in self._regions(table.text()):
+            server_ip = region.server_ip.value
+            if server_ip in seen_servers:
+                continue
+            seen_servers.add(server_ip)
+            results.extend(
+                self._rs(server_ip).call("scan", table, TStr(start_row), TStr(stop_row))
+            )
+        results.sort(key=lambda r: r.row.value)
+        return results
+
+    def close(self) -> None:
+        self._zk.close()
+        for client in self._rs_clients.values():
+            client.close()

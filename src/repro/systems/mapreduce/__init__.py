@@ -1,0 +1,30 @@
+"""Simulated MapReduce/Yarn: RM/NM/container over Yarn RPC (NIO)."""
+
+from repro.systems.mapreduce.daemons import (
+    ContainerExecutor,
+    NodeManager,
+    ResourceManager,
+)
+from repro.systems.mapreduce.protocol import (
+    APP_ID_DESCRIPTOR,
+    GET_REPORT_DESCRIPTOR,
+    ApplicationId,
+    ApplicationReport,
+    JobSpec,
+    TaskResult,
+)
+from repro.systems.mapreduce.rpc import RpcClient, RpcError, RpcServer
+from repro.systems.mapreduce.wordcount import (
+    WordCountDriver,
+    WordCountExecutor,
+    WordCountSplit,
+    map_split,
+    reduce_counts,
+)
+from repro.systems.mapreduce.workload import (
+    SYSTEM,
+    deploy_and_run_pi,
+    run_workload,
+    sdt_spec,
+    sim_spec,
+)

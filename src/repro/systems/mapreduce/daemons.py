@@ -1,0 +1,166 @@
+"""The Yarn daemons: ResourceManager, NodeManager, container executor.
+
+Job flow for the Pi workload (paper Table III):
+
+``client`` → ``submitApplication`` → **RM** → ``startContainer`` →
+**NM** → ``launch`` → **container node** runs the map task →
+``taskFinished`` back to the **RM** → client polls
+``getApplicationReport``.
+
+Every hop is a Yarn RPC over NIO, so the ApplicationId's taint rides
+through four network transfers before the SDT sink fires on the client.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.systems.mapreduce.protocol import (
+    STATE_FINISHED,
+    STATE_RUNNING,
+    ApplicationId,
+    ApplicationReport,
+    ContainerLaunchContext,
+    JobSpec,
+    TaskResult,
+)
+from repro.systems.mapreduce.rpc import RpcClient, RpcError, RpcServer
+from repro.taint.values import TDouble, TInt, TLong, TStr
+
+RM_PORT = 8032
+NM_PORT = 8042
+EXECUTOR_PORT = 8048
+
+#: SIM-relevant config files each daemon reads at startup.
+CONF_PATH = "/conf/yarn-site.xml"
+
+
+def write_default_conf(fs) -> None:
+    fs.write_file(
+        CONF_PATH,
+        "yarn.resourcemanager.hostname=rm.example.com\n"
+        "yarn.nodemanager.hostname=nm.example.com\n",
+    )
+
+
+def _conf_value(node, key: str) -> TStr:
+    """Read a config value; a SIM source point (file read)."""
+    text = node.files.read_text(CONF_PATH)
+    for line in text.split("\n"):
+        if line.value.startswith(key + "="):
+            return line[len(key) + 1 :]
+    return TStr("")
+
+
+class ContainerExecutor:
+    """Runs map tasks on the container node."""
+
+    def __init__(self, node):
+        self.node = node
+        self.server = RpcServer(node, EXECUTOR_PORT, name="executor")
+        self.server.register("launch", self.launch)
+
+    def launch(self, context: ContainerLaunchContext) -> TaskResult:
+        """Execute one Pi map task (quasi-Monte-Carlo, seeded by index)."""
+        from repro.appmodel import app_process
+
+        app_process(context.resources)  # unpack/verify localized resources
+        samples = context.samples.value
+        rng = random.Random(context.task_index.value * 7919 + 17)
+        inside = 0
+        for _ in range(samples):
+            x, y = rng.random(), rng.random()
+            if x * x + y * y <= 1.0:
+                inside += 1
+        self.node.log.info(
+            "Task {} of {} finished: {}/{} samples inside",
+            context.task_index,
+            context.app_id.text(),
+            TLong(inside),
+            TLong(samples),
+        )
+        return TaskResult(context.app_id, context.task_index, TLong(inside), TLong(samples))
+
+    def stop(self) -> None:
+        self.server.stop()
+
+
+class NodeManager:
+    """Accepts container starts from the RM, delegates to the executor."""
+
+    def __init__(self, node, executor_ip: str):
+        self.node = node
+        self.hostname = _conf_value(node, "yarn.nodemanager.hostname")
+        self.node.log.info("NodeManager starting on {}", self.hostname)
+        self._executor = RpcClient(node, (executor_ip, EXECUTOR_PORT))
+        self.server = RpcServer(node, NM_PORT, name="nm")
+        self.server.register("startContainer", self.start_container)
+
+    def start_container(self, context: ContainerLaunchContext) -> TaskResult:
+        self.node.log.info("Launching container for {}", context.app_id.text())
+        return self._executor.call("launch", context)
+
+    def stop(self) -> None:
+        self.server.stop()
+        self._executor.close()
+
+
+class ResourceManager:
+    """Application lifecycle + scheduling onto the (single) NM."""
+
+    def __init__(self, node, nm_ip: str):
+        self.node = node
+        self.hostname = _conf_value(node, "yarn.resourcemanager.hostname")
+        self.node.log.info("ResourceManager starting on {}", self.hostname)
+        self._nm_ip = nm_ip
+        self._nm: RpcClient = None  # type: ignore[assignment]
+        self._lock = threading.Lock()
+        self._reports: dict[str, ApplicationReport] = {}
+        self.server = RpcServer(node, RM_PORT, name="rm")
+        self.server.register("submitApplication", self.submit_application)
+        self.server.register("getApplicationReport", self.get_application_report)
+        self.server.register("registerNodeManager", self.register_node_manager)
+
+    def register_node_manager(self, hostname: TStr) -> TStr:
+        self.node.log.info("Registered NodeManager {}", hostname)
+        return TStr("registered")
+
+    def submit_application(self, spec: JobSpec) -> TStr:
+        app_key = spec.app_id.text()
+        with self._lock:
+            self._reports[app_key] = ApplicationReport(spec.app_id, STATE_RUNNING, TDouble(0.0))
+        self.node.spawn(self._run_job, spec, name=f"rm-job-{app_key}")
+        return TStr(app_key)
+
+    def _run_job(self, spec: JobSpec) -> None:
+        if self._nm is None:
+            self._nm = RpcClient(self.node, (self._nm_ip, NM_PORT))
+        inside_total = TLong(0)
+        samples_total = TLong(0)
+        for task_index in range(spec.maps.value):
+            context = ContainerLaunchContext(
+                spec.app_id, TInt(task_index), spec.samples_per_map, spec.resources
+            )
+            result: TaskResult = self._nm.call("startContainer", context)
+            inside_total = inside_total + result.inside
+            samples_total = samples_total + result.total
+        estimate = TDouble(4.0) * TDouble(inside_total.value, inside_total.taint) / TDouble(
+            float(samples_total.value)
+        )
+        app_key = spec.app_id.text()
+        with self._lock:
+            self._reports[app_key] = ApplicationReport(spec.app_id, STATE_FINISHED, estimate)
+        self.node.log.info("Application {} finished, pi = {}", app_key, estimate)
+
+    def get_application_report(self, app_id: ApplicationId) -> ApplicationReport:
+        with self._lock:
+            report = self._reports.get(app_id.text())
+        if report is None:
+            raise RpcError(f"ApplicationNotFoundException: {app_id.text()}")
+        return report
+
+    def stop(self) -> None:
+        self.server.stop()
+        if self._nm is not None:
+            self._nm.close()

@@ -1,0 +1,83 @@
+"""Yarn/MapReduce wire objects (serializable, shadow-carrying)."""
+
+from __future__ import annotations
+
+from repro.jre.object_io import register_serializable
+from repro.taint.values import TDouble, TInt, TLong, TObj, TStr
+
+#: SDT source (Table IV): the ApplicationID generated on the client.
+APP_ID_DESCRIPTOR = "org.apache.hadoop.yarn.api.records.ApplicationId#newInstance"
+#: SDT sink: the client-side report fetch.
+GET_REPORT_DESCRIPTOR = "org.apache.hadoop.yarn.client.api.YarnClient#getApplicationReport"
+
+STATE_SUBMITTED = "SUBMITTED"
+STATE_RUNNING = "RUNNING"
+STATE_FINISHED = "FINISHED"
+
+
+@register_serializable
+class ApplicationId(TObj):
+    """``application_<clusterTimestamp>_<id>``."""
+
+    def __init__(self, cluster_timestamp, sequence):
+        self.cluster_timestamp = (
+            cluster_timestamp if isinstance(cluster_timestamp, TLong) else TLong(cluster_timestamp)
+        )
+        self.sequence = sequence if isinstance(sequence, TInt) else TInt(sequence)
+
+    def text(self) -> str:
+        return f"application_{self.cluster_timestamp.value}_{self.sequence.value:04d}"
+
+
+@register_serializable
+class JobSpec(TObj):
+    """A Pi-estimation job: quasi-Monte-Carlo with fixed sampling.
+
+    ``resources`` models the job jar / localized resources a submission
+    ships to the cluster (the data-carrying part of the workload)."""
+
+    def __init__(self, app_id: ApplicationId, maps, samples_per_map, resources=b""):
+        from repro.taint.values import as_tbytes
+
+        self.app_id = app_id
+        self.maps = maps if isinstance(maps, TInt) else TInt(maps)
+        self.samples_per_map = (
+            samples_per_map if isinstance(samples_per_map, TInt) else TInt(samples_per_map)
+        )
+        self.resources = as_tbytes(resources)
+
+
+@register_serializable
+class ContainerLaunchContext(TObj):
+    """What the RM asks an NM to start (resources are localized along)."""
+
+    def __init__(self, app_id: ApplicationId, task_index, samples, resources=b""):
+        from repro.taint.values import as_tbytes
+
+        self.app_id = app_id
+        self.task_index = task_index if isinstance(task_index, TInt) else TInt(task_index)
+        self.samples = samples if isinstance(samples, TInt) else TInt(samples)
+        self.resources = as_tbytes(resources)
+
+
+@register_serializable
+class TaskResult(TObj):
+    """One map task's output: points inside the quarter circle."""
+
+    def __init__(self, app_id: ApplicationId, task_index, inside, total):
+        self.app_id = app_id
+        self.task_index = task_index if isinstance(task_index, TInt) else TInt(task_index)
+        self.inside = inside if isinstance(inside, TLong) else TLong(inside)
+        self.total = total if isinstance(total, TLong) else TLong(total)
+
+
+@register_serializable
+class ApplicationReport(TObj):
+    """What ``getApplicationReport`` returns to the client."""
+
+    def __init__(self, app_id: ApplicationId, state, pi_estimate):
+        self.app_id = app_id
+        self.state = state if isinstance(state, TStr) else TStr(state)
+        self.pi_estimate = (
+            pi_estimate if isinstance(pi_estimate, TDouble) else TDouble(pi_estimate)
+        )

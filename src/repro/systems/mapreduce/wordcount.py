@@ -1,0 +1,155 @@
+"""WordCount on the simulated Yarn cluster.
+
+A second MapReduce workload beyond the paper's Pi job: input splits are
+files on the (shared) filesystem, each map container reads its split —
+firing SIM file-read sources *on the container node* — counts words,
+and the ResourceManager reduces the partial counts.  Word taints flow
+container → RM → client, so a sensitive input file is traceable to the
+job's output report across three nodes.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.jre.object_io import register_serializable
+from repro.systems.mapreduce.protocol import ApplicationId
+from repro.systems.mapreduce.rpc import RpcClient, RpcError, RpcServer
+from repro.taint.values import TInt, TObj, TStr, union_labels
+
+WORDCOUNT_PORT = 8050
+
+
+@register_serializable
+class WordCountSplit(TObj):
+    """One map task: count words in one input file."""
+
+    def __init__(self, app_id: ApplicationId, path):
+        self.app_id = app_id
+        self.path = path if isinstance(path, TStr) else TStr(path)
+
+
+@register_serializable
+class WordCounts(TObj):
+    """Map output / reduce input: word → count (words keep their labels)."""
+
+    def __init__(self, app_id: ApplicationId, counts: dict):
+        self.app_id = app_id
+        self.counts = counts
+
+    def taint_fields(self) -> dict:
+        return {"app_id": self.app_id, "counts": self.counts}
+
+
+def map_split(node, split: WordCountSplit) -> WordCounts:
+    """The map function: tokenize the split, count occurrences.
+
+    Each word token is a slice of the file content, so its per-char
+    labels are exactly the file-read taints of the bytes it came from.
+    """
+    text = node.files.read_text(split.path.value)
+    counts: dict = {}
+    word_start = None
+    for index in range(len(text) + 1):
+        ch = text.value[index] if index < len(text) else " "
+        if ch.isalnum():
+            if word_start is None:
+                word_start = index
+            continue
+        if word_start is not None:
+            word = text[word_start:index]
+            key = word.value.lower()
+            previous = counts.get(key)
+            if previous is None:
+                counts[key] = TInt(1, word.overall_taint())
+            else:
+                counts[key] = TInt(
+                    previous.value + 1,
+                    union_labels(previous.taint, word.overall_taint()),
+                )
+            word_start = None
+    return WordCounts(split.app_id, {TStr(k): v for k, v in counts.items()})
+
+
+def reduce_counts(partials: list) -> dict:
+    """The reduce function: merge per-split counts (taints union)."""
+    merged: dict = {}
+    for partial in partials:
+        for word, count in partial.counts.items():
+            key = word.value
+            previous = merged.get(key)
+            if previous is None:
+                merged[key] = count
+            else:
+                merged[key] = TInt(
+                    previous.value + count.value,
+                    union_labels(previous.taint, count.taint),
+                )
+    return merged
+
+
+class WordCountExecutor:
+    """Container-side service running map tasks."""
+
+    def __init__(self, node):
+        self.node = node
+        self.server = RpcServer(node, WORDCOUNT_PORT, name="wc-executor")
+        self.server.register("mapSplit", self.map_split)
+
+    def map_split(self, split: WordCountSplit) -> WordCounts:
+        self.node.log.info("Mapping split {}", split.path)
+        return map_split(self.node, split)
+
+    def stop(self) -> None:
+        self.server.stop()
+
+
+class WordCountDriver:
+    """RM-side job driver: schedules splits, reduces, serves the result."""
+
+    def __init__(self, node, executor_ips: list):
+        self.node = node
+        self._executor_ips = executor_ips
+        self._clients: dict[str, RpcClient] = {}
+        self._lock = threading.Lock()
+        self._results: dict[str, dict] = {}
+        self.server = RpcServer(node, WORDCOUNT_PORT, name="wc-driver")
+        self.server.register("submitWordCount", self.submit)
+        self.server.register("getWordCounts", self.get_result)
+
+    def _executor(self, index: int) -> RpcClient:
+        ip = self._executor_ips[index % len(self._executor_ips)]
+        client = self._clients.get(ip)
+        if client is None:
+            client = RpcClient(self.node, (ip, WORDCOUNT_PORT))
+            self._clients[ip] = client
+        return client
+
+    def submit(self, app_id: ApplicationId, paths: list) -> TStr:
+        partials = []
+        for index, path in enumerate(paths):
+            split = WordCountSplit(app_id, path)
+            partials.append(self._executor(index).call("mapSplit", split))
+        merged = reduce_counts(partials)
+        with self._lock:
+            self._results[app_id.text()] = merged
+        total = sum(c.value for c in merged.values())
+        self.node.log.info(
+            "WordCount {} finished: {} distinct words, {} total",
+            app_id.text(),
+            TInt(len(merged)),
+            TInt(total),
+        )
+        return TStr("done")
+
+    def get_result(self, app_id: ApplicationId) -> dict:
+        with self._lock:
+            result = self._results.get(app_id.text())
+        if result is None:
+            raise RpcError(f"no such job {app_id.text()}")
+        return {TStr(k): v for k, v in result.items()}
+
+    def stop(self) -> None:
+        self.server.stop()
+        for client in self._clients.values():
+            client.close()

@@ -1,0 +1,19 @@
+"""Simulated RocketMQ: name server + peer brokers over Netty remoting."""
+
+from repro.systems.rocketmq.broker import (
+    CONSUME_MESSAGE_DESCRIPTOR,
+    MESSAGE_INIT_DESCRIPTOR,
+    Message,
+    MessageExt,
+    NameServer,
+    RocketBroker,
+)
+from repro.systems.rocketmq.client import DefaultMQProducer, DefaultMQPullConsumer
+from repro.systems.rocketmq.remoting import RemotingClient, RemotingServer
+from repro.systems.rocketmq.workload import (
+    SYSTEM,
+    deploy_and_distribute,
+    run_workload,
+    sdt_spec,
+    sim_spec,
+)

@@ -1,0 +1,140 @@
+"""RocketMQ name server, broker, and message records."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ReproError
+from repro.jre.object_io import register_serializable
+from repro.netty import NioEventLoopGroup
+from repro.systems.rocketmq.remoting import RemotingClient, RemotingServer
+from repro.taint.values import TInt, TLong, TObj, TStr
+
+NAMESRV_PORT = 9876
+BROKER_PORT = 10911
+
+#: SDT descriptors (Table IV).
+MESSAGE_INIT_DESCRIPTOR = "org.apache.rocketmq.common.message.Message#<init>"
+CONSUME_MESSAGE_DESCRIPTOR = (
+    "org.apache.rocketmq.client.consumer.listener.MessageListener#consumeMessage"
+)
+
+#: SIM config file.
+CONF_PATH = "/conf/broker.conf"
+
+
+def write_default_conf(fs) -> None:
+    fs.write_file(CONF_PATH, "brokerClusterName=DefaultCluster\nflushDiskType=ASYNC\n")
+
+
+@register_serializable
+class Message(TObj):
+    """Producer-side message (the SDT source variable)."""
+
+    def __init__(self, topic, body):
+        self.topic = topic if isinstance(topic, TStr) else TStr(topic)
+        self.body = body if isinstance(body, TStr) else TStr(body)
+
+
+@register_serializable
+class MessageExt(TObj):
+    """Broker-side message with queue metadata (the SDT sink variable)."""
+
+    def __init__(self, topic, body, broker_name, queue_offset):
+        self.topic = topic if isinstance(topic, TStr) else TStr(topic)
+        self.body = body if isinstance(body, TStr) else TStr(body)
+        self.broker_name = (
+            broker_name if isinstance(broker_name, TStr) else TStr(broker_name)
+        )
+        self.queue_offset = (
+            queue_offset if isinstance(queue_offset, TLong) else TLong(queue_offset)
+        )
+
+
+class NameServer:
+    """Topic route registry (the RocketMQ namesrv)."""
+
+    def __init__(self, node, group: NioEventLoopGroup):
+        self.node = node
+        self._lock = threading.Lock()
+        #: topic → list of broker addresses.
+        self._routes: dict[str, list] = {}
+        self.server = RemotingServer(node, NAMESRV_PORT, group, name="namesrv")
+        self.server.register("registerBroker", self.register_broker)
+        self.server.register("getRouteInfo", self.get_route_info)
+
+    def register_broker(self, broker_name: TStr, ip: TStr, topic: TStr) -> TStr:
+        with self._lock:
+            routes = self._routes.setdefault(topic.value, [])
+            routes.append([broker_name, ip])
+        self.node.log.info("Registered broker {} for topic {}", broker_name, topic)
+        return TStr("ok")
+
+    def get_route_info(self, topic: TStr) -> list:
+        with self._lock:
+            routes = list(self._routes.get(topic.value, []))
+        if not routes:
+            raise ReproError(f"no route for topic {topic.value}")
+        return routes
+
+    def stop(self) -> None:
+        self.server.stop()
+
+
+class RocketBroker:
+    """One peer broker storing topic queues."""
+
+    def __init__(self, node, broker_name: str, namesrv_ip: str, group: NioEventLoopGroup):
+        self.node = node
+        self.broker_name = broker_name
+        self._lock = threading.Lock()
+        self._queues: dict[str, list] = {}
+        # SIM source: read broker.conf at startup, log its settings.
+        conf = node.files.read_text(CONF_PATH)
+        cluster_name = conf.split("\n")[0].split("=")[1]
+        node.log.info("Broker {} starting in cluster {}", TStr(broker_name), cluster_name)
+        self.server = RemotingServer(node, BROKER_PORT, group, name=broker_name)
+        self.server.register("sendMessage", self.send_message)
+        self.server.register("pullMessage", self.pull_message)
+        self.server.register("commitOffset", self.commit_offset)
+        self.server.register("fetchOffset", self.fetch_offset)
+        #: (consumer group, topic) → committed offset.
+        self._offsets: dict[tuple, int] = {}
+        self._namesrv = RemotingClient(node, (namesrv_ip, NAMESRV_PORT), group)
+
+    def register_topic(self, topic: str) -> None:
+        self._namesrv.invoke(
+            "registerBroker", TStr(self.broker_name), TStr(self.node.ip), TStr(topic)
+        )
+
+    def send_message(self, message: Message) -> TLong:
+        with self._lock:
+            queue = self._queues.setdefault(message.topic.value, [])
+            offset = len(queue)
+            queue.append(
+                MessageExt(message.topic, message.body, TStr(self.broker_name), TLong(offset))
+            )
+        self.node.log.info(
+            "Broker {} stored message at offset {}", TStr(self.broker_name), TLong(offset)
+        )
+        return TLong(offset)
+
+    def pull_message(self, topic: TStr, offset: TLong) -> list:
+        with self._lock:
+            queue = self._queues.get(topic.value, [])
+            return list(queue[offset.value :])
+
+    def commit_offset(self, group: TStr, topic: TStr, offset: TLong) -> TStr:
+        """Consumer-group progress tracking (RocketMQ's offset store)."""
+        with self._lock:
+            key = (group.value, topic.value)
+            self._offsets[key] = max(self._offsets.get(key, 0), offset.value)
+        return TStr("ok")
+
+    def fetch_offset(self, group: TStr, topic: TStr) -> TLong:
+        with self._lock:
+            return TLong(self._offsets.get((group.value, topic.value), 0))
+
+    def stop(self) -> None:
+        self.server.stop()
+        self._namesrv.close()

@@ -1,0 +1,83 @@
+"""RocketMQ producer/consumer clients (route via the name server)."""
+
+from __future__ import annotations
+
+from repro.netty import NioEventLoopGroup
+from repro.systems.rocketmq.broker import (
+    BROKER_PORT,
+    CONSUME_MESSAGE_DESCRIPTOR,
+    NAMESRV_PORT,
+    Message,
+)
+from repro.systems.rocketmq.remoting import RemotingClient
+from repro.taint.values import TLong, TStr
+
+
+class _RouteAware:
+    def __init__(self, node, namesrv_ip: str, group: NioEventLoopGroup):
+        self.node = node
+        self.group = group
+        self._namesrv = RemotingClient(node, (namesrv_ip, NAMESRV_PORT), group)
+        self._broker_clients: dict[str, RemotingClient] = {}
+
+    def _broker_for(self, topic: str, index: int = 0) -> RemotingClient:
+        routes = self._namesrv.invoke("getRouteInfo", TStr(topic))
+        _name, ip = routes[index % len(routes)]
+        key = ip.value
+        client = self._broker_clients.get(key)
+        if client is None:
+            client = RemotingClient(self.node, (key, BROKER_PORT), self.group)
+            self._broker_clients[key] = client
+        return client
+
+    def close(self) -> None:
+        self._namesrv.close()
+        for client in self._broker_clients.values():
+            client.close()
+
+
+class DefaultMQProducer(_RouteAware):
+    """Sends messages to a topic's broker (first route entry)."""
+
+    def send(self, message: Message, broker_index: int = 0) -> TLong:
+        broker = self._broker_for(message.topic.value, broker_index)
+        return broker.invoke("sendMessage", message)
+
+
+class DefaultMQPullConsumer(_RouteAware):
+    """Pulls messages from a topic's broker and fires the sink point."""
+
+    consumer_group = "DEFAULT_CONSUMER_GROUP"
+
+    def with_group(self, consumer_group: str) -> "DefaultMQPullConsumer":
+        self.consumer_group = consumer_group
+        return self
+
+    def pull_committed(self, topic: str, broker_index: int = 0) -> list:
+        """Pull from the group's committed offset, then advance it —
+        RocketMQ's cluster-consumption progress model."""
+        broker = self._broker_for(topic, broker_index)
+        offset = broker.invoke("fetchOffset", TStr(self.consumer_group), TStr(topic))
+        messages = self._deliver(broker.invoke("pullMessage", TStr(topic), offset), topic)
+        if messages:
+            new_offset = TLong(offset.value + len(messages))
+            broker.invoke("commitOffset", TStr(self.consumer_group), TStr(topic), new_offset)
+        return messages
+
+    def pull(self, topic: str, offset: int = 0, broker_index: int = 0) -> list:
+        broker = self._broker_for(topic, broker_index)
+        return self._deliver(broker.invoke("pullMessage", TStr(topic), TLong(offset)), topic)
+
+    def _deliver(self, messages: list, topic: str) -> list:
+        from repro.appmodel import app_process
+
+        for message in messages:
+            app_process(message.body)  # the listener's work over the body
+            # The SDT sink point: MessageExt delivered to the listener.
+            self.node.registry.sink(
+                CONSUME_MESSAGE_DESCRIPTOR, message, detail=f"topic={topic}"
+            )
+            self.node.log.info(
+                "Consumed message offset {} from {}", message.queue_offset, message.broker_name
+            )
+        return messages

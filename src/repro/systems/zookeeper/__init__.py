@@ -1,0 +1,21 @@
+"""Simulated ZooKeeper: FLE leader election + replicated znode service."""
+
+from repro.systems.zookeeper.election import QuorumPeer
+from repro.systems.zookeeper.ensemble import ZNODE_PORT, ZkClient, ZooKeeperServer
+from repro.systems.zookeeper.messages import (
+    CHECK_LEADER_DESCRIPTOR,
+    FOLLOWING,
+    LEADING,
+    LOOKING,
+    VOTE_INIT_DESCRIPTOR,
+    Notification,
+    Vote,
+)
+from repro.systems.zookeeper.txnlog import recover_last_zxid, write_txn_logs
+from repro.systems.zookeeper.workload import (
+    SYSTEM,
+    deploy_and_elect,
+    run_workload,
+    sdt_spec,
+    sim_spec,
+)

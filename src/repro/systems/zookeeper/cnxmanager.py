@@ -1,0 +1,116 @@
+"""QuorumCnxManager: the SendWorker / RecvWorker pair of paper Fig. 1.
+
+Each peer listens on its election port.  Outgoing notifications are
+queued to a per-destination :class:`SendWorker` thread that owns one TCP
+connection and writes votes through ``DataOutputStream`` →
+``SocketOutputStream`` → ``socketWrite0`` — exactly the downward path of
+Fig. 1's left half.  A :class:`RecvWorker` per accepted connection runs
+the mirrored upward path and hands :class:`Notification` objects to the
+election layer's receive queue.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+from repro.errors import ReproError
+from repro.jre.socket_api import ServerSocket, Socket
+from repro.jre.streams import DataInputStream, DataOutputStream
+from repro.systems.zookeeper.messages import Notification, Vote
+
+ELECTION_PORT = 3888
+
+
+class QuorumCnxManager:
+    """Pairwise election connections of one peer."""
+
+    def __init__(self, node, sid: int, peer_addresses: dict):
+        self.node = node
+        self.sid = sid
+        #: sid → ip of every ensemble member (including self).
+        self.peer_addresses = peer_addresses
+        self.recv_queue: "queue.Queue[Notification]" = queue.Queue()
+        self._send_queues: dict[int, queue.Queue] = {}
+        self._lock = threading.Lock()
+        self._running = True
+        self._server = ServerSocket(node, ELECTION_PORT)
+        node.spawn(self._accept_loop, name=f"sid{sid}-listener")
+
+    # -- receiving ---------------------------------------------------------- #
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                socket = self._server.accept()
+            except Exception:
+                return
+            self.node.spawn(self._recv_worker, socket, name=f"sid{self.sid}-recvworker")
+
+    def _recv_worker(self, socket: Socket) -> None:
+        """RecvWorker (Fig. 1 lines 16-20): reads votes off the stream."""
+        ins = DataInputStream(socket.get_input_stream())
+        try:
+            while self._running:
+                sender_sid = ins.read_int().value
+                state = ins.read_int().value
+                round_number = ins.read_int().value
+                leader = ins.read_int()
+                zxid = ins.read_long()
+                epoch = ins.read_long()
+                vote = Vote(leader, zxid, epoch)
+                self.recv_queue.put(Notification(vote, sender_sid, state, round_number))
+        except Exception:
+            socket.close()
+
+    # -- sending ------------------------------------------------------------- #
+
+    def _send_worker(self, sid: int, outgoing: queue.Queue) -> None:
+        """SendWorker (Fig. 1 lines 1-7): drains the per-peer queue."""
+        socket = Socket.connect(self.node, (self.peer_addresses[sid], ELECTION_PORT))
+        outs = DataOutputStream(socket.get_output_stream())
+        try:
+            while self._running:
+                item = outgoing.get()
+                if item is None:
+                    return
+                notification = item
+                outs.write_int(notification.sender_sid)
+                outs.write_int(notification.state)
+                outs.write_int(notification.round_number)
+                outs.write_int(notification.vote.leader)
+                outs.write_long(notification.vote.zxid)
+                outs.write_long(notification.vote.epoch)
+                outs.flush()
+        finally:
+            socket.close()
+
+    def send(self, sid: int, notification: Notification) -> None:
+        if sid == self.sid:
+            # Self-notification short-circuits the network, as in ZooKeeper.
+            self.recv_queue.put(notification)
+            return
+        with self._lock:
+            outgoing = self._send_queues.get(sid)
+            if outgoing is None:
+                if sid not in self.peer_addresses:
+                    raise ReproError(f"unknown ensemble member sid {sid}")
+                outgoing = queue.Queue()
+                self._send_queues[sid] = outgoing
+                self.node.spawn(
+                    self._send_worker, sid, outgoing, name=f"sid{self.sid}->sid{sid}-sendworker"
+                )
+        outgoing.put(notification)
+
+    def broadcast(self, notification: Notification) -> None:
+        for sid in self.peer_addresses:
+            self.send(sid, notification)
+
+    # -- lifecycle -------------------------------------------------------------- #
+
+    def shutdown(self) -> None:
+        self._running = False
+        with self._lock:
+            for outgoing in self._send_queues.values():
+                outgoing.put(None)
+        self._server.close()

@@ -1,0 +1,149 @@
+"""FastLeaderElection and QuorumPeer (paper §V-B ZooKeeper workload).
+
+A compact but architecturally faithful FLE: peers propose ``(epoch,
+zxid, sid)`` votes, adopt any strictly greater proposal, and decide once
+a quorum agrees.  The SDT scenario taints each peer's initial ``Vote``
+and observes the winner's taint at ``checkLeader`` on the followers; the
+SIM scenario taints txn-log reads and observes the recovered zxid in
+follower log lines (Fig. 11).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+from repro.errors import ReproError
+from repro.systems.zookeeper.cnxmanager import QuorumCnxManager
+from repro.systems.zookeeper.messages import (
+    CHECK_LEADER_DESCRIPTOR,
+    FOLLOWING,
+    LEADING,
+    LOOKING,
+    VOTE_INIT_DESCRIPTOR,
+    Notification,
+    Vote,
+)
+from repro.systems.zookeeper.txnlog import recover_last_zxid
+from repro.taint.values import TInt, TLong
+
+
+class QuorumPeer:
+    """One ZooKeeper server taking part in leader election."""
+
+    def __init__(self, node, sid: int, peer_addresses: dict):
+        self.node = node
+        self.sid = sid
+        self.peer_addresses = peer_addresses
+        self.state = LOOKING
+        self.round_number = 1
+        #: Recovered from txn logs at startup (SIM sources fire here).
+        self.last_zxid: TLong = recover_last_zxid(node)
+        self.cnx = QuorumCnxManager(node, sid, peer_addresses)
+        self.final_vote: Vote = None  # type: ignore[assignment]
+        self.decided = threading.Event()
+        self._running = True
+
+    # -- the election ------------------------------------------------------- #
+
+    def start(self) -> None:
+        self.node.spawn(self._run_election, name=f"sid{self.sid}-fle")
+
+    def _quorum(self) -> int:
+        return len(self.peer_addresses) // 2 + 1
+
+    def _initial_vote(self) -> Vote:
+        vote = Vote(TInt(self.sid), self.last_zxid, TLong(self.last_zxid.value))
+        # The SDT source point: the Vote variable first handed to the
+        # network layer (Table IV: "3 variables which are first
+        # transferred into the network").
+        return self.node.registry.source(
+            VOTE_INIT_DESCRIPTOR, vote, tag_value=f"vote-sid{self.sid}",
+            detail=f"initial vote of sid {self.sid}",
+        )
+
+    def _run_election(self) -> None:
+        proposal = self._initial_vote()
+        self.node.log.info(
+            "New election. My id = {}, proposed zxid = {}", TInt(self.sid), self.last_zxid
+        )
+        received: dict[int, Vote] = {self.sid: proposal}
+        self.cnx.broadcast(Notification(proposal, self.sid, LOOKING, self.round_number))
+        while self._running and not self.decided.is_set():
+            try:
+                notification = self.cnx.recv_queue.get(timeout=10)
+            except queue.Empty as exc:
+                raise ReproError(f"sid {self.sid}: election stalled") from exc
+            if notification.sender_sid == self.sid:
+                continue
+            if notification.state == LOOKING:
+                if notification.vote.order_key() > proposal.order_key():
+                    proposal = notification.vote
+                    received[self.sid] = proposal
+                    self.cnx.broadcast(
+                        Notification(proposal, self.sid, LOOKING, self.round_number)
+                    )
+                received[notification.sender_sid] = notification.vote
+                supporters = sum(
+                    1 for vote in received.values() if vote.same_as(proposal)
+                )
+                if supporters >= self._quorum() and self._check_quorum_holds(
+                    proposal, received
+                ):
+                    self._decide(proposal)
+            else:
+                # A peer already finished: adopt its final vote.
+                self._decide(notification.vote)
+        self._respond_after_decision()
+
+    #: FLE's finalizeWait: linger before committing to a quorum in case a
+    #: strictly better proposal is already in flight.
+    FINALIZE_WAIT = 0.03
+
+    def _check_quorum_holds(self, proposal: Vote, received: dict) -> bool:
+        """The finalizeWait drain: returns False (requeueing the better
+        vote) if a higher proposal arrives within the window."""
+        while True:
+            try:
+                notification = self.cnx.recv_queue.get(timeout=self.FINALIZE_WAIT)
+            except queue.Empty:
+                return True
+            if notification.vote.order_key() > proposal.order_key():
+                self.cnx.recv_queue.put(notification)
+                return False
+            if notification.state == LOOKING:
+                received[notification.sender_sid] = notification.vote
+
+    def _decide(self, vote: Vote) -> None:
+        self.final_vote = vote
+        if vote.leader.value == self.sid:
+            self.state = LEADING
+            self.node.log.info("LEADING - election took place, my sid = {}", TInt(self.sid))
+        else:
+            self.state = FOLLOWING
+            # The SDT sink point: invoked on a follower when the leader
+            # is selected (Table IV).
+            self.node.registry.sink(
+                CHECK_LEADER_DESCRIPTOR, vote, detail=f"sid {self.sid} checks leader"
+            )
+            self.node.log.info(
+                "FOLLOWING - leader is {} with zxid {}", vote.leader, vote.zxid
+            )
+        self.decided.set()
+
+    def _respond_after_decision(self) -> None:
+        """Answer stragglers still LOOKING with the final vote."""
+        while self._running:
+            try:
+                notification = self.cnx.recv_queue.get(timeout=0.2)
+            except queue.Empty:
+                continue
+            if notification.state == LOOKING and notification.sender_sid != self.sid:
+                self.cnx.send(
+                    notification.sender_sid,
+                    Notification(self.final_vote, self.sid, self.state, self.round_number),
+                )
+
+    def shutdown(self) -> None:
+        self._running = False
+        self.cnx.shutdown()

@@ -1,0 +1,256 @@
+"""ZooKeeper data service: a replicated znode store over the ensemble.
+
+After leader election the peers serve clients: reads are answered from
+the local replica, writes are forwarded to the leader, applied, and
+committed to every follower (a deliberately simplified ZAB — ordering
+and quorum-ack are out of scope; what matters for the reproduction is
+that *znode data crosses nodes through real sockets*, giving HBase its
+cross-system taint path).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.jre.socket_api import ServerSocket, Socket
+from repro.jre.streams import DataInputStream, DataOutputStream
+from repro.taint.values import TBytes, TInt, TStr, as_tbytes
+
+ZNODE_PORT = 2181
+
+OP_CREATE = 1
+OP_GET = 2
+OP_SET = 3
+OP_EXISTS = 4
+OP_DELETE = 5
+OP_CHILDREN = 6
+#: Internal: leader → follower replication.
+OP_COMMIT = 7
+#: Register a one-shot watch; the reply is deferred until the znode
+#: changes (long-poll, standing in for ZooKeeper's watch push).
+OP_WATCH = 8
+#: Like OP_CREATE, but the znode's lifetime is bound to the creating
+#: client connection (ZooKeeper's ephemeral nodes).
+OP_CREATE_EPHEMERAL = 9
+
+STATUS_OK = 0
+STATUS_NO_NODE = 1
+STATUS_NODE_EXISTS = 2
+
+
+class ZooKeeperServer:
+    """One ensemble member's client-facing znode service."""
+
+    def __init__(self, node, sid: int, leader_sid_fn, peer_addresses: dict):
+        self.node = node
+        self.sid = sid
+        #: Callable returning the current leader sid (post-election).
+        self._leader_sid_fn = leader_sid_fn
+        self.peer_addresses = peer_addresses
+        self._store: dict[str, TBytes] = {}
+        self._lock = threading.Lock()
+        #: Watch support: znode-change notifications for long-pollers.
+        self._changed = threading.Condition(self._lock)
+        self._version: dict[str, int] = {}
+        self._running = True
+        self._server = ServerSocket(node, ZNODE_PORT)
+        node.spawn(self._accept_loop, name=f"zk{sid}-znode-server")
+
+    # -- serving ---------------------------------------------------------- #
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                socket = self._server.accept()
+            except Exception:
+                return
+            self.node.spawn(self._serve, socket, name=f"zk{self.sid}-znode-conn")
+
+    def _serve(self, socket: Socket) -> None:
+        ins = DataInputStream(socket.get_input_stream())
+        outs = DataOutputStream(socket.get_output_stream())
+        session_ephemerals: list[str] = []
+        try:
+            while self._running:
+                op = ins.read_int().value
+                path = ins.read_utf()
+                data = ins.read_fully(ins.read_int().value)
+                status, payload = self._handle(op, path, data)
+                if op == OP_CREATE_EPHEMERAL and status == STATUS_OK:
+                    session_ephemerals.append(path.value)
+                outs.write_int(TInt(status))
+                outs.write_int(TInt(len(payload)))
+                outs.write(payload)
+                outs.flush()
+        except Exception:
+            socket.close()
+        finally:
+            # Session expiry: the client connection is gone, so its
+            # ephemeral znodes disappear cluster-wide.
+            for key in session_ephemerals:
+                try:
+                    self._handle(OP_DELETE, TStr(key), TBytes.empty())
+                except Exception:
+                    pass
+
+    def _handle(self, op: int, path: TStr, data: TBytes) -> tuple[int, TBytes]:
+        key = path.value
+        if op == OP_GET:
+            with self._lock:
+                value = self._store.get(key)
+            if value is None:
+                return STATUS_NO_NODE, TBytes.empty()
+            return STATUS_OK, value
+        if op == OP_EXISTS:
+            with self._lock:
+                found = key in self._store
+            return STATUS_OK, TBytes(b"\x01" if found else b"\x00")
+        if op == OP_CHILDREN:
+            prefix = key.rstrip("/") + "/"
+            with self._lock:
+                children = sorted(
+                    p for p in self._store if p.startswith(prefix) and "/" not in p[len(prefix):]
+                )
+            return STATUS_OK, TBytes("\n".join(children).encode())
+        if op == OP_WATCH:
+            # One-shot watch: block until the znode's version advances,
+            # then reply with the new value (labels intact) — the taint
+            # path of ZooKeeper's watch-notification mechanism.
+            with self._lock:
+                baseline = self._version.get(key, 0)
+                deadline = 30.0
+                while self._version.get(key, 0) == baseline and self._running:
+                    if not self._changed.wait(deadline):
+                        return STATUS_NO_NODE, TBytes.empty()
+                value = self._store.get(key)
+            if value is None:
+                return STATUS_NO_NODE, TBytes.empty()
+            return STATUS_OK, value
+        if op == OP_COMMIT:
+            self._apply(key, data)
+            return STATUS_OK, TBytes.empty()
+        if op in (OP_CREATE, OP_CREATE_EPHEMERAL, OP_SET, OP_DELETE):
+            leader_sid = self._leader_sid_fn()
+            if leader_sid != self.sid:
+                # Write ownership stays with this server's session; only
+                # the state change goes through the leader.
+                forward_op = OP_CREATE if op == OP_CREATE_EPHEMERAL else op
+                return self._forward_to_leader(forward_op, path, data)
+            if op in (OP_CREATE, OP_CREATE_EPHEMERAL):
+                with self._lock:
+                    if key in self._store:
+                        return STATUS_NODE_EXISTS, TBytes.empty()
+            if op == OP_DELETE:
+                # The tombstone marker travels to followers verbatim so
+                # their replicas drop the znode too.
+                data = TBytes(b"\x00<deleted>")
+                self._apply(key, None)
+            else:
+                self._apply(key, data)
+            self._replicate(key, data)
+            return STATUS_OK, TBytes.empty()
+        raise ReproError(f"unknown znode op {op}")
+
+    def _apply(self, key: str, data: Optional[TBytes]) -> None:
+        with self._lock:
+            if data is None or data.data == b"\x00<deleted>":
+                self._store.pop(key, None)
+            else:
+                self._store[key] = data
+            self._version[key] = self._version.get(key, 0) + 1
+            self._changed.notify_all()
+
+    def _replicate(self, key: str, data: TBytes) -> None:
+        """Leader → followers commit broadcast."""
+        for sid, ip in self.peer_addresses.items():
+            if sid == self.sid:
+                continue
+            client = ZkClient(self.node, (ip, ZNODE_PORT))
+            try:
+                client._request(OP_COMMIT, key, data)
+            finally:
+                client.close()
+
+    def _forward_to_leader(self, op: int, path: TStr, data: TBytes) -> tuple[int, TBytes]:
+        leader_ip = self.peer_addresses[self._leader_sid_fn()]
+        client = ZkClient(self.node, (leader_ip, ZNODE_PORT))
+        try:
+            return client._request(op, path.value, data)
+        finally:
+            client.close()
+
+    def local_get(self, key: str) -> Optional[TBytes]:
+        with self._lock:
+            return self._store.get(key)
+
+    def shutdown(self) -> None:
+        self._running = False
+        self._server.close()
+
+
+class ZkClient:
+    """Client handle to one ensemble member."""
+
+    def __init__(self, node, address):
+        self._socket = Socket.connect(node, address)
+        self._ins = DataInputStream(self._socket.get_input_stream())
+        self._outs = DataOutputStream(self._socket.get_output_stream())
+        self._lock = threading.Lock()
+
+    def _request(self, op: int, path: str, data: TBytes) -> tuple[int, TBytes]:
+        with self._lock:
+            self._outs.write_int(TInt(op))
+            self._outs.write_utf(path)
+            self._outs.write_int(TInt(len(data)))
+            self._outs.write(data)
+            self._outs.flush()
+            status = self._ins.read_int().value
+            payload = self._ins.read_fully(self._ins.read_int().value)
+            return status, payload
+
+    def create(self, path: str, data) -> None:
+        status, _ = self._request(OP_CREATE, path, as_tbytes(data))
+        if status == STATUS_NODE_EXISTS:
+            raise ReproError(f"NodeExistsException: {path}")
+
+    def create_ephemeral(self, path: str, data) -> None:
+        """Create a znode that vanishes when this client disconnects."""
+        status, _ = self._request(OP_CREATE_EPHEMERAL, path, as_tbytes(data))
+        if status == STATUS_NODE_EXISTS:
+            raise ReproError(f"NodeExistsException: {path}")
+
+    def set_data(self, path: str, data) -> None:
+        self._request(OP_SET, path, as_tbytes(data))
+
+    def get_data(self, path: str) -> TBytes:
+        status, payload = self._request(OP_GET, path, TBytes.empty())
+        if status == STATUS_NO_NODE:
+            raise ReproError(f"NoNodeException: {path}")
+        return payload
+
+    def exists(self, path: str) -> bool:
+        _, payload = self._request(OP_EXISTS, path, TBytes.empty())
+        return payload.data == b"\x01"
+
+    def get_children(self, path: str) -> list[str]:
+        _, payload = self._request(OP_CHILDREN, path, TBytes.empty())
+        text = payload.data.decode()
+        return text.split("\n") if text else []
+
+    def delete(self, path: str) -> None:
+        self._request(OP_DELETE, path, TBytes.empty())
+
+    def watch(self, path: str) -> TBytes:
+        """Block until ``path`` changes; returns the new value.
+
+        One-shot, like a ZooKeeper watch (re-arm by calling again).
+        Raises on timeout/no-node."""
+        status, payload = self._request(OP_WATCH, path, TBytes.empty())
+        if status == STATUS_NO_NODE:
+            raise ReproError(f"watch on {path} expired or node deleted")
+        return payload
+
+    def close(self) -> None:
+        self._socket.close()

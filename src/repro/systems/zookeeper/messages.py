@@ -1,0 +1,59 @@
+"""ZooKeeper election messages (paper Fig. 1).
+
+``Vote`` is the SDT source variable of Table IV; ``Notification`` is the
+object a ``RecvWorker`` materializes from received bytes.
+"""
+
+from __future__ import annotations
+
+from repro.taint.values import TInt, TLong, TObj
+
+#: Peer states, as in org.apache.zookeeper.server.quorum.QuorumPeer.
+LOOKING = 0
+FOLLOWING = 1
+LEADING = 2
+
+#: Taint source descriptor for the SDT scenario (Table IV).
+VOTE_INIT_DESCRIPTOR = "org.apache.zookeeper.server.quorum.Vote#<init>"
+#: Taint sink descriptor: invoked on a follower once the leader is known.
+CHECK_LEADER_DESCRIPTOR = (
+    "org.apache.zookeeper.server.quorum.FastLeaderElection#checkLeader"
+)
+
+
+class Vote(TObj):
+    """A leader-election vote: ``(leader sid, zxid, epoch)``."""
+
+    def __init__(self, leader, zxid, epoch):
+        self.leader = leader if isinstance(leader, TInt) else TInt(leader)
+        self.zxid = zxid if isinstance(zxid, TLong) else TLong(zxid)
+        self.epoch = epoch if isinstance(epoch, TLong) else TLong(epoch)
+
+    def order_key(self) -> tuple:
+        """Total order used by FastLeaderElection: (epoch, zxid, sid)."""
+        return (self.epoch.value, self.zxid.value, self.leader.value)
+
+    def same_as(self, other: "Vote") -> bool:
+        return self.order_key() == other.order_key()
+
+    def __repr__(self) -> str:
+        return (
+            f"Vote(leader={self.leader.value}, zxid={self.zxid.value}, "
+            f"epoch={self.epoch.value})"
+        )
+
+
+class Notification(TObj):
+    """A vote as received from a peer, with sender metadata."""
+
+    def __init__(self, vote: Vote, sender_sid: int, state: int, round_number: int):
+        self.vote = vote
+        self.sender_sid = sender_sid
+        self.state = state
+        self.round_number = round_number
+
+    def taint_fields(self) -> dict:
+        return {"vote": self.vote}
+
+    def __repr__(self) -> str:
+        return f"Notification(from=sid{self.sender_sid}, state={self.state}, {self.vote})"

@@ -1,0 +1,57 @@
+"""Transaction log files and startup recovery (paper Fig. 11).
+
+On start a ZooKeeper server scans its ``version-2`` log directory and
+reads every log file to find the largest transaction id.  Under the SIM
+scenario each ``files.read`` is a taint source, so N log files yield N
+distinct taints — and only the one from the *last* file (the largest
+zxid, which becomes the proposed epoch/zxid) ever reaches the network.
+That asymmetry is exactly the Fig. 11 analysis.
+"""
+
+from __future__ import annotations
+
+from repro.taint.values import TLong
+
+
+def log_dir(node_name: str) -> str:
+    return f"/{node_name}/version-2"
+
+
+def log_path(node_name: str, index: int) -> str:
+    return f"{log_dir(node_name)}/log.{index}"
+
+
+def write_txn_logs(fs, node_name: str, zxids: list[int]) -> None:
+    """Populate a server's log directory (one zxid per file, ascending)."""
+    for index, zxid in enumerate(zxids, start=1):
+        fs.write_file(log_path(node_name, index), f"zxid={zxid}\n")
+
+
+def recover_last_zxid(node) -> TLong:
+    """The startup scan: read every log file, keep the largest zxid.
+
+    Reads go through ``node.files.read`` so each file is a distinct SIM
+    source firing (three files ⇒ three taints, Fig. 11's while loop).
+    """
+    largest = TLong(0)
+    for path in node.files.list_dir(log_dir(node.name)):
+        content = node.files.read(path)
+        text = content.decode("utf-8")
+        value = _parse_zxid(text)
+        if value.value > largest.value:
+            largest = value
+    return largest
+
+
+def _parse_zxid(text) -> TLong:
+    """Parse ``zxid=N`` keeping the digits' labels on the result."""
+    key, value = text.split("=")
+    digits = value  # TStr, still labelled
+    number = 0
+    taint = None
+    from repro.taint.values import union_labels
+
+    for i, ch in enumerate(digits.value.strip()):
+        number = number * 10 + int(ch)
+        taint = union_labels(taint, digits.labels[i] if digits.labels else None)
+    return TLong(number, taint)

@@ -1,0 +1,60 @@
+"""Intra-node dynamic taint tracking (the Phosphor substrate).
+
+Implements the paper's §II-B machinery: the taint-tag quad, the per-JVM
+singleton taint tree, shadow-carrying value types with per-byte labels,
+propagation-by-union, and source/sink points.
+"""
+
+from repro.taint.instrument import CallCounter, phosphor_summary
+from repro.taint.policy import POLICY, TaintPolicy, shadows_enabled
+from repro.taint.sources import SinkObservation, SourceEvent, SourceSinkRegistry
+from repro.taint.tags import LocalId, TaintTag
+from repro.taint.tree import Taint, TaintTree, TreeNode
+from repro.taint.values import (
+    TBool,
+    TByteArray,
+    TBytes,
+    TDouble,
+    TInt,
+    TLong,
+    TObj,
+    TStr,
+    as_tbytes,
+    as_tstr,
+    plain,
+    taint_of,
+    union_all,
+    union_labels,
+    with_taint,
+)
+
+__all__ = [
+    "CallCounter",
+    "LocalId",
+    "POLICY",
+    "SinkObservation",
+    "SourceEvent",
+    "SourceSinkRegistry",
+    "TBool",
+    "TByteArray",
+    "TBytes",
+    "TDouble",
+    "TInt",
+    "TLong",
+    "TObj",
+    "TStr",
+    "Taint",
+    "TaintPolicy",
+    "TaintTag",
+    "TaintTree",
+    "TreeNode",
+    "as_tbytes",
+    "as_tstr",
+    "phosphor_summary",
+    "plain",
+    "shadows_enabled",
+    "taint_of",
+    "union_all",
+    "union_labels",
+    "with_taint",
+]

@@ -1,0 +1,65 @@
+"""Global shadow-tracking policy.
+
+The paper evaluates three configurations per workload (§V-F):
+
+* **Original** — the uninstrumented program: no shadow variables exist at
+  all, so there is no tracking cost.
+* **Phosphor** — every value carries a shadow; maintaining the shadows is
+  what produces Phosphor's 2–4× overhead even when few taints are live.
+* **DisTA** — Phosphor plus inter-node propagation.
+
+In this reproduction the "instrumented program" is code written against
+the shadow-carrying value types of :mod:`repro.taint.values`.  This module
+holds the process-wide switch that decides whether those types actually
+materialize their shadows (instrumented runs) or take a no-shadow fast
+path (the *Original* baseline).  A cluster always runs in exactly one
+mode, mirroring the paper's methodology of re-launching each workload
+under a differently-instrumented JRE.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class TaintPolicy:
+    """Process-wide switch for shadow maintenance."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._shadow_enabled = True
+
+    @property
+    def shadow_enabled(self) -> bool:
+        return self._shadow_enabled
+
+    def enable_shadows(self) -> None:
+        with self._lock:
+            self._shadow_enabled = True
+
+    def disable_shadows(self) -> None:
+        with self._lock:
+            self._shadow_enabled = False
+
+    @contextmanager
+    def shadows(self, enabled: bool) -> Iterator[None]:
+        """Temporarily force shadow maintenance on or off."""
+        with self._lock:
+            previous = self._shadow_enabled
+            self._shadow_enabled = enabled
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._shadow_enabled = previous
+
+
+#: The process-wide policy instance consulted by all tainted value types.
+POLICY = TaintPolicy()
+
+
+def shadows_enabled() -> bool:
+    """Fast accessor used on value-construction hot paths."""
+    return POLICY.shadow_enabled

@@ -1,0 +1,205 @@
+"""The per-JVM singleton taint tree (paper §II-B, Fig. 3).
+
+Phosphor stores all taint tags of one JVM in a single tree.  A *taint* is
+a reference to one tree node; the tag set it denotes is the set of tags on
+the path from the root to that node.  Combining two taints (e.g. for
+``c = a + b``) appends child nodes so that the resulting node's path
+carries the union of both tag sets.  Referring taints to shared nodes
+means equal tag sets are stored once.
+
+This module implements the tree plus the :class:`Taint` handle type.
+``Taint`` instances are interned per tree node, so two values tainted with
+the same tag set hold the *same* ``Taint`` object and identity comparison
+is enough for the hot paths (per-byte label arrays).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Hashable, Iterable, Optional
+
+from repro.taint.tags import LocalId, TaintTag
+
+
+class TreeNode:
+    """One node of the taint tree: the tuple ``<ID, Tag>`` of Fig. 3.
+
+    The root carries no tag (``tag is None``) and denotes the empty taint.
+    """
+
+    __slots__ = ("node_id", "tag", "parent", "children", "tag_set", "taint")
+
+    def __init__(self, node_id: int, tag: Optional[TaintTag], parent: Optional["TreeNode"]):
+        self.node_id = node_id
+        self.tag = tag
+        self.parent = parent
+        #: Child lookup by the appended tag.
+        self.children: dict[TaintTag, TreeNode] = {}
+        parent_tags = parent.tag_set if parent is not None else frozenset()
+        #: All tags on the path root → this node (cached; paths are short).
+        self.tag_set: frozenset[TaintTag] = (
+            parent_tags | {tag} if tag is not None else parent_tags
+        )
+        #: Interned taint handle referring to this node (set by the tree).
+        self.taint: "Taint" = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"TreeNode(id={self.node_id}, tags={sorted(str(t.tag) for t in self.tag_set)})"
+
+
+class Taint:
+    """A taint: an immutable handle to one taint-tree node.
+
+    The empty taint refers to the tree root.  Handles are interned per
+    node, so ``is`` comparison is valid whenever both handles come from
+    the same tree.
+    """
+
+    __slots__ = ("node", "tree")
+
+    def __init__(self, node: TreeNode, tree: "TaintTree"):
+        self.node = node
+        self.tree = tree
+
+    @property
+    def tags(self) -> frozenset[TaintTag]:
+        """All tags carried by this taint (path from root to node)."""
+        return self.node.tag_set
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.node.tag_set
+
+    def union(self, other: "Taint") -> "Taint":
+        """Combine two taints (paper: taint propagation is tag-set union)."""
+        if other is self or other.is_empty:
+            return self
+        if self.is_empty:
+            return other
+        if other.tree is not self.tree:
+            raise ValueError(
+                "cannot combine taints from different JVMs directly; "
+                "inter-node taints must pass through the Taint Map"
+            )
+        return self.tree.combine(self, other)
+
+    def __or__(self, other: "Taint") -> "Taint":
+        return self.union(other)
+
+    def __repr__(self) -> str:
+        if self.is_empty:
+            return "Taint(<empty>)"
+        return f"Taint({sorted(str(t.tag) for t in self.tags)})"
+
+
+class TaintTree:
+    """Per-JVM taint storage: the singleton tree of Fig. 3.
+
+    Thread safe: real distributed-system nodes run many worker threads
+    (e.g. ZooKeeper's SendWorker/RecvWorker) that all propagate taints.
+    """
+
+    def __init__(self, local_id: LocalId):
+        self.local_id = local_id
+        self._lock = threading.RLock()
+        self._next_id = 0
+        self.root = self._new_node(None, None)
+        #: Canonical node per tag set, so equal sets share storage.
+        self._set_index: dict[frozenset[TaintTag], TreeNode] = {frozenset(): self.root}
+        #: Registered tags in insertion order (rank == paper's ``ID``).
+        self._tags: dict[TaintTag, TaintTag] = {}
+        #: Memoized unions keyed by the two nodes' ids.
+        self._union_cache: dict[tuple[int, int], TreeNode] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    def _new_node(self, tag: Optional[TaintTag], parent: Optional[TreeNode]) -> TreeNode:
+        node = TreeNode(self._next_id, tag, parent)
+        self._next_id += 1
+        node.taint = Taint(node, self)
+        return node
+
+    @property
+    def empty(self) -> Taint:
+        """The empty taint (root node)."""
+        return self.root.taint
+
+    def node_count(self) -> int:
+        return self._next_id
+
+    def tag_count(self) -> int:
+        return len(self._tags)
+
+    # ------------------------------------------------------------------ #
+    # Tag registration
+    # ------------------------------------------------------------------ #
+
+    def register_tag(self, tag: TaintTag) -> TaintTag:
+        """Intern a tag in this tree, assigning its rank on first sight.
+
+        Tags arriving from other nodes (via the Taint Map) keep their
+        origin ``LocalID`` but receive a fresh local rank, which is how
+        the paper avoids cross-node tag conflicts.
+        """
+        with self._lock:
+            existing = self._tags.get(tag)
+            if existing is not None:
+                return existing
+            tag.tree_id = len(self._tags) + 1
+            self._tags[tag] = tag
+            return tag
+
+    def new_tag(self, tag_value: Hashable, local_id: Optional[LocalId] = None) -> TaintTag:
+        """Create (or reuse) a tag generated on this JVM."""
+        return self.register_tag(TaintTag(tag_value, local_id or self.local_id))
+
+    def taint_for_tag(self, tag_value: Hashable, local_id: Optional[LocalId] = None) -> Taint:
+        """The taint ``{tag}`` for a source point: a child of the root."""
+        tag = self.new_tag(tag_value, local_id)
+        return self.taint_for_tags([tag])
+
+    # ------------------------------------------------------------------ #
+    # Canonical tag-set lookup and combination
+    # ------------------------------------------------------------------ #
+
+    def _rank(self, tag: TaintTag) -> int:
+        interned = self._tags.get(tag)
+        return interned.tree_id if interned is not None else 1 << 30
+
+    def taint_for_tags(self, tags: Iterable[TaintTag]) -> Taint:
+        """Canonical taint for an arbitrary tag set.
+
+        Walks from the root appending tags in registration-rank order, so
+        equal tag sets always resolve to the same node regardless of the
+        order combinations happened in.
+        """
+        with self._lock:
+            interned = [self.register_tag(t) for t in tags]
+            key = frozenset(interned)
+            node = self._set_index.get(key)
+            if node is not None:
+                return node.taint
+            node = self.root
+            for tag in sorted(interned, key=lambda t: t.tree_id):
+                child = node.children.get(tag)
+                if child is None:
+                    child = self._new_node(tag, node)
+                    node.children[tag] = child
+                    self._set_index.setdefault(child.tag_set, child)
+                node = child
+            self._set_index[key] = node
+            return node.taint
+
+    def combine(self, a: Taint, b: Taint) -> Taint:
+        """Union of two taints, memoized on the node pair."""
+        with self._lock:
+            key = (a.node.node_id, b.node.node_id)
+            cached = self._union_cache.get(key)
+            if cached is not None:
+                return cached.taint
+            result = self.taint_for_tags(a.tags | b.tags)
+            self._union_cache[key] = result.node
+            self._union_cache[(key[1], key[0])] = result.node
+            return result

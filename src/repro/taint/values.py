@@ -1,0 +1,589 @@
+"""Shadow-carrying value types: the output of "instrumentation".
+
+Phosphor rewrites Java bytecode so that every value travels with a shadow
+taint (paper §II-B, Fig. 2).  The Python equivalent of that *rewritten*
+program is code operating on the types in this module:
+
+* :class:`TBytes` / :class:`TByteArray` — byte data with **one label per
+  byte**, the granularity DisTA's inter-node tracking works at (§III-A).
+* :class:`TInt`, :class:`TLong`, :class:`TDouble`, :class:`TBool` —
+  scalars with a single shadow taint.
+* :class:`TStr` — strings with one label per character.
+* :class:`TObj` — base class for application objects whose fields are
+  shadow-carrying values.
+
+Labels are ``Taint | None`` where ``None`` denotes the empty taint; this
+lets untainted values exist without a taint tree in scope.  Whether label
+arrays are materialized at all is decided by :mod:`repro.taint.policy`:
+under the *Original* baseline every constructor takes the no-shadow fast
+path, reproducing the zero-cost uninstrumented configuration.
+
+Implicit (control-flow) taint propagation is deliberately absent: the
+paper inherits Phosphor's explicit-flow-only semantics (§VI).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.taint.policy import shadows_enabled
+from repro.taint.tree import Taint
+
+Label = Optional[Taint]
+LabelArray = Optional[list]
+
+
+def union_labels(a: Label, b: Label) -> Label:
+    """Union of two labels, treating ``None`` as the empty taint."""
+    if a is None or a.is_empty:
+        return None if b is None or b.is_empty else b
+    if b is None or b.is_empty:
+        return a
+    return a.union(b)
+
+
+def union_all(labels: Iterable[Label]) -> Label:
+    """Fold :func:`union_labels` over an iterable of labels.
+
+    Runs of the same label object (the common case: one taint covering a
+    whole message) are skipped by identity before paying for a union.
+    """
+    out: Label = None
+    last: Label = None
+    for label in labels:
+        if label is None or label is last:
+            continue
+        last = label
+        out = label if out is None else union_labels(out, label)
+    return out
+
+
+def _materialize(length: int, label: Label) -> LabelArray:
+    if not shadows_enabled():
+        return None
+    return [label] * length
+
+
+class TBytes:
+    """Immutable byte string with per-byte taint labels.
+
+    This is the type every network message ultimately becomes; DisTA's
+    wire format serializes exactly this (one Global ID per byte).
+    """
+
+    __slots__ = ("data", "labels")
+
+    def __init__(self, data: bytes, labels: LabelArray = None):
+        if labels is not None and len(labels) != len(data):
+            raise ValueError(
+                f"label array length {len(labels)} != data length {len(data)}"
+            )
+        self.data = bytes(data)
+        if labels is None and shadows_enabled():
+            labels = [None] * len(data)
+        self.labels = labels
+
+    # -- constructors -------------------------------------------------- #
+
+    @classmethod
+    def untainted(cls, data: bytes) -> "TBytes":
+        return cls(data)
+
+    @classmethod
+    def raw(cls, data: bytes) -> "TBytes":
+        """Untainted bytes *without* shadow materialization.
+
+        For carrier data that lives below the shadow world — e.g. the
+        wire cells DisTA's wrappers produce, whose shadow would be
+        all-empty by construction.  Application code should use the
+        normal constructor.
+        """
+        out = cls.__new__(cls)
+        out.data = bytes(data)
+        out.labels = None
+        return out
+
+    @classmethod
+    def tainted(cls, data: bytes, taint: Label) -> "TBytes":
+        """All bytes carry ``taint`` (the common source-point case)."""
+        return cls(bytes(data), _materialize(len(data), taint))
+
+    @classmethod
+    def empty(cls) -> "TBytes":
+        return cls(b"")
+
+    # -- shadow access -------------------------------------------------- #
+
+    def label_at(self, index: int) -> Label:
+        if self.labels is None:
+            return None
+        return self.labels[index]
+
+    def effective_labels(self) -> list:
+        """Labels as a concrete list (all-``None`` when untracked)."""
+        if self.labels is not None:
+            return self.labels
+        return [None] * len(self.data)
+
+    def overall_taint(self) -> Label:
+        """Union of every byte's label (used at sink points)."""
+        if self.labels is None:
+            return None
+        return union_all(self.labels)
+
+    def is_tainted(self) -> bool:
+        return self.overall_taint() is not None
+
+    # -- operations (each is a taint propagation point) ----------------- #
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __bool__(self) -> bool:
+        return bool(self.data)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TBytes):
+            return self.data == other.data
+        if isinstance(other, (bytes, bytearray)):
+            return self.data == bytes(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.data)
+
+    def __getitem__(self, item: Union[int, slice]) -> Union["TInt", "TBytes"]:
+        if isinstance(item, slice):
+            labels = self.labels[item] if self.labels is not None else None
+            return TBytes(self.data[item], labels)
+        return TInt(self.data[item], self.label_at(item))
+
+    def __add__(self, other: "TBytes") -> "TBytes":
+        other = as_tbytes(other)
+        if self.labels is None and other.labels is None:
+            return TBytes(self.data + other.data)
+        return TBytes(
+            self.data + other.data,
+            self.effective_labels() + other.effective_labels(),
+        )
+
+    def __iter__(self):
+        for i in range(len(self.data)):
+            yield self[i]
+
+    def slice(self, start: int, length: int) -> "TBytes":
+        return self[start : start + length]
+
+    def with_taint(self, taint: Label) -> "TBytes":
+        """A copy whose every byte additionally carries ``taint``."""
+        if taint is None or not shadows_enabled():
+            return self
+        labels = [union_labels(l, taint) for l in self.effective_labels()]
+        return TBytes(self.data, labels)
+
+    def decode(self, encoding: str = "utf-8") -> "TStr":
+        """Byte→char label transfer; multi-byte chars union their bytes."""
+        text = self.data.decode(encoding)
+        if self.labels is None:
+            return TStr(text)
+        if len(text) == len(self.data):
+            # Single-byte encoding (the common case): labels map 1:1.
+            return TStr(text, list(self.labels))
+        labels = []
+        pos = 0
+        for ch in text:
+            width = len(ch.encode(encoding))
+            labels.append(union_all(self.labels[pos : pos + width]))
+            pos += width
+        return TStr(text, labels)
+
+    def __repr__(self) -> str:
+        preview = self.data[:16]
+        suffix = "..." if len(self.data) > 16 else ""
+        return f"TBytes({preview!r}{suffix}, len={len(self.data)}, tainted={self.is_tainted()})"
+
+
+class TByteArray:
+    """Mutable byte buffer with per-byte labels.
+
+    Models the ``byte[]`` buffers JRE stream methods read into (e.g. the
+    ``data`` parameter of ``socketRead0``).
+    """
+
+    __slots__ = ("data", "labels")
+
+    @classmethod
+    def raw(cls, size: int) -> "TByteArray":
+        """A buffer without shadow materialization (see TBytes.raw)."""
+        out = cls.__new__(cls)
+        out.data = bytearray(size)
+        out.labels = None
+        return out
+
+    def __init__(self, size_or_data: Union[int, bytes, TBytes] = 0):
+        if isinstance(size_or_data, int):
+            self.data = bytearray(size_or_data)
+            self.labels: LabelArray = (
+                [None] * size_or_data if shadows_enabled() else None
+            )
+        elif isinstance(size_or_data, TBytes):
+            self.data = bytearray(size_or_data.data)
+            self.labels = (
+                list(size_or_data.labels) if size_or_data.labels is not None else None
+            )
+        else:
+            self.data = bytearray(size_or_data)
+            self.labels = [None] * len(self.data) if shadows_enabled() else None
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def _ensure_labels(self) -> list:
+        if self.labels is None:
+            self.labels = [None] * len(self.data)
+        return self.labels
+
+    def write(self, offset: int, source: TBytes) -> None:
+        """Copy ``source`` (data and labels) into this buffer."""
+        end = offset + len(source)
+        if end > len(self.data):
+            raise IndexError(f"write [{offset}:{end}) exceeds buffer size {len(self.data)}")
+        self.data[offset:end] = source.data
+        if source.labels is not None:
+            self._ensure_labels()[offset:end] = source.labels
+        elif self.labels is not None:
+            self.labels[offset:end] = [None] * len(source)
+
+    def read(self, offset: int, length: int) -> TBytes:
+        end = offset + length
+        labels = self.labels[offset:end] if self.labels is not None else None
+        return TBytes(bytes(self.data[offset:end]), labels)
+
+    def snapshot(self) -> TBytes:
+        return self.read(0, len(self.data))
+
+    def overall_taint(self) -> Label:
+        if self.labels is None:
+            return None
+        return union_all(self.labels)
+
+
+class _TScalar:
+    """Common behaviour for tainted scalars (value + one shadow taint)."""
+
+    __slots__ = ("value", "taint")
+    _coerce = staticmethod(lambda v: v)
+
+    def __init__(self, value, taint: Label = None):
+        if isinstance(value, _TScalar):
+            taint = union_labels(taint, value.taint)
+            value = value.value
+        self.value = self._coerce(value)
+        self.taint = taint if shadows_enabled() else None
+
+    # Propagation: arithmetic combines shadows (paper Fig. 2: c_t = a_t ∪ b_t).
+    def _binop(self, other, op):
+        other_value, other_taint = _unpack(other)
+        return type(self)(op(self.value, other_value), union_labels(self.taint, other_taint))
+
+    def __add__(self, other):
+        return self._binop(other, lambda a, b: a + b)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._binop(other, lambda a, b: a - b)
+
+    def __rsub__(self, other):
+        other_value, other_taint = _unpack(other)
+        return type(self)(other_value - self.value, union_labels(self.taint, other_taint))
+
+    def __mul__(self, other):
+        return self._binop(other, lambda a, b: a * b)
+
+    __rmul__ = __mul__
+
+    def __mod__(self, other):
+        return self._binop(other, lambda a, b: a % b)
+
+    def __and__(self, other):
+        return self._binop(other, lambda a, b: a & b)
+
+    def __or__(self, other):
+        return self._binop(other, lambda a, b: a | b)
+
+    def __xor__(self, other):
+        return self._binop(other, lambda a, b: a ^ b)
+
+    def __lshift__(self, other):
+        return self._binop(other, lambda a, b: a << b)
+
+    def __rshift__(self, other):
+        return self._binop(other, lambda a, b: a >> b)
+
+    # Comparisons yield plain booleans: implicit flows are not tracked (§VI).
+    def __eq__(self, other) -> bool:
+        other_value, _ = _unpack(other)
+        return self.value == other_value
+
+    def __ne__(self, other) -> bool:
+        return not self.__eq__(other)
+
+    def __lt__(self, other) -> bool:
+        return self.value < _unpack(other)[0]
+
+    def __le__(self, other) -> bool:
+        return self.value <= _unpack(other)[0]
+
+    def __gt__(self, other) -> bool:
+        return self.value > _unpack(other)[0]
+
+    def __ge__(self, other) -> bool:
+        return self.value >= _unpack(other)[0]
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __bool__(self) -> bool:
+        return bool(self.value)
+
+    def is_tainted(self) -> bool:
+        return self.taint is not None and not self.taint.is_empty
+
+    def with_taint(self, taint: Label):
+        return type(self)(self.value, union_labels(self.taint, taint))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.value!r}, tainted={self.is_tainted()})"
+
+
+class TInt(_TScalar):
+    """Tainted 32-bit-style integer (range is not enforced)."""
+
+    _coerce = staticmethod(int)
+
+    def __floordiv__(self, other):
+        return self._binop(other, lambda a, b: a // b)
+
+
+class TLong(_TScalar):
+    """Tainted 64-bit-style integer."""
+
+    _coerce = staticmethod(int)
+
+    def __floordiv__(self, other):
+        return self._binop(other, lambda a, b: a // b)
+
+
+class TDouble(_TScalar):
+    """Tainted floating-point value."""
+
+    _coerce = staticmethod(float)
+
+    def __truediv__(self, other):
+        return self._binop(other, lambda a, b: a / b)
+
+    def __rtruediv__(self, other):
+        other_value, other_taint = _unpack(other)
+        return TDouble(other_value / self.value, union_labels(self.taint, other_taint))
+
+
+class TBool(_TScalar):
+    """Tainted boolean."""
+
+    _coerce = staticmethod(bool)
+
+
+class TStr:
+    """Immutable string with per-character taint labels."""
+
+    __slots__ = ("value", "labels")
+
+    def __init__(self, value: str, labels: LabelArray = None):
+        if labels is not None and len(labels) != len(value):
+            raise ValueError("label array length != string length")
+        self.value = value
+        if labels is None and shadows_enabled():
+            labels = [None] * len(value)
+        self.labels = labels
+
+    @classmethod
+    def tainted(cls, value: str, taint: Label) -> "TStr":
+        return cls(value, _materialize(len(value), taint))
+
+    def effective_labels(self) -> list:
+        if self.labels is not None:
+            return self.labels
+        return [None] * len(self.value)
+
+    def overall_taint(self) -> Label:
+        if self.labels is None:
+            return None
+        return union_all(self.labels)
+
+    def is_tainted(self) -> bool:
+        return self.overall_taint() is not None
+
+    def __len__(self) -> int:
+        return len(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TStr):
+            return self.value == other.value
+        if isinstance(other, str):
+            return self.value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __add__(self, other: Union["TStr", str]) -> "TStr":
+        other = as_tstr(other)
+        if self.labels is None and other.labels is None:
+            return TStr(self.value + other.value)
+        return TStr(
+            self.value + other.value,
+            self.effective_labels() + other.effective_labels(),
+        )
+
+    def __radd__(self, other: str) -> "TStr":
+        return as_tstr(other) + self
+
+    def __getitem__(self, item: Union[int, slice]) -> "TStr":
+        if isinstance(item, int):
+            item = slice(item, item + 1 if item != -1 else None)
+        labels = self.labels[item] if self.labels is not None else None
+        return TStr(self.value[item], labels)
+
+    def encode(self, encoding: str = "utf-8") -> TBytes:
+        """Char→byte label transfer; multi-byte chars replicate the label."""
+        raw = self.value.encode(encoding)
+        if self.labels is None:
+            return TBytes(raw)
+        if len(raw) == len(self.value):
+            # Single-byte encoding (the common case): labels map 1:1.
+            return TBytes(raw, list(self.labels))
+        labels: list = []
+        for ch, label in zip(self.value, self.labels):
+            labels.extend([label] * len(ch.encode(encoding)))
+        return TBytes(raw, labels)
+
+    def with_taint(self, taint: Label) -> "TStr":
+        if taint is None or not shadows_enabled():
+            return self
+        return TStr(
+            self.value, [union_labels(l, taint) for l in self.effective_labels()]
+        )
+
+    def split(self, sep: str) -> list:
+        parts = []
+        start = 0
+        while True:
+            idx = self.value.find(sep, start)
+            if idx < 0:
+                parts.append(self[start:])
+                return parts
+            parts.append(self[start:idx])
+            start = idx + len(sep)
+
+    def __repr__(self) -> str:
+        preview = self.value[:24]
+        suffix = "..." if len(self.value) > 24 else ""
+        return f"TStr({preview!r}{suffix}, tainted={self.is_tainted()})"
+
+
+class TObj:
+    """Base class for application objects carrying tainted fields.
+
+    Subclasses either rely on the default behaviour (every instance
+    attribute participates) or override :meth:`taint_fields`.
+    """
+
+    def taint_fields(self) -> dict:
+        """Mapping of field name → (possibly tainted) value."""
+        return {k: v for k, v in vars(self).items() if not k.startswith("_")}
+
+    def overall_taint(self) -> Label:
+        return union_all(taint_of(v) for v in self.taint_fields().values())
+
+    def is_tainted(self) -> bool:
+        return self.overall_taint() is not None
+
+
+# ---------------------------------------------------------------------- #
+# Generic helpers
+# ---------------------------------------------------------------------- #
+
+
+def _unpack(value) -> tuple:
+    if isinstance(value, _TScalar):
+        return value.value, value.taint
+    return value, None
+
+
+def taint_of(value) -> Label:
+    """Overall taint of any value (``None`` for plain Python values)."""
+    if isinstance(value, _TScalar):
+        return value.taint
+    if isinstance(value, (TBytes, TStr, TByteArray, TObj)):
+        return value.overall_taint()
+    if isinstance(value, (list, tuple)):
+        return union_all(taint_of(v) for v in value)
+    if isinstance(value, dict):
+        return union_all(taint_of(v) for v in value.values())
+    return None
+
+
+def with_taint(value, taint: Label):
+    """Attach ``taint`` to ``value``, wrapping plain values as needed.
+
+    ``TObj`` instances are tainted in place, field by field (a source
+    point on an object variable taints the whole object's state).
+    """
+    if taint is None:
+        return value
+    if isinstance(value, (_TScalar, TBytes, TStr)):
+        return value.with_taint(taint)
+    if isinstance(value, TObj):
+        for name, field_value in value.taint_fields().items():
+            try:
+                setattr(value, name, with_taint(field_value, taint))
+            except TypeError:
+                continue
+        return value
+    if isinstance(value, bool):
+        return TBool(value, taint)
+    if isinstance(value, int):
+        return TInt(value, taint)
+    if isinstance(value, float):
+        return TDouble(value, taint)
+    if isinstance(value, str):
+        return TStr.tainted(value, taint)
+    if isinstance(value, (bytes, bytearray)):
+        return TBytes.tainted(bytes(value), taint)
+    raise TypeError(f"cannot attach taint to {type(value).__name__}")
+
+
+def as_tbytes(value: Union[TBytes, bytes, bytearray]) -> TBytes:
+    if isinstance(value, TBytes):
+        return value
+    return TBytes(bytes(value))
+
+
+def as_tstr(value: Union[TStr, str]) -> TStr:
+    if isinstance(value, TStr):
+        return value
+    return TStr(value)
+
+
+def plain(value):
+    """Strip shadows: the underlying Python value."""
+    if isinstance(value, _TScalar):
+        return value.value
+    if isinstance(value, TBytes):
+        return value.data
+    if isinstance(value, TStr):
+        return value.value
+    if isinstance(value, TByteArray):
+        return bytes(value.data)
+    return value

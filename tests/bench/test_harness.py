@@ -1,0 +1,81 @@
+"""Sanity tests for the table-regeneration harness itself."""
+
+import pytest
+
+from repro.bench.overhead import (
+    PAPER_TABLE5,
+    PAPER_TABLE6,
+    measure_network_overhead,
+    run_table5,
+    run_table6,
+)
+from repro.bench.report import fmt_ms, fmt_ratio, render_table
+from repro.bench.tables import table1, table3, table4, usability_table
+
+
+class TestReport:
+    def test_render_alignment(self):
+        out = render_table("T", ["col", "x"], [["a", 1], ["bbbb", 22]], note="n")
+        lines = out.splitlines()
+        assert lines[0] == "== T =="
+        assert len(lines) == 6  # title, header, sep, 2 rows, note
+        widths = {len(line) for line in lines[1:4]}
+        assert len(widths) == 1  # header, separator, rows aligned
+
+    def test_formatters(self):
+        assert fmt_ratio(None) == "-"
+        assert fmt_ratio(2.5) == "2.50x"
+        assert fmt_ms(0.0123) == "12.3"
+        assert fmt_ms(None) == "-"
+
+
+class TestStaticTables:
+    def test_table1_contains_every_method(self):
+        out = table1()
+        assert "socketRead0" in out and "DirectByteBuffer" in out
+
+    def test_table3_lists_five_systems(self):
+        out = table3()
+        for name in ("ZooKeeper", "MapReduce/Yarn", "ActiveMQ", "RocketMQ", "HBase"):
+            assert name in out
+
+    def test_table4_has_sdt_and_sim_rows(self):
+        out = table4()
+        assert out.count("SDT") == 5
+        assert out.count("SIM") == 5
+
+    def test_usability_table(self):
+        out = usability_table()
+        assert "zkEnv.sh" in out
+        assert "source-code changes: 0" in out
+
+
+class TestOverheadHarness:
+    def test_table5_row_structure(self):
+        rows = run_table5(size=2048, repeats=1)
+        names = [r.name for r in rows]
+        assert names[0] == "JRE Socket-Best"
+        assert names[-1] == "Average"
+        assert len(rows) == len(PAPER_TABLE5)
+        for row in rows:
+            assert row.original_s > 0
+            assert row.phosphor_overhead > 0
+            assert row.dista_overhead > 0
+
+    def test_paper_reference_values_attached(self):
+        rows = run_table5(size=2048, repeats=1)
+        average = next(r for r in rows if r.name == "Average")
+        assert average.paper_phosphor == 2.62
+        assert average.paper_dista == 3.95
+
+    def test_table6_row_structure(self):
+        rows = run_table6(repeats=1)
+        assert [r.name for r in rows][:5] == list(PAPER_TABLE6)[:5]
+        assert rows[-1].name == "Average"
+        for row in rows[:-1]:
+            assert row.original_s > 0
+
+    def test_network_overhead_shape(self):
+        result = measure_network_overhead(size=2048)
+        assert result.original_bytes > 0
+        assert 4.9 <= result.ratio <= 5.1

@@ -1,0 +1,329 @@
+"""End-to-end inter-node tracking through every communication API.
+
+Each test sends tainted data node1 → node2 under ``Mode.DISTA`` and
+checks the receiver sees exactly the source tags (sound ∧ precise).
+A companion test re-runs the socket case under ``Mode.PHOSPHOR`` to
+confirm the baseline's inter-node unsoundness (paper Fig. 4).
+"""
+
+import pytest
+
+from repro.jre import (
+    ByteBuffer,
+    DatagramChannel,
+    DatagramPacket,
+    DatagramSocket,
+    HttpResponse,
+    HttpServer,
+    ObjectInputStream,
+    ObjectOutputStream,
+    ServerSocket,
+    ServerSocketChannel,
+    Socket,
+    SocketChannel,
+    AsynchronousServerSocketChannel,
+    AsynchronousSocketChannel,
+    http_post,
+    register_serializable,
+)
+from repro.runtime.cluster import Cluster
+from repro.runtime.modes import Mode
+from repro.taint.values import TBytes, TInt, TObj, TStr
+
+
+def tag_values(taint):
+    assert taint is not None, "taint was dropped (unsound)"
+    return {t.tag for t in taint.tags}
+
+
+@pytest.fixture()
+def dista():
+    cluster = Cluster(Mode.DISTA)
+    n1 = cluster.add_node("node1")
+    n2 = cluster.add_node("node2")
+    with cluster:
+        yield cluster, n1, n2
+
+
+class TestSocketStreams:
+    def test_tainted_bytes_cross_nodes(self, dista):
+        cluster, n1, n2 = dista
+        server = ServerSocket(n2, 9000)
+        client = Socket.connect(n1, ("10.0.0.2", 9000))
+        conn = server.accept()
+        taint = n1.tree.taint_for_tag("secret")
+        client.get_output_stream().write(TBytes.tainted(b"payload", taint))
+        received = server_received = conn.get_input_stream().read_fully(7)
+        assert received == b"payload"
+        assert tag_values(received.overall_taint()) == {"secret"}
+
+    def test_byte_level_precision(self, dista):
+        """Only the tainted bytes are tainted on arrival — no over-taint."""
+        cluster, n1, n2 = dista
+        server = ServerSocket(n2, 9001)
+        client = Socket.connect(n1, ("10.0.0.2", 9001))
+        conn = server.accept()
+        ta = n1.tree.taint_for_tag("a")
+        message = TBytes(b"....") + TBytes.tainted(b"XX", ta) + TBytes(b"..")
+        client.get_output_stream().write(message)
+        received = conn.get_input_stream().read_fully(8)
+        assert received.overall_taint() is not None
+        assert received[:4].overall_taint() is None
+        assert tag_values(received[4:6].overall_taint()) == {"a"}
+        assert received[6:].overall_taint() is None
+
+    def test_multi_taint_tracking(self, dista):
+        """DisTA supports multiple distinct taints (vs Taint-Exchange)."""
+        cluster, n1, n2 = dista
+        server = ServerSocket(n2, 9002)
+        client = Socket.connect(n1, ("10.0.0.2", 9002))
+        conn = server.accept()
+        ta = n1.tree.taint_for_tag("a")
+        tb = n1.tree.taint_for_tag("b")
+        client.get_output_stream().write(
+            TBytes.tainted(b"A", ta) + TBytes.tainted(b"B", tb)
+        )
+        received = conn.get_input_stream().read_fully(2)
+        assert tag_values(received[0:1].overall_taint()) == {"a"}
+        assert tag_values(received[1:2].overall_taint()) == {"b"}
+
+    def test_roundtrip_and_combine(self, dista):
+        """The Fig. 10 shape: send, combine remotely, send back."""
+        cluster, n1, n2 = dista
+        server = ServerSocket(n2, 9003)
+        client = Socket.connect(n1, ("10.0.0.2", 9003))
+        conn = server.accept()
+        t1 = n1.tree.taint_for_tag("data1")
+        client.get_output_stream().write(TBytes.tainted(b"111", t1))
+        incoming = conn.get_input_stream().read_fully(3)
+        t2 = n2.tree.taint_for_tag("data2")
+        conn.get_output_stream().write(incoming + TBytes.tainted(b"222", t2))
+        final = client.get_input_stream().read_fully(6)
+        assert tag_values(final.overall_taint()) == {"data1", "data2"}
+
+    def test_local_id_distinguishes_same_tag_value(self, dista):
+        """§III-D.1 tag conflict: node2 generates its own "vote" tag; the
+        one arriving from node1 must remain distinct."""
+        cluster, n1, n2 = dista
+        own = n2.tree.taint_for_tag("vote")
+        server = ServerSocket(n2, 9004)
+        client = Socket.connect(n1, ("10.0.0.2", 9004))
+        conn = server.accept()
+        remote = n1.tree.taint_for_tag("vote")
+        client.get_output_stream().write(TBytes.tainted(b"v", remote))
+        received = conn.get_input_stream().read_fully(1)
+        received_tag = next(iter(received.overall_taint().tags))
+        own_tag = next(iter(own.tags))
+        assert received_tag.tag == own_tag.tag == "vote"
+        assert received_tag != own_tag
+        assert received_tag.local_id.ip == "10.0.0.1"
+        assert own_tag.local_id.ip == "10.0.0.2"
+
+
+class TestPhosphorBaseline:
+    def test_phosphor_mode_drops_inter_node_taint(self):
+        cluster = Cluster(Mode.PHOSPHOR)
+        n1 = cluster.add_node("node1")
+        n2 = cluster.add_node("node2")
+        with cluster:
+            server = ServerSocket(n2, 9000)
+            client = Socket.connect(n1, ("10.0.0.2", 9000))
+            conn = server.accept()
+            taint = n1.tree.taint_for_tag("secret")
+            client.get_output_stream().write(TBytes.tainted(b"payload", taint))
+            received = conn.get_input_stream().read_fully(7)
+            assert received == b"payload"
+            assert received.overall_taint() is None  # the Fig. 4 unsoundness
+
+
+@register_serializable
+class _Envelope(TObj):
+    def __init__(self, body, sequence):
+        self.body = body
+        self.sequence = sequence
+
+
+class TestObjectStreams:
+    def test_object_field_taint_crosses_nodes(self, dista):
+        cluster, n1, n2 = dista
+        server = ServerSocket(n2, 9100)
+        client = Socket.connect(n1, ("10.0.0.2", 9100))
+        conn = server.accept()
+        taint = n1.tree.taint_for_tag("body")
+        out = ObjectOutputStream(client.get_output_stream())
+        out.write_object(_Envelope(TStr.tainted("hello", taint), TInt(7)))
+        obj = ObjectInputStream(conn.get_input_stream()).read_object()
+        assert obj.body.value == "hello"
+        assert tag_values(obj.body.overall_taint()) == {"body"}
+        assert obj.sequence.taint is None  # field-level precision
+
+
+class TestDatagram:
+    def test_udp_packet_taint(self, dista):
+        cluster, n1, n2 = dista
+        a = DatagramSocket(n1, 5000)
+        b = DatagramSocket(n2, 5000)
+        taint = n1.tree.taint_for_tag("udp")
+        packet = DatagramPacket(TBytes.tainted(b"dgram", taint), address=("10.0.0.2", 5000))
+        a.send(packet)
+        incoming = DatagramPacket(32)
+        b.receive(incoming)
+        payload = incoming.payload()
+        assert payload == b"dgram"
+        assert tag_values(payload.overall_taint()) == {"udp"}
+
+    def test_udp_truncation_keeps_taint_alignment(self, dista):
+        """Receiver buffer smaller than payload: data truncates, and the
+        surviving bytes keep their own taints (mismatched length case)."""
+        cluster, n1, n2 = dista
+        a = DatagramSocket(n1, 5001)
+        b = DatagramSocket(n2, 5001)
+        ta = n1.tree.taint_for_tag("head")
+        tb = n1.tree.taint_for_tag("tail")
+        payload = TBytes.tainted(b"HH", ta) + TBytes.tainted(b"TT", tb)
+        a.send(DatagramPacket(payload, address=("10.0.0.2", 5001)))
+        incoming = DatagramPacket(2)  # only room for the head
+        b.receive(incoming)
+        got = incoming.payload()
+        assert got == b"HH"
+        assert tag_values(got.overall_taint()) == {"head"}
+
+
+class TestChannels:
+    def test_socket_channel_heap_buffer(self, dista):
+        cluster, n1, n2 = dista
+        server = ServerSocketChannel.open(n2).bind(9200)
+        client = SocketChannel.open(n1).connect(("10.0.0.2", 9200))
+        conn = server.accept()
+        taint = n1.tree.taint_for_tag("nio")
+        client.write_fully(ByteBuffer.wrap(TBytes.tainted(b"channel", taint)))
+        into = ByteBuffer.allocate(7)
+        conn.read_fully(into)
+        into.flip()
+        got = into.get(7)
+        assert got == b"channel"
+        assert tag_values(got.overall_taint()) == {"nio"}
+
+    def test_socket_channel_direct_buffer(self, dista):
+        cluster, n1, n2 = dista
+        server = ServerSocketChannel.open(n2).bind(9201)
+        client = SocketChannel.open(n1).connect(("10.0.0.2", 9201))
+        conn = server.accept()
+        taint = n1.tree.taint_for_tag("direct")
+        out = ByteBuffer.allocate_direct(6, n1.jni)
+        out.put(TBytes.tainted(b"dbytes", taint))
+        out.flip()
+        client.write_fully(out)
+        into = ByteBuffer.allocate_direct(6, n2.jni)
+        conn.read_fully(into)
+        into.flip()
+        got = into.get(6)
+        assert got == b"dbytes"
+        assert tag_values(got.overall_taint()) == {"direct"}
+
+    def test_datagram_channel(self, dista):
+        cluster, n1, n2 = dista
+        a = DatagramChannel.open(n1).bind(5200)
+        b = DatagramChannel.open(n2).bind(5200)
+        taint = n1.tree.taint_for_tag("dchan")
+        a.send(ByteBuffer.wrap(TBytes.tainted(b"dgram", taint)), ("10.0.0.2", 5200))
+        into = ByteBuffer.allocate(16)
+        source = b.receive(into)
+        assert source == ("10.0.0.1", 5200)
+        into.flip()
+        got = into.get()
+        assert got == b"dgram"
+        assert tag_values(got.overall_taint()) == {"dchan"}
+
+    def test_nonblocking_channel_with_selector(self, dista):
+        from repro.jre import OP_READ, Selector
+
+        cluster, n1, n2 = dista
+        server = ServerSocketChannel.open(n2).bind(9202)
+        client = SocketChannel.open(n1).connect(("10.0.0.2", 9202))
+        conn = server.accept()
+        conn.configure_blocking(False)
+        selector = Selector()
+        selector.register(conn, OP_READ)
+        taint = n1.tree.taint_for_tag("sel")
+        client.write_fully(ByteBuffer.wrap(TBytes.tainted(b"ready", taint)))
+        got = TBytes.empty()
+        while len(got) < 5:
+            keys = selector.select(timeout=5)
+            assert keys, "selector never became ready"
+            into = ByteBuffer.allocate(8)
+            n = conn.read(into)
+            if n > 0:
+                into.flip()
+                got = got + into.get(n)
+        assert got == b"ready"
+        assert tag_values(got.overall_taint()) == {"sel"}
+
+
+class TestAio:
+    def test_async_channel_taint(self, dista):
+        cluster, n1, n2 = dista
+        server = AsynchronousServerSocketChannel.open(n2).bind(9300)
+        accept_future = server.accept()
+        client = AsynchronousSocketChannel.open(n1)
+        client.connect(("10.0.0.2", 9300)).result(timeout=5)
+        conn = accept_future.result(timeout=5)
+        taint = n1.tree.taint_for_tag("aio")
+        client.write(ByteBuffer.wrap(TBytes.tainted(b"async", taint))).result(timeout=5)
+        into = ByteBuffer.allocate(5)
+        assert conn.read(into).result(timeout=5) == 5
+        into.flip()
+        got = into.get(5)
+        assert got == b"async"
+        assert tag_values(got.overall_taint()) == {"aio"}
+
+
+class TestHttp:
+    def test_http_body_taint(self, dista):
+        cluster, n1, n2 = dista
+        seen = {}
+
+        def handler(request):
+            seen["taint"] = request.body.overall_taint()
+            reply_taint = n2.tree.taint_for_tag("reply")
+            return HttpResponse(body=request.body + TBytes.tainted(b"-ok", reply_taint))
+
+        server = HttpServer(n2, 8080, handler).start()
+        try:
+            taint = n1.tree.taint_for_tag("form")
+            response = http_post(
+                n1, ("10.0.0.2", 8080), "/submit", TBytes.tainted(b"name=x", taint)
+            )
+            assert tag_values(seen["taint"]) == {"form"}
+            assert response.body == b"name=x-ok"
+            assert tag_values(response.body.overall_taint()) == {"form", "reply"}
+        finally:
+            server.stop()
+
+
+class TestWireOverhead:
+    def test_network_overhead_is_about_5x(self):
+        """§V-F: a 4-byte Global ID per data byte ⇒ ~5× wire bytes."""
+        baseline = Cluster(Mode.ORIGINAL)
+        b1, b2 = baseline.add_node("n1"), baseline.add_node("n2")
+        with baseline:
+            server = ServerSocket(b2, 9000)
+            client = Socket.connect(b1, ("10.0.0.2", 9000))
+            conn = server.accept()
+            client.get_output_stream().write(TBytes(b"x" * 1000))
+            conn.get_input_stream().read_fully(1000)
+        original_bytes = baseline.wire_bytes()
+
+        tracked = Cluster(Mode.DISTA)
+        t1, t2 = tracked.add_node("n1"), tracked.add_node("n2")
+        with tracked:
+            server = ServerSocket(t2, 9000)
+            client = Socket.connect(t1, ("10.0.0.2", 9000))
+            conn = server.accept()
+            taint = t1.tree.taint_for_tag("t")
+            client.get_output_stream().write(TBytes.tainted(b"x" * 1000, taint))
+            conn.get_input_stream().read_fully(1000)
+        dista_bytes = tracked.wire_bytes(exclude_taint_map=True)
+
+        assert original_bytes == 1000
+        assert dista_bytes == 5000

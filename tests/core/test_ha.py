@@ -1,0 +1,95 @@
+"""Tests for the replicated Taint Map and failover client (paper §VI)."""
+
+import pytest
+
+from repro.core.ha import (
+    FailoverTaintMapClient,
+    ReplicatedTaintMapServer,
+    StandbyTaintMapServer,
+)
+from repro.core.taintmap import TaintMapClient
+from repro.errors import TaintMapError
+from repro.runtime.fs import SimFileSystem
+from repro.runtime.kernel import SimKernel
+from repro.runtime.modes import Mode
+from repro.runtime.node import SimNode
+
+PRIMARY = ("10.0.255.1", 7170)
+STANDBY = ("10.0.255.2", 7170)
+
+
+@pytest.fixture()
+def ha_setup():
+    kernel = SimKernel("ha")
+    kernel.register_node(PRIMARY[0])
+    kernel.register_node(STANDBY[0])
+    fs = SimFileSystem()
+    standby = StandbyTaintMapServer(kernel, *STANDBY).start()
+    primary = ReplicatedTaintMapServer(kernel, *PRIMARY, standby=STANDBY).start()
+    node = SimNode("n1", kernel.register_node("10.0.0.1"), 1, kernel, fs, Mode.DISTA)
+    yield kernel, node, primary, standby
+    primary.stop()
+    standby.stop()
+
+
+class TestReplication:
+    def test_allocations_replicate_with_same_gid(self, ha_setup):
+        kernel, node, primary, standby = ha_setup
+        client = TaintMapClient(node, PRIMARY)
+        gid = client.gid_for(node.tree.taint_for_tag("replicated"))
+        assert primary.replicated == 1
+        assert standby.global_taint_count() == 1
+        # The standby resolves the same GID to the same tags.
+        standby_client = TaintMapClient(node, STANDBY)
+        resolved = standby_client.taint_for(gid)
+        assert {t.tag for t in resolved.tags} == {"replicated"}
+
+    def test_primary_survives_standby_outage(self, ha_setup):
+        kernel, node, primary, standby = ha_setup
+        standby.stop()
+        client = TaintMapClient(node, PRIMARY)
+        gid = client.gid_for(node.tree.taint_for_tag("lonely"))
+        assert gid > 0
+        assert primary.replication_failures >= 1
+
+    def test_standby_numbering_continues_after_failover_promotion(self, ha_setup):
+        kernel, node, primary, standby = ha_setup
+        client = TaintMapClient(node, PRIMARY)
+        g1 = client.gid_for(node.tree.taint_for_tag("before"))
+        primary.stop()
+        # Clients now talk to the standby directly; fresh taints must not
+        # collide with replicated GIDs.
+        standby_client = TaintMapClient(node, STANDBY)
+        g2 = standby_client.gid_for(node.tree.taint_for_tag("after"))
+        assert g2 > g1
+
+
+class TestFailoverClient:
+    def test_transparent_failover(self, ha_setup):
+        kernel, node, primary, standby = ha_setup
+        client = FailoverTaintMapClient(node, PRIMARY, STANDBY)
+        g1 = client.gid_for(node.tree.taint_for_tag("pre-failover"))
+        assert client.active_address == PRIMARY
+        primary.stop()
+        g2 = client.gid_for(node.tree.taint_for_tag("post-failover"))
+        assert client.active_address == STANDBY
+        assert g2 != g1
+        # Lookups of pre-failover taints still resolve (replicated).
+        uncached = FailoverTaintMapClient(node, PRIMARY, STANDBY)
+        resolved = uncached.taint_for(g1)
+        assert {t.tag for t in resolved.tags} == {"pre-failover"}
+
+    def test_both_replicas_down_raises(self, ha_setup):
+        kernel, node, primary, standby = ha_setup
+        primary.stop()
+        standby.stop()
+        client = FailoverTaintMapClient(node, PRIMARY, STANDBY)
+        with pytest.raises(TaintMapError, match="unreachable"):
+            client.gid_for(node.tree.taint_for_tag("nowhere"))
+
+    def test_semantic_errors_do_not_trigger_failover(self, ha_setup):
+        kernel, node, primary, standby = ha_setup
+        client = FailoverTaintMapClient(node, PRIMARY, STANDBY)
+        with pytest.raises(TaintMapError, match="unknown"):
+            client.taint_for(777777)
+        assert client.active_address == PRIMARY  # still on the primary

@@ -1,0 +1,60 @@
+"""Property tests for ByteBuffer cursor semantics (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jre import ByteBuffer
+from repro.taint.values import TBytes
+
+
+@settings(max_examples=60)
+@given(st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=6))
+def test_put_flip_get_roundtrip(parts):
+    total = sum(len(p) for p in parts)
+    buf = ByteBuffer.allocate(total)
+    for part in parts:
+        buf.put(TBytes(part))
+    buf.flip()
+    assert buf.limit == total and buf.position == 0
+    assert buf.get(total) == b"".join(parts)
+    assert not buf.has_remaining()
+
+
+@settings(max_examples=60)
+@given(
+    st.binary(min_size=1, max_size=32),
+    st.integers(min_value=0, max_value=31),
+)
+def test_compact_preserves_unread_suffix(data, consumed):
+    consumed = min(consumed, len(data))
+    buf = ByteBuffer.allocate(64)
+    buf.put(TBytes(data))
+    buf.flip()
+    buf.get(consumed)
+    buf.compact()
+    # After compact, position == remaining unread bytes; a flip exposes them.
+    assert buf.position == len(data) - consumed
+    buf.flip()
+    assert buf.get(buf.remaining()) == data[consumed:]
+
+
+@settings(max_examples=40)
+@given(st.binary(min_size=1, max_size=24))
+def test_rewind_allows_rereading(data):
+    buf = ByteBuffer.wrap(data)
+    first = buf.get(len(data))
+    buf.rewind()
+    second = buf.get(len(data))
+    assert first == second == data
+
+
+@settings(max_examples=40)
+@given(st.binary(min_size=2, max_size=24), st.data())
+def test_mark_reset_returns_to_mark(data, draw):
+    buf = ByteBuffer.wrap(data)
+    skip = draw.draw(st.integers(min_value=0, max_value=len(data) - 1))
+    buf.get(skip)
+    buf.mark()
+    buf.get(len(data) - skip)
+    buf.reset()
+    assert buf.position == skip

@@ -1,0 +1,164 @@
+"""JRE edge cases: timeouts, half-close, selector bookkeeping, AIO errors."""
+
+import pytest
+
+from repro.errors import JavaIOError, SimTimeout
+from repro.jre import (
+    AsynchronousSocketChannel,
+    ByteBuffer,
+    Selector,
+    ServerSocket,
+    ServerSocketChannel,
+    Socket,
+    SocketChannel,
+    OP_READ,
+)
+from repro.runtime.cluster import Cluster
+from repro.runtime.modes import Mode
+from repro.taint.values import TBytes
+
+
+@pytest.fixture()
+def pair():
+    cluster = Cluster(Mode.ORIGINAL)
+    n1 = cluster.add_node("n1")
+    n2 = cluster.add_node("n2")
+    with cluster:
+        yield cluster, n1, n2
+
+
+class TestSocketTimeouts:
+    def test_so_timeout_raises(self, pair):
+        cluster, n1, n2 = pair
+        server = ServerSocket(n2, 9900)
+        client = Socket.connect(n1, (n2.ip, 9900))
+        conn = server.accept()
+        conn.set_so_timeout(0.02)
+        with pytest.raises(SimTimeout):
+            conn.get_input_stream().read(1)
+
+    def test_accept_timeout(self, pair):
+        cluster, n1, n2 = pair
+        server = ServerSocket(n2, 9901)
+        server.set_so_timeout(0.02)
+        with pytest.raises(SimTimeout):
+            server.accept()
+
+    def test_connect_to_closed_server(self, pair):
+        from repro.errors import ConnectionRefused
+
+        cluster, n1, n2 = pair
+        server = ServerSocket(n2, 9902)
+        server.close()
+        with pytest.raises(ConnectionRefused):
+            Socket.connect(n1, (n2.ip, 9902))
+
+
+class TestHalfClose:
+    def test_shutdown_output_still_allows_reading(self, pair):
+        cluster, n1, n2 = pair
+        server = ServerSocket(n2, 9903)
+        client = Socket.connect(n1, (n2.ip, 9903))
+        conn = server.accept()
+        client.get_output_stream().write(TBytes(b"request"))
+        client.shutdown_output()
+        request = conn.get_input_stream().read_fully(7)
+        assert request == b"request"
+        conn.get_output_stream().write(TBytes(b"response"))
+        assert client.get_input_stream().read_fully(8) == b"response"
+
+    def test_streams_unavailable_after_close(self, pair):
+        from repro.errors import SocketClosedError
+
+        cluster, n1, n2 = pair
+        server = ServerSocket(n2, 9904)
+        client = Socket.connect(n1, (n2.ip, 9904))
+        client.close()
+        with pytest.raises(SocketClosedError):
+            client.get_output_stream()
+
+
+class TestSelectorBookkeeping:
+    def test_cancelled_key_pruned(self, pair):
+        cluster, n1, n2 = pair
+        server = ServerSocketChannel.open(n2).bind(9905)
+        selector = Selector()
+        key = selector.register(server, OP_READ)
+        assert len(selector.keys()) == 1
+        key.cancel()
+        selector.select_now()
+        assert selector.keys() == []
+
+    def test_channel_close_cancels_keys(self, pair):
+        cluster, n1, n2 = pair
+        server = ServerSocketChannel.open(n2).bind(9906)
+        client = SocketChannel.open(n1).connect((n2.ip, 9906))
+        conn = server.accept()
+        selector = Selector()
+        selector.register(conn, OP_READ)
+        conn.close()
+        selector.select_now()
+        assert selector.keys() == []
+
+    def test_interest_mask_filters_events(self, pair):
+        cluster, n1, n2 = pair
+        server = ServerSocketChannel.open(n2).bind(9907)
+        client = SocketChannel.open(n1).connect((n2.ip, 9907))
+        conn = server.accept()
+        selector = Selector()
+        # Register for READ only; writability must not wake the selector.
+        selector.register(conn, OP_READ)
+        assert selector.select(timeout=0.05) == []
+        client.write_fully(ByteBuffer.wrap(b"x"))
+        ready = selector.select(timeout=5)
+        assert len(ready) == 1 and ready[0].is_readable() and not ready[0].is_writable()
+
+
+class TestAioErrors:
+    def test_failed_handler_invoked_on_connect_error(self, pair):
+        cluster, n1, n2 = pair
+        outcomes = []
+
+        class Handler:
+            def completed(self, result, attachment):
+                outcomes.append(("ok", attachment))
+
+            def failed(self, exc, attachment):
+                outcomes.append(("failed", attachment))
+
+        channel = AsynchronousSocketChannel.open(n1)
+        future = channel.connect((n2.ip, 1), Handler(), attachment="ctx")
+        with pytest.raises(Exception):
+            future.result(timeout=5)
+        assert outcomes == [("failed", "ctx")]
+
+    def test_read_after_close_fails_future(self, pair):
+        cluster, n1, n2 = pair
+        server = ServerSocketChannel.open(n2).bind(9908)
+        channel = AsynchronousSocketChannel.open(n1)
+        channel.connect((n2.ip, 9908)).result(timeout=5)
+        server.accept().close()
+        buf = ByteBuffer.allocate(4)
+        result = channel.read(buf).result(timeout=5)
+        assert result == -1  # EOF
+
+
+class TestChannelErrors:
+    def test_double_connect_rejected(self, pair):
+        cluster, n1, n2 = pair
+        ServerSocketChannel.open(n2).bind(9909)
+        channel = SocketChannel.open(n1).connect((n2.ip, 9909))
+        with pytest.raises(JavaIOError, match="AlreadyConnected"):
+            channel.connect((n2.ip, 9909))
+
+    def test_read_before_connect_rejected(self, pair):
+        cluster, n1, n2 = pair
+        channel = SocketChannel.open(n1)
+        with pytest.raises(JavaIOError, match="NotYetConnected"):
+            channel.read(ByteBuffer.allocate(4))
+
+    def test_accept_before_bind_rejected(self, pair):
+        cluster, n1, n2 = pair
+        server = ServerSocketChannel.open(n2)
+        with pytest.raises(JavaIOError, match="NotYetBound"):
+            server.accept()

@@ -1,0 +1,93 @@
+"""Vector (readv/writev) dispatcher methods — unpatched and instrumented.
+
+The agent does not patch these directly: their bodies call the scalar
+``disp_read0``/``disp_write0``, so instrumentation composes (the
+``covered_by`` mechanism of the Table-I inventory).
+"""
+
+import pytest
+
+from repro.jre.buffer import NativeMemory
+from repro.jre.jni import EOF
+from repro.runtime.cluster import Cluster
+from repro.runtime.modes import Mode
+from repro.taint.values import TBytes
+
+
+def _tcp_pair(cluster, n1, n2, port=9800):
+    listener = n1.kernel.listen(n2.ip, port)
+    client_fd = n1.kernel.connect(n1.ip, (n2.ip, port))
+    server_fd = listener.accept()
+    return client_fd, server_fd
+
+
+class TestUnpatchedVectors:
+    @pytest.fixture()
+    def plain(self):
+        cluster = Cluster(Mode.ORIGINAL)
+        n1 = cluster.add_node("n1")
+        n2 = cluster.add_node("n2")
+        with cluster:
+            yield cluster, n1, n2
+
+    def test_writev_gathers_regions(self, plain):
+        cluster, n1, n2 = plain
+        client_fd, server_fd = _tcp_pair(cluster, n1, n2)
+        mem_a, mem_b = NativeMemory(8), NativeMemory(8)
+        mem_a.write(0, b"onepart-")
+        mem_b.write(2, b"two")
+        written = n1.jni.disp_writev0(client_fd, [(mem_a, 0, 8), (mem_b, 2, 3)])
+        assert written == 11
+        assert server_fd.recv(16) == b"onepart-two"
+
+    def test_readv_scatters_regions(self, plain):
+        cluster, n1, n2 = plain
+        client_fd, server_fd = _tcp_pair(cluster, n1, n2, 9801)
+        client_fd.send_all(b"abcdefgh")
+        mem_a, mem_b = NativeMemory(4), NativeMemory(8)
+        count = n2.jni.disp_readv0(server_fd, [(mem_a, 0, 4), (mem_b, 0, 4)])
+        assert count == 8
+        assert mem_a.read(0, 4) == b"abcd"
+        assert mem_b.read(0, 4) == b"efgh"
+
+    def test_readv_eof(self, plain):
+        cluster, n1, n2 = plain
+        client_fd, server_fd = _tcp_pair(cluster, n1, n2, 9802)
+        client_fd.close()
+        mem = NativeMemory(4)
+        assert n2.jni.disp_readv0(server_fd, [(mem, 0, 4)]) == EOF
+
+
+class TestInstrumentedVectors:
+    @pytest.fixture()
+    def dista(self):
+        cluster = Cluster(Mode.DISTA)
+        n1 = cluster.add_node("n1")
+        n2 = cluster.add_node("n2")
+        with cluster:
+            yield cluster, n1, n2
+
+    def test_taint_flows_through_vector_ops(self, dista):
+        """writev on tainted native memory → readv recovers the taints,
+        because the vector bodies call the *patched* scalar methods."""
+        cluster, n1, n2 = dista
+        client_fd, server_fd = _tcp_pair(cluster, n1, n2, 9803)
+        taint = n1.tree.taint_for_tag("vec")
+        mem_out = NativeMemory(6)
+        # Populate native memory through the instrumented put path.
+        from repro.core.wrappers import DisTARuntime
+
+        runtime = DisTARuntime(n1, n1.taintmap)
+        runtime.native_write(mem_out, 0, TBytes.tainted(b"vector", taint))
+        n1.jni.disp_writev0(client_fd, [(mem_out, 0, 3), (mem_out, 3, 3)])
+
+        mem_in = NativeMemory(6)
+        total = 0
+        while total < 6:
+            got = n2.jni.disp_readv0(server_fd, [(mem_in, total, 6 - total)])
+            assert got != EOF
+            total += got
+        receiver_runtime = DisTARuntime(n2, n2.taintmap)
+        received = receiver_runtime.native_read(mem_in, 0, 6)
+        assert received == b"vector"
+        assert {t.tag for t in received.overall_taint().tags} == {"vec"}

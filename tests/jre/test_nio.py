@@ -1,0 +1,263 @@
+"""Integration tests: NIO channels, selector, buffers, AIO, HTTP."""
+
+import pytest
+
+from repro.jre import (
+    EOF,
+    OP_ACCEPT,
+    OP_READ,
+    AsynchronousServerSocketChannel,
+    AsynchronousSocketChannel,
+    ByteBuffer,
+    DatagramChannel,
+    HttpResponse,
+    HttpServer,
+    Selector,
+    ServerSocketChannel,
+    SocketChannel,
+    http_get,
+    http_post,
+)
+from repro.runtime.fs import SimFileSystem
+from repro.runtime.kernel import SimKernel
+from repro.runtime.modes import Mode
+from repro.taint.values import TBytes
+
+
+@pytest.fixture()
+def nodes():
+    from repro.runtime.node import SimNode
+
+    kernel = SimKernel("t")
+    fs = SimFileSystem()
+    n1 = SimNode("node1", kernel.register_node("10.0.0.1"), 100, kernel, fs, Mode.PHOSPHOR)
+    n2 = SimNode("node2", kernel.register_node("10.0.0.2"), 200, kernel, fs, Mode.PHOSPHOR)
+    return n1, n2
+
+
+class TestByteBuffer:
+    def test_heap_put_get_flip(self, nodes):
+        buf = ByteBuffer.allocate(16)
+        buf.put(TBytes(b"hello"))
+        buf.flip()
+        assert buf.remaining() == 5
+        assert buf.get(5) == b"hello"
+
+    def test_heap_preserves_labels(self, nodes):
+        n1, _ = nodes
+        taint = n1.tree.taint_for_tag("t")
+        buf = ByteBuffer.allocate(8)
+        buf.put(TBytes.tainted(b"abc", taint))
+        buf.flip()
+        assert buf.get(3).overall_taint() is taint
+
+    def test_direct_loses_labels_without_instrumentation(self, nodes):
+        """Native memory has no shadow in a stock JRE — labels die at put."""
+        n1, _ = nodes
+        taint = n1.tree.taint_for_tag("t")
+        buf = ByteBuffer.allocate_direct(8, n1.jni)
+        buf.put(TBytes.tainted(b"abc", taint))
+        buf.flip()
+        out = buf.get(3)
+        assert out == b"abc"
+        assert out.overall_taint() is None
+
+    def test_wrap_and_array(self):
+        buf = ByteBuffer.wrap(b"abcd")
+        assert buf.array() == b"abcd"
+        assert buf.remaining() == 4
+
+    def test_compact(self):
+        buf = ByteBuffer.allocate(8)
+        buf.put(TBytes(b"abcdef"))
+        buf.flip()
+        buf.get(4)
+        buf.compact()
+        assert buf.position == 2
+        buf.flip()
+        assert buf.get(2) == b"ef"
+
+    def test_overflow_raises(self):
+        from repro.errors import JavaIOError
+
+        buf = ByteBuffer.allocate(2)
+        with pytest.raises(JavaIOError):
+            buf.put(TBytes(b"abc"))
+
+    def test_mark_reset(self):
+        buf = ByteBuffer.wrap(b"abcd")
+        buf.get(1)
+        buf.mark()
+        buf.get(2)
+        buf.reset()
+        assert buf.position == 1
+
+
+class TestSocketChannel:
+    def _pair(self, nodes, port=9100):
+        n1, n2 = nodes
+        server = ServerSocketChannel.open(n2).bind(port)
+        client = SocketChannel.open(n1).connect(("10.0.0.2", port))
+        accepted = server.accept()
+        return client, accepted
+
+    def test_blocking_write_read_heap(self, nodes):
+        client, accepted = self._pair(nodes)
+        out = ByteBuffer.wrap(b"channel-data")
+        client.write_fully(out)
+        into = ByteBuffer.allocate(12)
+        accepted.read_fully(into)
+        into.flip()
+        assert into.get(12) == b"channel-data"
+
+    def test_blocking_write_read_direct(self, nodes):
+        n1, n2 = nodes
+        client, accepted = self._pair(nodes, 9101)
+        out = ByteBuffer.allocate_direct(4, n1.jni)
+        out.put(TBytes(b"ping"))
+        out.flip()
+        client.write_fully(out)
+        into = ByteBuffer.allocate_direct(4, n2.jni)
+        accepted.read_fully(into)
+        into.flip()
+        assert into.get(4) == b"ping"
+
+    def test_nonblocking_read_returns_zero(self, nodes):
+        client, accepted = self._pair(nodes, 9102)
+        accepted.configure_blocking(False)
+        buf = ByteBuffer.allocate(4)
+        assert accepted.read(buf) == 0
+
+    def test_eof(self, nodes):
+        client, accepted = self._pair(nodes, 9103)
+        client.close()
+        assert accepted.read(ByteBuffer.allocate(4)) == EOF
+
+
+class TestSelector:
+    def test_accept_and_read_readiness(self, nodes):
+        n1, n2 = nodes
+        server = ServerSocketChannel.open(n2).bind(9200)
+        server.configure_blocking(False)
+        selector = Selector()
+        selector.register(server, OP_ACCEPT)
+
+        client = SocketChannel.open(n1).connect(("10.0.0.2", 9200))
+        ready = selector.select(timeout=5)
+        assert len(ready) == 1 and ready[0].is_acceptable()
+
+        accepted = server.accept()
+        accepted.configure_blocking(False)
+        selector.register(accepted, OP_READ, attachment="conn")
+        assert selector.select(timeout=0.05) == []
+
+        client.write_fully(ByteBuffer.wrap(b"x"))
+        ready = selector.select(timeout=5)
+        assert len(ready) == 1
+        assert ready[0].attachment == "conn"
+        assert ready[0].is_readable()
+
+    def test_wakeup(self, nodes):
+        import threading
+
+        selector = Selector()
+        t = threading.Timer(0.05, selector.wakeup)
+        t.start()
+        assert selector.select(timeout=5) == []
+        t.join()
+
+
+class TestDatagramChannel:
+    def test_unconnected_send_receive(self, nodes):
+        n1, n2 = nodes
+        a = DatagramChannel.open(n1).bind(5300)
+        b = DatagramChannel.open(n2).bind(5300)
+        out = ByteBuffer.wrap(b"dgram")
+        a.send(out, ("10.0.0.2", 5300))
+        into = ByteBuffer.allocate(16)
+        source = b.receive(into)
+        assert source == ("10.0.0.1", 5300)
+        into.flip()
+        assert into.get() == b"dgram"
+
+    def test_connected_read_write(self, nodes):
+        n1, n2 = nodes
+        a = DatagramChannel.open(n1).bind(5301).connect(("10.0.0.2", 5301))
+        b = DatagramChannel.open(n2).bind(5301).connect(("10.0.0.1", 5301))
+        a.write(ByteBuffer.wrap(b"hello"))
+        into = ByteBuffer.allocate(8)
+        assert b.read(into) == 5
+
+    def test_oversized_datagram_truncated_to_buffer(self, nodes):
+        n1, n2 = nodes
+        a = DatagramChannel.open(n1).bind(5302)
+        b = DatagramChannel.open(n2).bind(5302)
+        a.send(ByteBuffer.wrap(b"0123456789"), ("10.0.0.2", 5302))
+        into = ByteBuffer.allocate(4)
+        b.receive(into)
+        into.flip()
+        assert into.get() == b"0123"
+
+
+class TestAio:
+    def test_accept_read_write_futures(self, nodes):
+        n1, n2 = nodes
+        server = AsynchronousServerSocketChannel.open(n2).bind(9400)
+        accept_future = server.accept()
+        client = AsynchronousSocketChannel.open(n1)
+        client.connect(("10.0.0.2", 9400)).result(timeout=5)
+        accepted = accept_future.result(timeout=5)
+
+        client.write(ByteBuffer.wrap(b"aio!")).result(timeout=5)
+        into = ByteBuffer.allocate(4)
+        assert accepted.read(into).result(timeout=5) == 4
+        into.flip()
+        assert into.get() == b"aio!"
+
+    def test_completion_handler(self, nodes):
+        n1, n2 = nodes
+        server = AsynchronousServerSocketChannel.open(n2).bind(9401)
+        results = []
+
+        class Handler:
+            def completed(self, result, attachment):
+                results.append((attachment, result))
+
+            def failed(self, exc, attachment):
+                results.append((attachment, exc))
+
+        future = server.accept(Handler(), attachment="srv")
+        client = AsynchronousSocketChannel.open(n1)
+        client.connect(("10.0.0.2", 9401)).result(timeout=5)
+        future.result(timeout=5)
+        assert results and results[0][0] == "srv"
+
+
+class TestHttp:
+    def test_get_roundtrip(self, nodes):
+        n1, n2 = nodes
+
+        def handler(request):
+            assert request.method == "GET"
+            return HttpResponse(body=TBytes(b"<html>hi</html>"))
+
+        server = HttpServer(n2, 8080, handler).start()
+        try:
+            response = http_get(n1, ("10.0.0.2", 8080), "/index.html")
+            assert response.status == 200
+            assert response.body == b"<html>hi</html>"
+        finally:
+            server.stop()
+
+    def test_post_echo(self, nodes):
+        n1, n2 = nodes
+
+        def handler(request):
+            return HttpResponse(body=request.body + TBytes(b"-ack"))
+
+        server = HttpServer(n2, 8081, handler).start()
+        try:
+            response = http_post(n1, ("10.0.0.2", 8081), "/submit", b"payload")
+            assert response.body == b"payload-ack"
+        finally:
+            server.stop()

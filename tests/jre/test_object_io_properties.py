@@ -1,0 +1,121 @@
+"""Property-based tests for the taint-preserving object serializer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import JavaIOError
+from repro.jre.object_io import deserialize, register_serializable, serialize
+from repro.taint import LocalId, TaintTree
+from repro.taint.values import TBool, TBytes, TDouble, TInt, TLong, TObj, TStr, plain
+
+LOCAL = LocalId("10.0.0.1", 1)
+
+
+@register_serializable
+class _Node(TObj):
+    """A recursive record for nesting tests."""
+
+    def __init__(self, payload, child=None):
+        self.payload = payload
+        self.child = child
+
+
+def plain_values() -> st.SearchStrategy:
+    scalar = st.one_of(
+        st.none(),
+        st.integers(min_value=-(2**62), max_value=2**62),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.text(max_size=20),
+        st.binary(max_size=20),
+        st.booleans(),
+    )
+    return st.recursive(
+        scalar,
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(max_size=8), children, max_size=4),
+        ),
+        max_leaves=12,
+    )
+
+
+def _normalize(value):
+    """Reduce a deserialized graph to plain Python for comparison."""
+    if isinstance(value, (TInt, TLong, TDouble, TBool)):
+        return value.value
+    if isinstance(value, (TStr, TBytes)):
+        return plain(value)
+    if isinstance(value, list):
+        return [_normalize(v) for v in value]
+    if isinstance(value, dict):
+        return {_normalize(k): _normalize(v) for k, v in value.items()}
+    return value
+
+
+def _expected(value):
+    """What the codec is expected to reproduce (bool→bool, int→int…)."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, list):
+        return [_expected(v) for v in value]
+    if isinstance(value, tuple):
+        return [_expected(v) for v in value]
+    if isinstance(value, dict):
+        return {_expected(k): _expected(v) for k, v in value.items()}
+    return value
+
+
+@settings(max_examples=60)
+@given(plain_values())
+def test_roundtrip_preserves_structure(value):
+    assert _normalize(deserialize(serialize(value))) == _expected(value)
+
+
+@settings(max_examples=30)
+@given(st.text(min_size=1, max_size=20), st.sampled_from(["a", "b"]))
+def test_roundtrip_preserves_string_taint(text, tag):
+    tree = TaintTree(LOCAL)
+    taint = tree.taint_for_tag(tag)
+    out = deserialize(serialize(TStr.tainted(text, taint)))
+    assert out.value == text
+    assert out.overall_taint() is taint
+
+
+@settings(max_examples=30)
+@given(st.integers(min_value=0, max_value=5))
+def test_nested_objects_roundtrip(depth):
+    tree = TaintTree(LOCAL)
+    taint = tree.taint_for_tag("deep")
+    node = _Node(TStr.tainted("leaf", taint))
+    for level in range(depth):
+        node = _Node(TInt(level), node)
+    out = deserialize(serialize(node))
+    for _ in range(depth):
+        out = out.child
+    assert out.payload.value == "leaf"
+    assert out.payload.overall_taint() is taint
+
+
+def test_field_level_taint_precision():
+    tree = TaintTree(LOCAL)
+    ta, tb = tree.taint_for_tag("a"), tree.taint_for_tag("b")
+    node = _Node(TStr.tainted("A", ta), _Node(TBytes.tainted(b"B", tb)))
+    out = deserialize(serialize(node))
+    assert out.payload.overall_taint() is ta
+    assert out.child.payload.overall_taint() is tb
+
+
+def test_truncated_stream_raises():
+    data = serialize([1, 2, 3])
+    with pytest.raises(JavaIOError, match="StreamCorrupted"):
+        deserialize(data[: len(data) - 2])
+
+
+def test_unknown_type_tag_raises():
+    with pytest.raises(JavaIOError, match="unknown type tag"):
+        deserialize(TBytes(b"\xee"))

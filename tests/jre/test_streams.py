@@ -1,0 +1,175 @@
+"""Integration tests: java.io stream stack over the simulated kernel.
+
+These run in PHOSPHOR-style shadow mode *without* a cluster: they build
+nodes by hand and verify intra-node plumbing plus the motivating taint
+loss at the JNI boundary (paper Fig. 4).
+"""
+
+import pytest
+
+from repro.jre.object_io import (
+    ObjectInputStream,
+    ObjectOutputStream,
+    register_serializable,
+)
+from repro.jre.socket_api import ServerSocket, Socket
+from repro.jre.streams import (
+    BufferedInputStream,
+    BufferedOutputStream,
+    BufferedReader,
+    DataInputStream,
+    DataOutputStream,
+    PrintWriter,
+)
+from repro.runtime.fs import SimFileSystem
+from repro.runtime.kernel import SimKernel
+from repro.runtime.modes import Mode
+from repro.runtime.node import SimNode
+from repro.taint.values import TBytes, TInt, TObj, TStr
+
+
+@pytest.fixture()
+def pair():
+    kernel = SimKernel("t")
+    fs = SimFileSystem()
+    n1 = SimNode("node1", kernel.register_node("10.0.0.1"), 100, kernel, fs, Mode.PHOSPHOR)
+    n2 = SimNode("node2", kernel.register_node("10.0.0.2"), 200, kernel, fs, Mode.PHOSPHOR)
+    return n1, n2
+
+
+@pytest.fixture()
+def conn(pair):
+    n1, n2 = pair
+    server_sock = ServerSocket(n2, 9000)
+    client = Socket.connect(n1, ("10.0.0.2", 9000))
+    server = server_sock.accept()
+    return n1, n2, client, server
+
+
+class TestRawSocketStreams:
+    def test_bytes_cross_the_wire(self, conn):
+        n1, n2, client, server = conn
+        client.get_output_stream().write(TBytes(b"hello"))
+        received = server.get_input_stream().read_fully(5)
+        assert received == b"hello"
+
+    def test_taint_is_lost_at_jni_boundary_without_dista(self, conn):
+        """Reproduces the paper's motivation: Phosphor alone drops
+        inter-node taints at socketRead0 (Fig. 4)."""
+        n1, n2, client, server = conn
+        taint = n1.tree.taint_for_tag("secret")
+        client.get_output_stream().write(TBytes.tainted(b"secret", taint))
+        received = server.get_input_stream().read_fully(6)
+        assert received == b"secret"
+        assert received.overall_taint() is None  # unsound!
+
+    def test_eof_propagates(self, conn):
+        n1, n2, client, server = conn
+        client.get_output_stream().write(TBytes(b"x"))
+        client.shutdown_output()
+        stream = server.get_input_stream()
+        assert stream.read_fully(1) == b"x"
+        assert stream.read(4) == TBytes.empty()
+
+    def test_available(self, conn):
+        n1, n2, client, server = conn
+        client.get_output_stream().write(TBytes(b"abc"))
+        stream = server.get_input_stream()
+        stream.read_fully(1)
+        assert stream.available() == 2
+
+
+class TestBufferedStreams:
+    def test_roundtrip(self, conn):
+        n1, n2, client, server = conn
+        out = BufferedOutputStream(client.get_output_stream(), size=4)
+        out.write(TBytes(b"ab"))
+        out.write(TBytes(b"cd"))  # triggers flush at 4 bytes
+        out.write(TBytes(b"ef"))
+        out.flush()
+        stream = BufferedInputStream(server.get_input_stream())
+        assert stream.read_fully(6) == b"abcdef"
+
+
+class TestDataStreams:
+    def test_primitives_roundtrip(self, conn):
+        n1, n2, client, server = conn
+        out = DataOutputStream(client.get_output_stream())
+        out.write_int(TInt(42))
+        out.write_long(-7)
+        out.write_short(300)
+        out.write_double(3.25)
+        out.write_boolean(True)
+        out.write_utf(TStr("héllo"))
+        out.write_int_array([TInt(1), TInt(2), TInt(3)])
+        stream = DataInputStream(server.get_input_stream())
+        assert stream.read_int().value == 42
+        assert stream.read_long().value == -7
+        assert stream.read_short().value == 300
+        assert stream.read_double().value == 3.25
+        assert stream.read_boolean().value is True
+        assert stream.read_utf().value == "héllo"
+        assert [v.value for v in stream.read_int_array()] == [1, 2, 3]
+
+
+class TestTextStreams:
+    def test_println_readline(self, conn):
+        n1, n2, client, server = conn
+        writer = PrintWriter(client.get_output_stream())
+        writer.println(TStr("line one"))
+        writer.println(TStr("line two"))
+        reader = BufferedReader(server.get_input_stream())
+        assert reader.read_line() == "line one"
+        assert reader.read_line() == "line two"
+
+    def test_readline_none_at_eof(self, conn):
+        n1, n2, client, server = conn
+        writer = PrintWriter(client.get_output_stream())
+        writer.println(TStr("only"))
+        client.shutdown_output()
+        reader = BufferedReader(server.get_input_stream())
+        assert reader.read_line() == "only"
+        assert reader.read_line() is None
+
+
+@register_serializable
+class _Msg(TObj):
+    def __init__(self, text, count):
+        self.text = text
+        self.count = count
+
+
+class TestObjectStreams:
+    def test_object_roundtrip_over_socket(self, conn):
+        n1, n2, client, server = conn
+        out = ObjectOutputStream(client.get_output_stream())
+        out.write_object(_Msg(TStr("payload"), TInt(3)))
+        out.write_object([TInt(1), None, TStr("x"), {"k": 2.5}])
+        stream = ObjectInputStream(server.get_input_stream())
+        msg = stream.read_object()
+        assert isinstance(msg, _Msg)
+        assert msg.text.value == "payload"
+        assert msg.count.value == 3
+        lst = stream.read_object()
+        assert lst[0].value == 1 and lst[1] is None and lst[2].value == "x"
+
+    def test_intra_node_object_taint_preserved(self, pair):
+        """Serialization alone (no network) must keep labels byte-exact."""
+        from repro.jre.object_io import deserialize, serialize
+
+        n1, _ = pair
+        taint = n1.tree.taint_for_tag("field")
+        msg = _Msg(TStr.tainted("secret", taint), TInt(1))
+        restored = deserialize(serialize(msg))
+        assert restored.text.overall_taint() is taint
+        assert restored.count.taint is None
+
+    def test_unregistered_class_rejected(self, pair):
+        from repro.errors import JavaIOError
+        from repro.jre.object_io import serialize
+
+        class Unregistered(TObj):
+            pass
+
+        with pytest.raises(JavaIOError, match="NotSerializable"):
+            serialize(Unregistered())

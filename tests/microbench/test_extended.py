@@ -1,0 +1,22 @@
+"""Extended (beyond-Table-II) cases: sound and precise under DisTA."""
+
+import pytest
+
+from repro.microbench.extended import EXTENDED_CASES
+from repro.microbench.workload import run_case
+from repro.runtime.modes import Mode
+
+
+@pytest.mark.parametrize("case", EXTENDED_CASES, ids=lambda c: c.name)
+def test_extended_case_sound_and_precise(case):
+    result = run_case(case, Mode.DISTA, size=4096)
+    assert result.sound, f"{case.name} dropped a taint"
+    assert result.precise, f"{case.name} over-tainted"
+
+
+@pytest.mark.parametrize("name", ["ext_stomp", "ext_yarn_rpc"])
+def test_extended_case_phosphor_unsound(name):
+    from repro.microbench.extended import EXTENDED_BY_NAME
+
+    result = run_case(EXTENDED_BY_NAME[name], Mode.PHOSPHOR, size=2048)
+    assert result.sound is False

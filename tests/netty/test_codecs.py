@@ -1,0 +1,157 @@
+"""Netty codec edge cases and property tests (no network needed)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netty.bytebuf import ByteBuf
+from repro.netty.codecs import (
+    HttpClientCodec,
+    HttpServerCodec,
+    LengthFieldBasedFrameDecoder,
+    LengthFieldPrepender,
+    NettyHttpRequest,
+    NettyHttpResponse,
+    StringDecoder,
+    StringEncoder,
+)
+from repro.taint import LocalId, TaintTree
+from repro.taint.values import TBytes, TStr
+
+
+class _Collector:
+    def __init__(self):
+        self.inbound = []
+        self.outbound = []
+
+    def fire_channel_read(self, msg):
+        self.inbound.append(msg)
+
+    def write(self, msg):
+        self.outbound.append(msg)
+
+
+class _Ctx:
+    """A stub ChannelHandlerContext for isolated codec testing."""
+
+    def __init__(self, collector: _Collector):
+        self._c = collector
+
+    def fire_channel_read(self, msg):
+        self._c.fire_channel_read(msg)
+
+    def write(self, msg):
+        self._c.write(msg)
+
+
+class TestFrameCodec:
+    def _decode_all(self, wire_chunks):
+        collector = _Collector()
+        decoder = LengthFieldBasedFrameDecoder()
+        for chunk in wire_chunks:
+            decoder.channel_read(_Ctx(collector), ByteBuf(chunk))
+        return collector.inbound
+
+    def _encode(self, payload) -> TBytes:
+        collector = _Collector()
+        LengthFieldPrepender().write(_Ctx(collector), payload)
+        return collector.outbound[0].read_all()
+
+    def test_roundtrip(self):
+        wire = self._encode(TBytes(b"frame-body"))
+        (frame,) = self._decode_all([wire])
+        assert frame.read_all() == b"frame-body"
+
+    def test_empty_frame(self):
+        wire = self._encode(TBytes(b""))
+        (frame,) = self._decode_all([wire])
+        assert frame.read_all() == b""
+
+    def test_oversized_frame_rejected(self):
+        decoder = LengthFieldBasedFrameDecoder(max_frame_length=8)
+        wire = self._encode(TBytes(b"way too long for 8"))
+        with pytest.raises(ValueError, match="TooLongFrame"):
+            decoder.channel_read(_Ctx(_Collector()), ByteBuf(wire))
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(st.binary(min_size=0, max_size=24), min_size=1, max_size=5),
+        st.integers(min_value=1, max_value=13),
+    )
+    def test_frames_survive_arbitrary_chunking(self, payloads, chunk):
+        wire = TBytes(b"")
+        for payload in payloads:
+            wire = wire + self._encode(TBytes(payload))
+        chunks = [wire[i : i + chunk] for i in range(0, len(wire), chunk)]
+        frames = self._decode_all(chunks)
+        assert [f.read_all().data for f in frames] == payloads
+
+    def test_labels_survive_framing(self):
+        tree = TaintTree(LocalId("1.1.1.1", 1))
+        taint = tree.taint_for_tag("framed")
+        wire = self._encode(TBytes.tainted(b"secret", taint))
+        (frame,) = self._decode_all([wire])
+        data = frame.read_all()
+        assert data.overall_taint() is taint
+        # The 4-byte length header itself was untainted.
+        assert wire[:4].overall_taint() is None
+
+
+class TestStringCodec:
+    def test_roundtrip(self):
+        collector = _Collector()
+        StringEncoder().write(_Ctx(collector), TStr("héllo"))
+        encoded = collector.outbound[0]
+        StringDecoder().channel_read(_Ctx(collector), ByteBuf(encoded))
+        assert collector.inbound[0].value == "héllo"
+
+
+class TestHttpCodecs:
+    def test_request_roundtrip_via_both_codecs(self):
+        client_out = _Collector()
+        HttpClientCodec().write(
+            _Ctx(client_out), NettyHttpRequest("PUT", "/x", {"X-A": "1"}, TBytes(b"body"))
+        )
+        wire = client_out.outbound[0].read_all()
+
+        server_in = _Collector()
+        HttpServerCodec().channel_read(_Ctx(server_in), ByteBuf(wire))
+        (request,) = server_in.inbound
+        assert request.method == "PUT"
+        assert request.uri == "/x"
+        assert request.headers["x-a"] == "1"
+        assert request.content == b"body"
+
+    def test_response_roundtrip(self):
+        server_out = _Collector()
+        HttpServerCodec().write(_Ctx(server_out), NettyHttpResponse(404, TBytes(b"nope")))
+        wire = server_out.outbound[0].read_all()
+        client_in = _Collector()
+        HttpClientCodec().channel_read(_Ctx(client_in), ByteBuf(wire))
+        (response,) = client_in.inbound
+        assert response.status == 404
+        assert response.content == b"nope"
+
+    def test_pipelined_requests_in_one_read(self):
+        client_out = _Collector()
+        codec = HttpClientCodec()
+        codec.write(_Ctx(client_out), NettyHttpRequest("GET", "/a", {}, TBytes(b"")))
+        codec.write(_Ctx(client_out), NettyHttpRequest("GET", "/b", {}, TBytes(b"")))
+        wire = client_out.outbound[0].read_all() + client_out.outbound[1].read_all()
+        server_in = _Collector()
+        HttpServerCodec().channel_read(_Ctx(server_in), ByteBuf(wire))
+        assert [r.uri for r in server_in.inbound] == ["/a", "/b"]
+
+    def test_body_taint_through_http_codec(self):
+        tree = TaintTree(LocalId("1.1.1.1", 1))
+        taint = tree.taint_for_tag("form")
+        client_out = _Collector()
+        HttpClientCodec().write(
+            _Ctx(client_out),
+            NettyHttpRequest("POST", "/f", {}, TBytes.tainted(b"a=1", taint)),
+        )
+        server_in = _Collector()
+        HttpServerCodec().channel_read(
+            _Ctx(server_in), ByteBuf(client_out.outbound[0].read_all())
+        )
+        assert server_in.inbound[0].content.overall_taint() is taint

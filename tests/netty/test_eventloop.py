@@ -1,0 +1,140 @@
+"""Netty event-loop semantics: exception chains, multi-loop dispatch."""
+
+import threading
+
+import pytest
+
+from repro.netty import (
+    Bootstrap,
+    LengthFieldBasedFrameDecoder,
+    LengthFieldPrepender,
+    NioEventLoopGroup,
+    ServerBootstrap,
+    StringDecoder,
+    StringEncoder,
+)
+from repro.runtime.cluster import Cluster
+from repro.runtime.modes import Mode
+from repro.taint.values import TStr
+
+
+@pytest.fixture()
+def netty_env():
+    cluster = Cluster(Mode.DISTA)
+    n1 = cluster.add_node("n1")
+    n2 = cluster.add_node("n2")
+    with cluster:
+        group = NioEventLoopGroup(3)
+        try:
+            yield cluster, n1, n2, group
+        finally:
+            group.shutdown_gracefully()
+
+
+class TestExceptionChain:
+    def test_handler_exception_reaches_exception_caught(self, netty_env):
+        cluster, n1, n2, group = netty_env
+        caught = []
+        done = threading.Event()
+
+        class Exploder:
+            def channel_read(self, ctx, msg):
+                raise RuntimeError("handler blew up")
+
+        class Catcher:
+            def exception_caught(self, ctx, exc):
+                caught.append(str(exc))
+                done.set()
+
+        server = ServerBootstrap(n2, group).child_handler(
+            lambda ch: ch.pipeline.add_last(Exploder(), Catcher())
+        ).bind(7300)
+        client = Bootstrap(n1, group).handler(lambda ch: ch.pipeline.add_last()).connect(
+            (n2.ip, 7300)
+        )
+        client._write_to_transport(TStr("boom").encode())
+        assert done.wait(5)
+        assert caught == ["handler blew up"]
+        server.close()
+
+    def test_uncaught_exception_recorded_on_channel(self, netty_env):
+        cluster, n1, n2, group = netty_env
+        received = threading.Event()
+
+        class Exploder:
+            def channel_read(self, ctx, msg):
+                received.set()
+                raise RuntimeError("nobody catches me")
+
+        server = ServerBootstrap(n2, group).child_handler(
+            lambda ch: ch.pipeline.add_last(Exploder())
+        ).bind(7301)
+        client = Bootstrap(n1, group).handler(lambda ch: ch.pipeline.add_last()).connect(
+            (n2.ip, 7301)
+        )
+        client._write_to_transport(TStr("x").encode())
+        assert received.wait(5)
+        import time
+
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline and not server.children:
+            time.sleep(0.01)
+        while time.monotonic() < deadline and not server.children[0].errors:
+            time.sleep(0.01)
+        assert any("nobody catches me" in str(e) for e in server.children[0].errors)
+        server.close()
+
+
+class TestMultiLoopDispatch:
+    def test_channels_spread_across_loops(self, netty_env):
+        cluster, n1, n2, group = netty_env
+        echoes = []
+        done = threading.Event()
+
+        class Echo:
+            def channel_read(self, ctx, msg):
+                ctx.channel.write("echo:" + msg)
+
+        class Collect:
+            def channel_read(self, ctx, msg):
+                echoes.append(msg.value)
+                if len(echoes) == 6:
+                    done.set()
+
+        server = ServerBootstrap(n2, group).child_handler(
+            lambda ch: ch.pipeline.add_last(
+                LengthFieldBasedFrameDecoder(), StringDecoder(), Echo(),
+                StringEncoder(), LengthFieldPrepender(),
+            )
+        ).bind(7302)
+        clients = []
+        for i in range(6):
+            client = Bootstrap(n1, group).handler(
+                lambda ch: ch.pipeline.add_last(
+                    LengthFieldBasedFrameDecoder(), StringDecoder(), Collect(),
+                    StringEncoder(), LengthFieldPrepender(),
+                )
+            ).connect((n2.ip, 7302))
+            clients.append(client)
+            client.write(TStr(f"c{i}"))
+        assert done.wait(10)
+        assert sorted(echoes) == [f"echo:c{i}" for i in range(6)]
+        assert len(server.children) == 6
+        server.close()
+
+    def test_channel_active_fires_on_registration(self, netty_env):
+        cluster, n1, n2, group = netty_env
+        activated = threading.Event()
+
+        class Watcher:
+            def channel_active(self, ctx):
+                activated.set()
+
+        server = ServerBootstrap(n2, group).child_handler(
+            lambda ch: ch.pipeline.add_last(Watcher())
+        ).bind(7303)
+        Bootstrap(n1, group).handler(lambda ch: ch.pipeline.add_last()).connect(
+            (n2.ip, 7303)
+        )
+        assert activated.wait(5)
+        server.close()

@@ -1,0 +1,215 @@
+"""Tests for the Netty-like framework: pipelines, codecs, taint flow."""
+
+import threading
+
+import pytest
+
+from repro.netty import (
+    Bootstrap,
+    ByteBuf,
+    DatagramBootstrap,
+    HttpClientCodec,
+    HttpServerCodec,
+    LengthFieldBasedFrameDecoder,
+    LengthFieldPrepender,
+    NettyHttpRequest,
+    NettyHttpResponse,
+    NioEventLoopGroup,
+    ServerBootstrap,
+    StringDecoder,
+    StringEncoder,
+)
+from repro.runtime.cluster import Cluster
+from repro.runtime.modes import Mode
+from repro.taint.values import TBytes, TStr
+
+
+class TestByteBuf:
+    def test_indices(self):
+        buf = ByteBuf()
+        buf.write_int(7).write_bytes(b"abc")
+        assert buf.readable_bytes() == 7
+        assert buf.read_int().value == 7
+        assert buf.read_bytes(3) == b"abc"
+        assert not buf.is_readable()
+
+    def test_peek_does_not_consume(self):
+        buf = ByteBuf()
+        buf.write_int(99)
+        assert buf.peek_int() == 99
+        assert buf.readable_bytes() == 4
+
+    def test_underflow_raises(self):
+        from repro.errors import JavaIOError
+
+        with pytest.raises(JavaIOError):
+            ByteBuf().read_bytes(1)
+
+    def test_labels_flow_through(self):
+        from repro.taint import LocalId, TaintTree
+
+        tree = TaintTree(LocalId("1.1.1.1", 1))
+        taint = tree.taint_for_tag("t")
+        buf = ByteBuf()
+        buf.write_bytes(TBytes.tainted(b"xy", taint))
+        assert buf.read_bytes(2).overall_taint() is taint
+
+
+@pytest.fixture()
+def cluster_pair():
+    cluster = Cluster(Mode.DISTA)
+    n1 = cluster.add_node("node1")
+    n2 = cluster.add_node("node2")
+    with cluster:
+        group = NioEventLoopGroup(2)
+        try:
+            yield cluster, n1, n2, group
+        finally:
+            group.shutdown_gracefully()
+
+
+class _Collector:
+    """Terminal inbound handler collecting messages."""
+
+    def __init__(self):
+        self.messages = []
+        self.event = threading.Event()
+
+    def channel_read(self, ctx, msg):
+        self.messages.append((ctx, msg))
+        self.event.set()
+
+    def wait(self, count=1, timeout=10):
+        import time
+
+        deadline = time.monotonic() + timeout
+        while len(self.messages) < count and time.monotonic() < deadline:
+            self.event.wait(0.05)
+            self.event.clear()
+        assert len(self.messages) >= count, f"got {len(self.messages)}/{count} messages"
+        return [m for _, m in self.messages]
+
+
+class TestTcpPipeline:
+    def test_framed_string_echo_with_taint(self, cluster_pair):
+        cluster, n1, n2, group = cluster_pair
+
+        class EchoHandler:
+            def channel_read(self, ctx, msg):
+                ctx.channel.write("echo:" + msg)
+
+        server = ServerBootstrap(n2, group).child_handler(
+            lambda ch: ch.pipeline.add_last(
+                LengthFieldBasedFrameDecoder(),
+                StringDecoder(),
+                EchoHandler(),
+                StringEncoder(),
+                LengthFieldPrepender(),
+            )
+        ).bind(7000)
+
+        collector = _Collector()
+        client = Bootstrap(n1, group).handler(
+            lambda ch: ch.pipeline.add_last(
+                LengthFieldBasedFrameDecoder(),
+                StringDecoder(),
+                collector,
+                StringEncoder(),
+                LengthFieldPrepender(),
+            )
+        ).connect(("10.0.0.2", 7000))
+
+        taint = n1.tree.taint_for_tag("netty-msg")
+        client.write(TStr.tainted("hello", taint))
+        (reply,) = collector.wait(1)
+        assert reply.value == "echo:hello"
+        # The tainted suffix survived the trip out and back.
+        assert {t.tag for t in reply.overall_taint().tags} == {"netty-msg"}
+        assert reply[:5].overall_taint() is None  # "echo:" is untainted
+        server.close()
+
+    def test_multiple_frames_in_one_read(self, cluster_pair):
+        cluster, n1, n2, group = cluster_pair
+        collector = _Collector()
+        server = ServerBootstrap(n2, group).child_handler(
+            lambda ch: ch.pipeline.add_last(LengthFieldBasedFrameDecoder(), StringDecoder(), collector)
+        ).bind(7001)
+        client = Bootstrap(n1, group).handler(lambda ch: ch.pipeline.add_last(
+            StringEncoder(), LengthFieldPrepender())
+        ).connect(("10.0.0.2", 7001))
+        # One transport write carrying two frames.
+        frame = ByteBuf()
+        for text in ("first", "second"):
+            frame.write_int(len(text))
+            frame.write_bytes(text.encode())
+        client._write_to_transport(frame)
+        messages = collector.wait(2)
+        assert [m.value for m in messages] == ["first", "second"]
+        server.close()
+
+    def test_channel_inactive_fired_on_eof(self, cluster_pair):
+        cluster, n1, n2, group = cluster_pair
+        inactive = threading.Event()
+
+        class Watcher:
+            def channel_read(self, ctx, msg):
+                pass
+
+            def channel_inactive(self, ctx):
+                inactive.set()
+
+        server = ServerBootstrap(n2, group).child_handler(
+            lambda ch: ch.pipeline.add_last(Watcher())
+        ).bind(7002)
+        client = Bootstrap(n1, group).handler(lambda ch: ch.pipeline.add_last()).connect(
+            ("10.0.0.2", 7002)
+        )
+        client.close()
+        assert inactive.wait(5)
+        server.close()
+
+
+class TestUdpPipeline:
+    def test_datagram_taint(self, cluster_pair):
+        cluster, n1, n2, group = cluster_pair
+        collector = _Collector()
+        DatagramBootstrap(n2, group).handler(
+            lambda ch: ch.pipeline.add_last(collector)
+        ).bind(7100)
+        sender = DatagramBootstrap(n1, group).handler(lambda ch: ch.pipeline.add_last()).bind(7100)
+        taint = n1.tree.taint_for_tag("udp-netty")
+        sender.send(TBytes.tainted(b"dgram", taint), ("10.0.0.2", 7100))
+        ((buf, source),) = collector.wait(1)
+        data = buf.read_all()
+        assert data == b"dgram"
+        assert source == ("10.0.0.1", 7100)
+        assert {t.tag for t in data.overall_taint().tags} == {"udp-netty"}
+
+
+class TestHttpCodec:
+    def test_request_response_with_taint(self, cluster_pair):
+        cluster, n1, n2, group = cluster_pair
+        seen = {}
+
+        class App:
+            def channel_read(self, ctx, request):
+                seen["body_taint"] = request.content.overall_taint()
+                ctx.channel.write(NettyHttpResponse(200, request.content))
+
+        server = ServerBootstrap(n2, group).child_handler(
+            lambda ch: ch.pipeline.add_last(HttpServerCodec(), App())
+        ).bind(7200)
+
+        collector = _Collector()
+        client = Bootstrap(n1, group).handler(
+            lambda ch: ch.pipeline.add_last(HttpClientCodec(), collector)
+        ).connect(("10.0.0.2", 7200))
+
+        taint = n1.tree.taint_for_tag("http-body")
+        client.write(NettyHttpRequest("POST", "/data", {}, TBytes.tainted(b"<xml/>", taint)))
+        (response,) = collector.wait(1)
+        assert response.status == 200
+        assert response.content == b"<xml/>"
+        assert {t.tag for t in seen["body_taint"].tags} == {"http-body"}
+        assert {t.tag for t in response.content.overall_taint().tags} == {"http-body"}
+        server.close()

@@ -1,0 +1,164 @@
+"""Cluster lifecycle, mode plumbing, node/file/logger behaviour."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runtime.cluster import TAINT_MAP_IP, Cluster
+from repro.runtime.fs import SimFileSystem
+from repro.runtime.logger import LOG_INFO_DESCRIPTOR
+from repro.runtime.modes import Mode
+from repro.taint.policy import POLICY
+from repro.taint.values import TBytes
+
+
+class TestModes:
+    def test_mode_properties(self):
+        assert not Mode.ORIGINAL.shadows
+        assert Mode.PHOSPHOR.shadows and not Mode.PHOSPHOR.inter_node
+        assert Mode.DISTA.shadows and Mode.DISTA.inter_node
+
+    @pytest.mark.parametrize("mode", list(Mode))
+    def test_policy_follows_mode_and_is_restored(self, mode):
+        POLICY.enable_shadows()
+        cluster = Cluster(mode)
+        with cluster:
+            assert POLICY.shadow_enabled == mode.shadows
+        assert POLICY.shadow_enabled  # restored
+
+
+class TestTopology:
+    def test_unique_ips_assigned(self):
+        cluster = Cluster()
+        a = cluster.add_node("a")
+        b = cluster.add_node("b")
+        assert a.ip != b.ip
+        assert a.pid != b.pid
+
+    def test_duplicate_node_name_rejected(self):
+        cluster = Cluster()
+        cluster.add_node("dup")
+        with pytest.raises(ReproError, match="duplicate"):
+            cluster.add_node("dup")
+
+    def test_explicit_ip(self):
+        cluster = Cluster()
+        node = cluster.add_node("pinned", ip="10.1.2.3")
+        assert node.ip == "10.1.2.3"
+
+    def test_taint_map_only_in_dista_mode(self):
+        with Cluster(Mode.PHOSPHOR) as phosphor:
+            assert phosphor.taint_map_server is None
+        with Cluster(Mode.DISTA) as dista:
+            assert dista.taint_map_server is not None
+            assert dista.kernel.has_node(TAINT_MAP_IP)
+
+    def test_start_is_idempotent(self):
+        cluster = Cluster(Mode.DISTA)
+        cluster.add_node("n")
+        with cluster:
+            cluster.start()  # no double instrumentation
+        cluster.shutdown()  # double shutdown is safe too
+
+
+class TestNodeThreads:
+    def test_join_all_surfaces_worker_errors(self):
+        cluster = Cluster()
+        node = cluster.add_node("n")
+
+        def boom():
+            raise ValueError("worker exploded")
+
+        node.spawn(boom)
+        with pytest.raises(ValueError, match="exploded"):
+            node.join_all(timeout=5)
+
+    def test_thread_errors_listing(self):
+        cluster = Cluster()
+        node = cluster.add_node("n")
+        node.spawn(lambda: None)
+        node.join_all(timeout=5)
+        assert node.thread_errors() == []
+
+
+class TestFileSystem:
+    def test_write_read_exists_delete(self):
+        fs = SimFileSystem()
+        fs.write_file("/a/b", b"content")
+        assert fs.exists("/a/b")
+        assert fs.read_file("/a/b") == b"content"
+        fs.delete("/a/b")
+        assert not fs.exists("/a/b")
+
+    def test_append(self):
+        fs = SimFileSystem()
+        fs.write_file("/log", "one\n")
+        fs.append_file("/log", "two\n")
+        assert fs.read_file("/log") == b"one\ntwo\n"
+
+    def test_missing_file_raises(self):
+        from repro.errors import JavaIOError
+
+        fs = SimFileSystem()
+        with pytest.raises(JavaIOError, match="FileNotFound"):
+            fs.read_file("/nope")
+
+    def test_list_dir(self):
+        fs = SimFileSystem()
+        fs.write_file("/d/1", b"")
+        fs.write_file("/d/2", b"")
+        fs.write_file("/other", b"")
+        assert fs.list_dir("/d") == ["/d/1", "/d/2"]
+
+    def test_node_read_fires_sim_source(self):
+        cluster = Cluster(Mode.PHOSPHOR)
+        node = cluster.add_node("n")
+        node.registry.add_source("java.io.FileInputStream#read")
+        with cluster:
+            cluster.fs.write_file("/secret.conf", b"password=42")
+            content = node.files.read("/secret.conf")
+            assert content.is_tainted()
+            assert node.registry.source_events[0].detail == "/secret.conf"
+
+    def test_unconfigured_read_is_untainted(self):
+        cluster = Cluster(Mode.PHOSPHOR)
+        node = cluster.add_node("n")
+        with cluster:
+            cluster.fs.write_file("/plain", b"data")
+            assert node.files.read("/plain").overall_taint() is None
+
+
+class TestLogger:
+    def test_format_substitution(self):
+        cluster = Cluster()
+        node = cluster.add_node("n")
+        node.log.info("x={} y={}", 1, "two")
+        assert node.log.messages() == ["x=1 y=two"]
+
+    def test_info_is_sim_sink(self):
+        cluster = Cluster(Mode.PHOSPHOR)
+        node = cluster.add_node("n")
+        node.registry.add_sink(LOG_INFO_DESCRIPTOR)
+        with cluster:
+            taint = node.tree.taint_for_tag("leak")
+            node.log.info("printing {}", TBytes.tainted(b"secret", taint))
+            tainted = node.registry.tainted_observations()
+            assert len(tainted) == 1
+            assert {t.tag for t in tainted[0].tags} == {"leak"}
+
+    def test_other_levels_not_sinked(self):
+        cluster = Cluster(Mode.PHOSPHOR)
+        node = cluster.add_node("n")
+        node.registry.add_sink(LOG_INFO_DESCRIPTOR)
+        with cluster:
+            taint = node.tree.taint_for_tag("x")
+            node.log.warn("warned {}", TBytes.tainted(b"v", taint))
+            node.log.debug("debug {}", TBytes.tainted(b"v", taint))
+            assert node.registry.tainted_observations() == []
+
+    def test_record_cap(self):
+        cluster = Cluster()
+        node = cluster.add_node("n")
+        node.log._keep = 5
+        for i in range(10):
+            node.log.info("m{}", i)
+        assert len(node.log.records) == 5

@@ -1,0 +1,135 @@
+"""Unit tests for the simulated OS kernel (TCP/UDP system calls)."""
+
+import threading
+
+import pytest
+
+from repro.errors import AddressInUse, ConnectionRefused, NoRouteToHost, SimTimeout
+from repro.runtime.kernel import SimKernel
+
+
+@pytest.fixture()
+def kernel():
+    k = SimKernel("test")
+    k.register_node("10.0.0.1")
+    k.register_node("10.0.0.2")
+    return k
+
+
+class TestTcp:
+    def test_connect_accept_exchange(self, kernel):
+        listener = kernel.listen("10.0.0.2", 9000)
+        client = kernel.connect("10.0.0.1", ("10.0.0.2", 9000))
+        server = listener.accept(timeout=5)
+        client.send_all(b"ping")
+        assert server.recv(10) == b"ping"
+        server.send_all(b"pong")
+        assert client.recv(10) == b"pong"
+
+    def test_addresses(self, kernel):
+        listener = kernel.listen("10.0.0.2", 9000)
+        client = kernel.connect("10.0.0.1", ("10.0.0.2", 9000))
+        server = listener.accept()
+        assert client.remote_address == ("10.0.0.2", 9000)
+        assert server.remote_address == client.local_address
+        assert client.local_address[0] == "10.0.0.1"
+
+    def test_connect_refused_when_nobody_listens(self, kernel):
+        with pytest.raises(ConnectionRefused):
+            kernel.connect("10.0.0.1", ("10.0.0.2", 1234))
+
+    def test_connect_unknown_host(self, kernel):
+        with pytest.raises(NoRouteToHost):
+            kernel.connect("10.0.0.1", ("10.9.9.9", 1))
+
+    def test_double_bind_rejected(self, kernel):
+        kernel.listen("10.0.0.2", 9000)
+        with pytest.raises(AddressInUse):
+            kernel.listen("10.0.0.2", 9000)
+
+    def test_rebind_after_close(self, kernel):
+        kernel.listen("10.0.0.2", 9000).close()
+        kernel.listen("10.0.0.2", 9000)
+
+    def test_eof_after_peer_close(self, kernel):
+        listener = kernel.listen("10.0.0.2", 9000)
+        client = kernel.connect("10.0.0.1", ("10.0.0.2", 9000))
+        server = listener.accept()
+        client.send_all(b"bye")
+        client.close()
+        assert server.recv(10) == b"bye"
+        assert server.recv(10) == b""
+
+    def test_nonblocking_recv(self, kernel):
+        listener = kernel.listen("10.0.0.2", 9000)
+        client = kernel.connect("10.0.0.1", ("10.0.0.2", 9000))
+        server = listener.accept()
+        assert server.recv_nonblocking(10) is None
+        client.send_all(b"x")
+        # Data is available synchronously in the simulated kernel.
+        assert server.recv_nonblocking(10) == b"x"
+        client.close()
+        assert server.recv_nonblocking(10) == b""
+
+    def test_accept_timeout(self, kernel):
+        listener = kernel.listen("10.0.0.2", 9000)
+        with pytest.raises(SimTimeout):
+            listener.accept(timeout=0.01)
+
+    def test_wire_stats_grouped_by_server_address(self, kernel):
+        listener = kernel.listen("10.0.0.2", 9000)
+        client = kernel.connect("10.0.0.1", ("10.0.0.2", 9000))
+        server = listener.accept()
+        client.send_all(b"12345")
+        server.recv(5)
+        server.send_all(b"123")
+        client.recv(3)
+        assert kernel.stats.tcp_bytes[("10.0.0.2", 9000)] == 8
+        assert kernel.stats.total() == 8
+        assert kernel.stats.total(exclude=(("10.0.0.2", 9000),)) == 0
+
+    def test_concurrent_connections(self, kernel):
+        listener = kernel.listen("10.0.0.2", 9000)
+        results = []
+
+        def serve():
+            for _ in range(4):
+                conn = listener.accept(timeout=5)
+                results.append(conn.recv(16))
+
+        t = threading.Thread(target=serve)
+        t.start()
+        for i in range(4):
+            c = kernel.connect("10.0.0.1", ("10.0.0.2", 9000))
+            c.send_all(f"msg{i}".encode())
+        t.join(5)
+        assert sorted(results) == [b"msg0", b"msg1", b"msg2", b"msg3"]
+
+
+class TestUdp:
+    def test_sendto_recvfrom(self, kernel):
+        a = kernel.udp_bind("10.0.0.1", 5000)
+        b = kernel.udp_bind("10.0.0.2", 5000)
+        a.sendto(b"hello", ("10.0.0.2", 5000))
+        data, source = b.recvfrom(timeout=5)
+        assert data == b"hello"
+        assert source == ("10.0.0.1", 5000)
+
+    def test_send_to_unbound_port_is_dropped(self, kernel):
+        a = kernel.udp_bind("10.0.0.1", 5000)
+        assert a.sendto(b"x", ("10.0.0.2", 9)) == 1
+
+    def test_ephemeral_bind(self, kernel):
+        a = kernel.udp_bind("10.0.0.1")
+        assert a.address[1] >= 49152
+
+    def test_oversized_datagram_rejected(self, kernel):
+        a = kernel.udp_bind("10.0.0.1", 5000)
+        with pytest.raises(ValueError):
+            a.sendto(b"x" * 70000, ("10.0.0.2", 5000))
+
+    def test_udp_stats(self, kernel):
+        a = kernel.udp_bind("10.0.0.1", 5000)
+        kernel.udp_bind("10.0.0.2", 5001)
+        a.sendto(b"12345678", ("10.0.0.2", 5001))
+        assert kernel.stats.total_udp() == 8

@@ -1,0 +1,59 @@
+"""HBase cross-system tests (Table III/IV row 5)."""
+
+from repro.runtime.modes import Mode
+from repro.systems.common import SDT, SIM
+from repro.systems.hbase import run_workload
+from repro.systems.hbase.model import RegionInfo
+from repro.taint.values import TStr
+
+
+class TestRegions:
+    def test_region_boundaries(self):
+        low = RegionInfo(TStr("t"), TStr(""), TStr("m"), TStr("ip1"))
+        high = RegionInfo(TStr("t"), TStr("m"), TStr(""), TStr("ip2"))
+        assert low.contains("alpha")
+        assert not low.contains("zulu")
+        assert high.contains("zulu")
+        assert high.contains("m")
+        assert not high.contains("a")
+
+
+class TestWorkload:
+    def test_get_returns_row_from_correct_region(self):
+        result = run_workload(Mode.ORIGINAL)
+        assert result.extras["row"] == "zulu"
+        assert result.extras["region"] == "bench,m"  # second region on rs2
+
+    def test_sdt_tablename_to_result(self):
+        """Table IV row 5: TableName → Result, spanning HBase RPC *and*
+        the ZooKeeper ensemble (cross-system tracking)."""
+        result = run_workload(Mode.DISTA, SDT)
+        assert {t.tag for t in result.generated_tags} == {"tablename-bench"}
+        assert {t.tag for t in result.observed_tags} == {"tablename-bench"}
+
+    def test_phosphor_loses_tablename_taint(self):
+        result = run_workload(Mode.PHOSPHOR, SDT)
+        assert result.observed_tags == frozenset()
+
+    def test_sim_cross_system_flow(self):
+        """The master's config-file hostname crosses HBase → ZooKeeper →
+        client: a taint generated on hmaster is logged on the client."""
+        result = run_workload(Mode.DISTA, SIM)
+        client_obs = [o for o in result.tainted_observations if o.node == "client"]
+        assert client_obs, "no tainted client log line"
+        assert any("active master" in o.detail for o in client_obs)
+        master_ip_tags = {
+            t for o in client_obs for t in o.tags if t.local_id.ip == "10.0.0.1"
+        }
+        assert master_ip_tags, "client log taint did not originate on hmaster"
+
+    def test_sim_zookeeper_election_taints_present(self):
+        """The embedded ZK ensemble contributes its own Fig.-11-style
+        flows inside the HBase deployment."""
+        result = run_workload(Mode.DISTA, SIM)
+        following = [o for o in result.tainted_observations if "FOLLOWING" in o.detail]
+        assert len(following) == 2
+
+    def test_sdt_global_taints_small(self):
+        result = run_workload(Mode.DISTA, SDT)
+        assert 1 <= result.global_taints <= 6

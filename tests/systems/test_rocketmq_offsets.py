@@ -1,0 +1,80 @@
+"""RocketMQ consumer-group offset management."""
+
+import pytest
+
+from repro.netty import NioEventLoopGroup
+from repro.runtime.cluster import Cluster
+from repro.runtime.modes import Mode
+from repro.systems.rocketmq.broker import (
+    Message,
+    NameServer,
+    RocketBroker,
+    write_default_conf,
+)
+from repro.systems.rocketmq.client import DefaultMQProducer, DefaultMQPullConsumer
+from repro.taint.values import TStr
+
+TOPIC = "OffsetTopic"
+
+
+@pytest.fixture()
+def rocket():
+    cluster = Cluster(Mode.DISTA, name="rmq-offsets")
+    ns_node = cluster.add_node("rmq1")
+    client_node = cluster.add_node("client")
+    write_default_conf(cluster.fs)
+    with cluster:
+        group = NioEventLoopGroup(2, name="rmq-offsets")
+        namesrv = NameServer(ns_node, group)
+        broker = RocketBroker(ns_node, "broker-a", ns_node.ip, group)
+        broker.register_topic(TOPIC)
+        producer = DefaultMQProducer(client_node, ns_node.ip, group)
+        yield cluster, ns_node, client_node, group, producer
+        producer.close()
+        broker.stop()
+        namesrv.stop()
+        group.shutdown_gracefully()
+
+
+class TestConsumerGroups:
+    def test_committed_pull_advances(self, rocket):
+        cluster, ns_node, client_node, group, producer = rocket
+        for i in range(3):
+            producer.send(Message(TStr(TOPIC), TStr(f"m{i}")))
+        consumer = DefaultMQPullConsumer(client_node, ns_node.ip, group).with_group("g1")
+        first = consumer.pull_committed(TOPIC)
+        assert [m.body.value for m in first] == ["m0", "m1", "m2"]
+        # Nothing new: the committed offset skips what was consumed.
+        assert consumer.pull_committed(TOPIC) == []
+        producer.send(Message(TStr(TOPIC), TStr("m3")))
+        assert [m.body.value for m in consumer.pull_committed(TOPIC)] == ["m3"]
+        consumer.close()
+
+    def test_same_group_shares_progress(self, rocket):
+        cluster, ns_node, client_node, group, producer = rocket
+        producer.send(Message(TStr(TOPIC), TStr("only")))
+        c1 = DefaultMQPullConsumer(client_node, ns_node.ip, group).with_group("shared")
+        c2 = DefaultMQPullConsumer(client_node, ns_node.ip, group).with_group("shared")
+        assert len(c1.pull_committed(TOPIC)) == 1
+        assert c2.pull_committed(TOPIC) == []  # progress is group-wide
+        c1.close()
+        c2.close()
+
+    def test_different_groups_independent(self, rocket):
+        cluster, ns_node, client_node, group, producer = rocket
+        producer.send(Message(TStr(TOPIC), TStr("broadcast")))
+        ga = DefaultMQPullConsumer(client_node, ns_node.ip, group).with_group("ga")
+        gb = DefaultMQPullConsumer(client_node, ns_node.ip, group).with_group("gb")
+        assert len(ga.pull_committed(TOPIC)) == 1
+        assert len(gb.pull_committed(TOPIC)) == 1  # each group gets it
+        ga.close()
+        gb.close()
+
+    def test_taint_survives_committed_pull(self, rocket):
+        cluster, ns_node, client_node, group, producer = rocket
+        taint = client_node.tree.taint_for_tag("offset-msg")
+        producer.send(Message(TStr(TOPIC), TStr.tainted("tracked", taint)))
+        consumer = DefaultMQPullConsumer(client_node, ns_node.ip, group).with_group("gt")
+        (message,) = consumer.pull_committed(TOPIC)
+        assert {t.tag for t in message.body.overall_taint().tags} == {"offset-msg"}
+        consumer.close()

@@ -1,0 +1,151 @@
+"""Scaling the systems beyond the paper's cluster settings.
+
+The evaluation fixed each system's topology (3 ZK nodes, 1 NM, …); these
+tests check the re-implementations are real enough to scale: 5-node
+elections, many concurrent producers, multi-region tables.
+"""
+
+import threading
+
+import pytest
+
+from repro.runtime.cluster import Cluster
+from repro.runtime.modes import Mode
+from repro.systems.zookeeper.election import QuorumPeer
+from repro.systems.zookeeper.messages import FOLLOWING, LEADING
+from repro.systems.zookeeper.txnlog import write_txn_logs
+from repro.taint.values import TBytes
+
+
+class TestFiveNodeElection:
+    def _elect(self, zxids: dict, mode=Mode.DISTA):
+        cluster = Cluster(mode, name="zk5")
+        nodes = {sid: cluster.add_node(f"zk{sid}") for sid in zxids}
+        with cluster:
+            for sid, zxid in zxids.items():
+                write_txn_logs(cluster.fs, f"zk{sid}", [zxid])
+            addresses = {sid: nodes[sid].ip for sid in zxids}
+            peers = [QuorumPeer(nodes[sid], sid, addresses) for sid in zxids]
+            for peer in peers:
+                peer.start()
+            for peer in peers:
+                assert peer.decided.wait(30), f"sid {peer.sid} stalled"
+            leaders = [p.sid for p in peers if p.state == LEADING]
+            followers = [p.sid for p in peers if p.state == FOLLOWING]
+            votes = {p.sid: p.final_vote for p in peers}
+            for peer in peers:
+                peer.shutdown()
+        return leaders, followers, votes
+
+    def test_highest_zxid_wins_among_five(self):
+        leaders, followers, votes = self._elect({1: 10, 2: 50, 3: 30, 4: 99, 5: 70})
+        assert leaders == [4]
+        assert sorted(followers) == [1, 2, 3, 5]
+
+    def test_sid_breaks_zxid_ties(self):
+        leaders, followers, votes = self._elect({1: 42, 2: 42, 3: 42, 4: 42, 5: 42})
+        assert leaders == [5]
+
+    def test_all_peers_converge_on_one_vote(self):
+        leaders, followers, votes = self._elect({1: 5, 2: 4, 3: 3, 4: 2, 5: 1})
+        keys = {vote.order_key() for vote in votes.values()}
+        assert len(keys) == 1
+        assert leaders == [1]
+
+
+class TestMultiNodeManagerScheduling:
+    def test_tasks_round_robin_across_node_managers(self):
+        """Extend the Yarn deployment to 2 NMs + 2 executors and check
+        the RM spreads containers across both."""
+        from repro.systems.mapreduce.daemons import (
+            EXECUTOR_PORT,
+            NM_PORT,
+            ContainerExecutor,
+            NodeManager,
+            write_default_conf,
+        )
+        from repro.systems.mapreduce.protocol import (
+            ApplicationId,
+            ContainerLaunchContext,
+        )
+        from repro.systems.mapreduce.rpc import RpcClient
+        from repro.taint.values import TInt, TLong
+
+        cluster = Cluster(Mode.DISTA, name="yarn-2nm")
+        nm_nodes = [cluster.add_node(f"nm{i}") for i in (1, 2)]
+        exec_nodes = [cluster.add_node(f"container{i}") for i in (1, 2)]
+        client_node = cluster.add_node("client")
+        write_default_conf(cluster.fs)
+        with cluster:
+            executors = [ContainerExecutor(n) for n in exec_nodes]
+            nms = [
+                NodeManager(nm_nodes[i], executor_ip=exec_nodes[i].ip) for i in (0, 1)
+            ]
+            clients = [RpcClient(client_node, (n.ip, NM_PORT)) for n in nm_nodes]
+            app_id = ApplicationId(TLong(7), TInt(1))
+            results = []
+            for task_index in range(6):
+                # Round-robin scheduling, as a simple RM would do.
+                nm_client = clients[task_index % 2]
+                results.append(
+                    nm_client.call(
+                        "startContainer",
+                        ContainerLaunchContext(app_id, TInt(task_index), TInt(200)),
+                    )
+                )
+            for client in clients:
+                client.close()
+            for nm in nms:
+                nm.stop()
+            for executor in executors:
+                executor.stop()
+        assert len(results) == 6
+        assert all(r.total.value == 200 for r in results)
+        launched_1 = len(exec_nodes[0].log.messages())
+        launched_2 = len(exec_nodes[1].log.messages())
+        assert launched_1 == launched_2 == 3
+
+
+class TestConcurrentProducers:
+    def test_many_producers_one_consumer(self):
+        from repro.systems.activemq.broker import (
+            ActiveMQTextMessage,
+            Broker,
+            write_default_conf,
+        )
+        from repro.systems.activemq.client import MessageConsumer, MessageProducer
+        from repro.taint.values import TStr
+
+        cluster = Cluster(Mode.DISTA, name="amq-many")
+        broker_node = cluster.add_node("amq1")
+        client_node = cluster.add_node("client")
+        write_default_conf(cluster.fs)
+        with cluster:
+            broker = Broker(broker_node, 1, [])
+            threads = []
+            for i in range(8):
+                def produce(i=i):
+                    taint = client_node.tree.taint_for_tag(f"producer-{i}")
+                    producer = MessageProducer(client_node, broker_node.ip, "shared")
+                    producer.send(
+                        ActiveMQTextMessage(TStr(f"m{i}"), TStr.tainted(f"body-{i}", taint))
+                    )
+                    producer.close()
+
+                thread = threading.Thread(target=produce, daemon=True)
+                thread.start()
+                threads.append(thread)
+            for thread in threads:
+                thread.join(10)
+            consumer = MessageConsumer(client_node, broker_node.ip, "shared")
+            seen = {}
+            for _ in range(8):
+                message = consumer.receive(timeout_ms=10000)
+                assert message is not None
+                tag = next(iter(message.text.overall_taint().tags)).tag
+                seen[message.text.value] = tag
+            consumer.close()
+            broker.stop()
+        assert len(seen) == 8
+        for body, tag in seen.items():
+            assert tag == f"producer-{body.split('-')[1]}"

@@ -1,0 +1,148 @@
+"""STOMP transport tests: cross-protocol delivery with taints intact."""
+
+import pytest
+
+from repro.runtime.cluster import Cluster
+from repro.runtime.modes import Mode
+from repro.systems.activemq.broker import Broker, write_default_conf
+from repro.systems.activemq.client import MessageConsumer, MessageProducer
+from repro.systems.activemq.broker import ActiveMQTextMessage
+from repro.systems.activemq.stomp import (
+    StompClient,
+    StompListener,
+    decode_frame,
+    encode_frame,
+)
+from repro.taint.values import TBytes, TStr
+
+
+class TestFrameCodec:
+    def test_roundtrip(self):
+        frame = encode_frame("SEND", {"destination": "/q/a"}, TStr("hello"))
+        command, headers, body = decode_frame(frame[: len(frame) - 1])
+        assert command == "SEND"
+        assert headers["destination"] == "/q/a"
+        assert body.value == "hello"
+
+    def test_body_labels_survive_the_codec(self):
+        from repro.taint import LocalId, TaintTree
+
+        tree = TaintTree(LocalId("1.1.1.1", 1))
+        taint = tree.taint_for_tag("stomp-body")
+        frame = encode_frame("SEND", {"destination": "/q"}, TStr.tainted("secret", taint))
+        _, _, body = decode_frame(frame[: len(frame) - 1])
+        assert body.overall_taint() is taint
+
+    def test_malformed_frame_raises(self):
+        from repro.errors import JavaIOError
+
+        with pytest.raises(JavaIOError, match="malformed"):
+            decode_frame(TBytes(b"SEND-without-terminator"))
+
+
+@pytest.fixture()
+def broker_with_stomp():
+    cluster = Cluster(Mode.DISTA)
+    broker_nodes = [cluster.add_node(f"amq{i}") for i in (1, 2)]
+    client_node = cluster.add_node("client")
+    write_default_conf(cluster.fs)
+    with cluster:
+        ips = [n.ip for n in broker_nodes]
+        brokers = [
+            Broker(node, i + 1, [ip for ip in ips if ip != node.ip])
+            for i, node in enumerate(broker_nodes)
+        ]
+        listeners = [StompListener(b) for b in brokers]
+        yield cluster, brokers, client_node
+        for listener in listeners:
+            listener.stop()
+        for broker in brokers:
+            broker.stop()
+
+
+class TestStompTransport:
+    def test_send_receive_over_stomp(self, broker_with_stomp):
+        cluster, brokers, client_node = broker_with_stomp
+        taint = client_node.tree.taint_for_tag("via-stomp")
+        sender = StompClient(client_node, brokers[0].node.ip)
+        sender.send("/queue/q1", TStr.tainted("stomp payload", taint))
+        sender.close()
+        receiver = StompClient(client_node, brokers[0].node.ip)
+        headers, body = receiver.subscribe_and_receive("/queue/q1")
+        receiver.close()
+        assert body.value == "stomp payload"
+        assert {t.tag for t in body.overall_taint().tags} == {"via-stomp"}
+
+    def test_stomp_to_openwire_cross_protocol(self, broker_with_stomp):
+        """Produced over STOMP on broker 1, consumed over the OpenWire
+        client on broker 2 — the store-and-forward network plus two
+        different wire protocols, taint intact."""
+        cluster, brokers, client_node = broker_with_stomp
+        taint = client_node.tree.taint_for_tag("cross-protocol")
+        sender = StompClient(client_node, brokers[0].node.ip)
+        sender.send("xq", TStr.tainted("mixed transports", taint))
+        sender.close()
+        consumer = MessageConsumer(client_node, brokers[1].node.ip, "xq")
+        message = consumer.receive(timeout_ms=10000)
+        consumer.close()
+        assert message is not None
+        assert message.text.value == "mixed transports"
+        assert {t.tag for t in message.text.overall_taint().tags} == {"cross-protocol"}
+
+    def test_openwire_to_stomp_cross_protocol(self, broker_with_stomp):
+        cluster, brokers, client_node = broker_with_stomp
+        taint = client_node.tree.taint_for_tag("reverse")
+        producer = MessageProducer(client_node, brokers[1].node.ip, "yq")
+        producer.send(
+            ActiveMQTextMessage(TStr("ow-1"), TStr.tainted("openwire body", taint))
+        )
+        producer.close()
+        receiver = StompClient(client_node, brokers[0].node.ip)
+        headers, body = receiver.subscribe_and_receive("yq")
+        receiver.close()
+        assert body.value == "openwire body"
+        assert {t.tag for t in body.overall_taint().tags} == {"reverse"}
+
+
+class TestFrameReaderChunking:
+    """The NUL-framed STOMP reader must tolerate arbitrary TCP chunking."""
+
+    def test_frames_across_chunk_boundaries(self):
+        frames = [
+            encode_frame("SEND", {"destination": "/q"}, TStr("one")),
+            encode_frame("SEND", {"destination": "/q"}, TStr("two two")),
+            encode_frame("DISCONNECT", {"receipt": "r9"}),
+        ]
+        stream = TBytes(b"")
+        for f in frames:
+            stream = stream + f
+
+        class _FakeStream:
+            def __init__(self, data: TBytes, chunk: int):
+                self._data = data
+                self._chunk = chunk
+                self._pos = 0
+
+            def read(self, n):
+                take = min(self._chunk, n, len(self._data) - self._pos)
+                out = self._data[self._pos : self._pos + take]
+                self._pos += take
+                return out
+
+        class _FakeSocket:
+            def __init__(self, stream):
+                self._s = stream
+
+            def get_input_stream(self):
+                return self._s
+
+        from repro.systems.activemq.stomp import _FrameReader
+
+        for chunk in (1, 2, 3, 5, 7, 1000):
+            reader = _FrameReader(_FakeSocket(_FakeStream(stream, chunk)))
+            decoded = []
+            for _ in range(3):
+                raw = reader.next_frame()
+                assert raw is not None
+                decoded.append(decode_frame(raw)[0])
+            assert decoded == ["SEND", "SEND", "DISCONNECT"], f"chunk={chunk}"

@@ -1,0 +1,261 @@
+"""ZooKeeper watches and HBase scans — server-push / multi-region flows."""
+
+import threading
+
+import pytest
+
+from repro.runtime.cluster import Cluster
+from repro.runtime.modes import Mode
+from repro.systems.hbase.model import Get, Put, TableName
+from repro.systems.hbase.servers import HMaster, HRegionServer, HTable, MASTER_PORT
+from repro.systems.hbase.model import write_default_conf
+from repro.systems.zookeeper.ensemble import ZNODE_PORT, ZkClient, ZooKeeperServer
+from repro.taint.values import TBytes, TStr
+
+
+@pytest.fixture()
+def zk_ensemble():
+    cluster = Cluster(Mode.DISTA)
+    nodes = [cluster.add_node(f"zk{i}") for i in (1, 2, 3)]
+    client_node = cluster.add_node("client")
+    with cluster:
+        addresses = {sid: nodes[sid - 1].ip for sid in (1, 2, 3)}
+        servers = [
+            ZooKeeperServer(nodes[sid - 1], sid, lambda: 1, addresses)
+            for sid in (1, 2, 3)
+        ]
+        yield cluster, nodes, client_node
+        for server in servers:
+            server.shutdown()
+
+
+class TestZkWatches:
+    def test_watch_fires_on_change_with_taint(self, zk_ensemble):
+        """A watcher on one server sees a write made via another server,
+        taint included (client A → leader → replica → watcher B)."""
+        cluster, nodes, client_node = zk_ensemble
+        writer = ZkClient(client_node, (nodes[0].ip, ZNODE_PORT))
+        writer.create("/config/flag", b"initial")
+
+        observed: list = []
+        ready = threading.Event()
+
+        def watcher() -> None:
+            watch_client = ZkClient(client_node, (nodes[2].ip, ZNODE_PORT))
+            ready.set()
+            observed.append(watch_client.watch("/config/flag"))
+            watch_client.close()
+
+        thread = threading.Thread(target=watcher, daemon=True)
+        thread.start()
+        ready.wait(5)
+        import time
+
+        time.sleep(0.05)  # let the watch register before the update
+        taint = client_node.tree.taint_for_tag("config-update")
+        writer.set_data("/config/flag", TBytes.tainted(b"updated!", taint))
+        thread.join(10)
+        writer.close()
+        assert observed and observed[0] == b"updated!"
+        assert {t.tag for t in observed[0].overall_taint().tags} == {"config-update"}
+
+    def test_watch_on_create(self, zk_ensemble):
+        cluster, nodes, client_node = zk_ensemble
+        observed: list = []
+        ready = threading.Event()
+
+        def watcher() -> None:
+            watch_client = ZkClient(client_node, (nodes[0].ip, ZNODE_PORT))
+            ready.set()
+            observed.append(watch_client.watch("/fresh/node"))
+            watch_client.close()
+
+        thread = threading.Thread(target=watcher, daemon=True)
+        thread.start()
+        ready.wait(5)
+        import time
+
+        time.sleep(0.05)
+        writer = ZkClient(client_node, (nodes[1].ip, ZNODE_PORT))
+        writer.create("/fresh/node", b"born")
+        thread.join(10)
+        writer.close()
+        assert observed == [TBytes(b"born")]
+
+
+@pytest.fixture()
+def hbase_table():
+    cluster = Cluster(Mode.DISTA)
+    master_node = cluster.add_node("hmaster")
+    rs1_node = cluster.add_node("rs1")
+    rs2_node = cluster.add_node("rs2")
+    client_node = cluster.add_node("client")
+    write_default_conf(cluster.fs)
+    with cluster:
+        addresses = {1: master_node.ip}
+        zk = ZooKeeperServer(master_node, 1, lambda: 1, addresses)
+        rs1 = HRegionServer(rs1_node, "rs1")
+        rs2 = HRegionServer(rs2_node, "rs2")
+        master = HMaster(master_node, (master_node.ip, ZNODE_PORT), [rs1_node.ip, rs2_node.ip])
+        from repro.systems.mapreduce.rpc import RpcClient
+
+        table_name = TableName(TStr("scan_test"))
+        admin = RpcClient(client_node, (master_node.ip, MASTER_PORT))
+        admin.call("createTable", table_name, TStr("m"))
+        admin.close()
+        table = HTable(client_node, (master_node.ip, ZNODE_PORT))
+        yield cluster, client_node, table, table_name
+        table.close()
+        master.stop()
+        rs1.stop()
+        rs2.stop()
+        zk.shutdown()
+
+
+class TestHBaseScan:
+    def test_scan_merges_regions_in_order(self, hbase_table):
+        cluster, client_node, table, table_name = hbase_table
+        for row in ("alpha", "kilo", "november", "zulu"):
+            table.put(Put(table_name, row, f"v-{row}".encode()))
+        results = table.scan(table_name)
+        assert [r.row.value for r in results] == ["alpha", "kilo", "november", "zulu"]
+        # Rows came from both regions (split at "m").
+        assert {r.region.value for r in results} == {"scan_test,-inf", "scan_test,m"}
+
+    def test_scan_range(self, hbase_table):
+        cluster, client_node, table, table_name = hbase_table
+        for row in ("a", "b", "c", "x", "y"):
+            table.put(Put(table_name, row, row.encode()))
+        results = table.scan(table_name, start_row="b", stop_row="y")
+        assert [r.row.value for r in results] == ["b", "c", "x"]
+
+    def test_scan_results_keep_cell_taints(self, hbase_table):
+        cluster, client_node, table, table_name = hbase_table
+        taint = client_node.tree.taint_for_tag("cell-pii")
+        table.put(Put(table_name, "pii-row", TBytes.tainted(b"ssn=123", taint)))
+        table.put(Put(table_name, "plain-row", b"nothing"))
+        results = {r.row.value: r for r in table.scan(table_name)}
+        assert {t.tag for t in results["pii-row"].value.overall_taint().tags} == {
+            "cell-pii"
+        }
+        assert results["plain-row"].value.overall_taint() is None
+
+
+class TestEphemeralNodes:
+    def test_ephemeral_vanishes_on_disconnect(self, zk_ensemble):
+        cluster, nodes, client_node = zk_ensemble
+        session = ZkClient(client_node, (nodes[0].ip, ZNODE_PORT))
+        session.create_ephemeral("/live/rs1", b"rs1:16020")
+        other = ZkClient(client_node, (nodes[1].ip, ZNODE_PORT))
+        assert other.exists("/live/rs1")
+        session.close()
+        import time
+
+        deadline = time.monotonic() + 5
+        while other.exists("/live/rs1") and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert not other.exists("/live/rs1")
+        other.close()
+
+    def test_persistent_node_survives_disconnect(self, zk_ensemble):
+        cluster, nodes, client_node = zk_ensemble
+        session = ZkClient(client_node, (nodes[0].ip, ZNODE_PORT))
+        session.create("/durable/config", b"v1")
+        session.close()
+        import time
+
+        time.sleep(0.1)
+        other = ZkClient(client_node, (nodes[2].ip, ZNODE_PORT))
+        assert other.exists("/durable/config")
+        other.close()
+
+    def test_ephemeral_via_follower(self, zk_ensemble):
+        """Ephemeral created through a follower is still session-bound to
+        that follower connection and replicated cluster-wide."""
+        cluster, nodes, client_node = zk_ensemble
+        session = ZkClient(client_node, (nodes[2].ip, ZNODE_PORT))
+        session.create_ephemeral("/live/rs2", b"x")
+        leader_view = ZkClient(client_node, (nodes[0].ip, ZNODE_PORT))
+        assert leader_view.exists("/live/rs2")
+        session.close()
+        import time
+
+        deadline = time.monotonic() + 5
+        while leader_view.exists("/live/rs2") and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert not leader_view.exists("/live/rs2")
+        leader_view.close()
+
+    def test_watch_fires_on_ephemeral_expiry(self, zk_ensemble):
+        """The HBase liveness pattern: watch a server's ephemeral znode,
+        get notified when its session dies."""
+        import threading
+        import time
+
+        cluster, nodes, client_node = zk_ensemble
+        session = ZkClient(client_node, (nodes[0].ip, ZNODE_PORT))
+        session.create_ephemeral("/live/watched", b"alive")
+        fired = threading.Event()
+
+        def watcher():
+            w = ZkClient(client_node, (nodes[1].ip, ZNODE_PORT))
+            try:
+                w.watch("/live/watched")
+            except Exception:
+                pass
+            fired.set()
+            w.close()
+
+        thread = threading.Thread(target=watcher, daemon=True)
+        thread.start()
+        time.sleep(0.1)
+        session.close()  # session expiry deletes the ephemeral
+        assert fired.wait(10)
+
+
+class TestDeleteReplication:
+    def test_delete_propagates_to_followers(self, zk_ensemble):
+        """Regression: a delete through the leader must remove the znode
+        from follower replicas too (not leave an empty-valued ghost)."""
+        cluster, nodes, client_node = zk_ensemble
+        writer = ZkClient(client_node, (nodes[0].ip, ZNODE_PORT))
+        writer.create("/to-delete", b"x")
+        follower = ZkClient(client_node, (nodes[2].ip, ZNODE_PORT))
+        assert follower.exists("/to-delete")
+        writer.delete("/to-delete")
+        assert not follower.exists("/to-delete")
+        writer.close()
+        follower.close()
+
+    def test_empty_valued_znode_is_not_a_delete(self, zk_ensemble):
+        cluster, nodes, client_node = zk_ensemble
+        writer = ZkClient(client_node, (nodes[0].ip, ZNODE_PORT))
+        writer.create("/empty", b"")
+        follower = ZkClient(client_node, (nodes[1].ip, ZNODE_PORT))
+        assert follower.exists("/empty")
+        assert follower.get_data("/empty") == b""
+        writer.close()
+        follower.close()
+
+
+class TestRegionServerLiveness:
+    def test_rs_registers_and_expires(self, zk_ensemble):
+        """The HBase liveness integration: an RS holds an ephemeral znode
+        that the master can enumerate; killing the RS removes it."""
+        from repro.systems.hbase.servers import HRegionServer, RS_ZNODE_DIR
+
+        cluster, nodes, client_node = zk_ensemble
+        rs_node = cluster.add_node("rs-live")
+        zk_address = (nodes[0].ip, ZNODE_PORT)
+        rs = HRegionServer(rs_node, "rs-live", zk_address=zk_address)
+        observer = ZkClient(client_node, zk_address)
+        live = [p.rsplit("/", 1)[1] for p in observer.get_children(RS_ZNODE_DIR)]
+        assert live == ["rs-live"]
+        rs.stop()
+        import time
+
+        deadline = time.monotonic() + 5
+        while observer.get_children(RS_ZNODE_DIR) and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert observer.get_children(RS_ZNODE_DIR) == []
+        observer.close()

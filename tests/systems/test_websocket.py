@@ -1,0 +1,105 @@
+"""STOMP-over-WebSocket tests: taint through masking + double framing."""
+
+import pytest
+
+from repro.runtime.cluster import Cluster
+from repro.runtime.modes import Mode
+from repro.systems.activemq.broker import Broker, write_default_conf
+from repro.systems.activemq.client import MessageConsumer
+from repro.systems.activemq.websocket import (
+    WsStompClient,
+    WsStompListener,
+    accept_key,
+    encode_ws_frame,
+    xor_mask,
+)
+from repro.taint import LocalId, TaintTree
+from repro.taint.values import TBytes, TStr
+
+
+class TestWsPrimitives:
+    def test_rfc6455_accept_key_vector(self):
+        """The example from RFC 6455 §1.3."""
+        assert (
+            accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+            == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        )
+
+    def test_xor_mask_involution_preserves_labels(self):
+        tree = TaintTree(LocalId("1.1.1.1", 1))
+        taint = tree.taint_for_tag("masked")
+        data = TBytes.tainted(b"payload", taint)
+        mask = b"\x12\x34\x56\x78"
+        masked = xor_mask(data, mask)
+        assert masked.data != data.data
+        assert masked.overall_taint() is taint  # labels ride the mask
+        unmasked = xor_mask(masked, mask)
+        assert unmasked.data == data.data
+        assert unmasked.label_at(3) is taint
+
+    def test_frame_length_encodings(self):
+        short = encode_ws_frame(TBytes(b"x" * 10))
+        assert short.data[1] == 10
+        medium = encode_ws_frame(TBytes(b"x" * 300))
+        assert medium.data[1] == 126
+        assert int.from_bytes(medium.data[2:4], "big") == 300
+
+    def test_masked_frame_sets_mask_bit(self):
+        frame = encode_ws_frame(TBytes(b"abc"), mask=b"\x01\x02\x03\x04")
+        assert frame.data[1] & 0x80
+
+
+@pytest.fixture()
+def ws_broker():
+    cluster = Cluster(Mode.DISTA)
+    broker_node = cluster.add_node("amq1")
+    client_node = cluster.add_node("client")
+    write_default_conf(cluster.fs)
+    with cluster:
+        broker = Broker(broker_node, 1, [])
+        listener = WsStompListener(broker)
+        yield cluster, broker_node, client_node
+        listener.stop()
+        broker.stop()
+
+
+class TestWsStomp:
+    def test_send_receive_over_websocket(self, ws_broker):
+        cluster, broker_node, client_node = ws_broker
+        taint = client_node.tree.taint_for_tag("over-ws")
+        sender = WsStompClient(client_node, broker_node.ip)
+        sender.send("/queue/ws", TStr.tainted("websocket payload", taint))
+        sender.close()
+        receiver = WsStompClient(client_node, broker_node.ip)
+        headers, body = receiver.subscribe_and_receive("/queue/ws")
+        receiver.close()
+        assert body.value == "websocket payload"
+        assert {t.tag for t in body.overall_taint().tags} == {"over-ws"}
+
+    def test_byte_precision_survives_masking(self, ws_broker):
+        """Only the tainted half of the body is tainted on arrival, even
+        though every byte was XOR-masked on the wire."""
+        cluster, broker_node, client_node = ws_broker
+        taint = client_node.tree.taint_for_tag("half-ws")
+        body = TStr.tainted("SECRET", taint) + TStr("-public")
+        sender = WsStompClient(client_node, broker_node.ip)
+        sender.send("/queue/precise", body)
+        sender.close()
+        receiver = WsStompClient(client_node, broker_node.ip)
+        _, received = receiver.subscribe_and_receive("/queue/precise")
+        receiver.close()
+        assert received.value == "SECRET-public"
+        assert received[:6].overall_taint() is not None
+        assert received[6:].overall_taint() is None
+
+    def test_ws_to_openwire_cross_transport(self, ws_broker):
+        cluster, broker_node, client_node = ws_broker
+        taint = client_node.tree.taint_for_tag("ws-to-ow")
+        sender = WsStompClient(client_node, broker_node.ip)
+        sender.send("bridge", TStr.tainted("via websocket", taint))
+        sender.close()
+        consumer = MessageConsumer(client_node, broker_node.ip, "bridge")
+        message = consumer.receive(timeout_ms=10000)
+        consumer.close()
+        assert message.text.value == "via websocket"
+        assert {t.tag for t in message.text.overall_taint().tags} == {"ws-to-ow"}

@@ -1,0 +1,126 @@
+"""WordCount job tests: map/reduce correctness + cross-node file taints."""
+
+import pytest
+
+from repro.runtime.cluster import Cluster
+from repro.runtime.modes import Mode
+from repro.systems.mapreduce.protocol import ApplicationId
+from repro.systems.mapreduce.rpc import RpcClient
+from repro.systems.mapreduce.wordcount import (
+    WORDCOUNT_PORT,
+    WordCountDriver,
+    WordCountExecutor,
+    WordCountSplit,
+    map_split,
+    reduce_counts,
+)
+from repro.taint.values import TInt, TLong, TStr
+
+
+@pytest.fixture()
+def wc_cluster():
+    cluster = Cluster(Mode.DISTA, name="wordcount")
+    rm_node = cluster.add_node("rm")
+    container1 = cluster.add_node("container1")
+    container2 = cluster.add_node("container2")
+    client_node = cluster.add_node("client")
+    with cluster:
+        executors = [WordCountExecutor(container1), WordCountExecutor(container2)]
+        driver = WordCountDriver(rm_node, [container1.ip, container2.ip])
+        yield cluster, rm_node, (container1, container2), client_node, driver
+        driver.stop()
+        for executor in executors:
+            executor.stop()
+
+
+def _counts_as_plain(result: dict) -> dict:
+    return {k.value: v.value for k, v in result.items()}
+
+
+class TestMapFunction:
+    def test_tokenization_and_counting(self):
+        cluster = Cluster(Mode.PHOSPHOR)
+        node = cluster.add_node("n")
+        with cluster:
+            cluster.fs.write_file("/in/a.txt", "the quick fox, the lazy dog; THE end")
+            counts = map_split(node, WordCountSplit(ApplicationId(TLong(1), TInt(1)), "/in/a.txt"))
+            plain = {k.value: v.value for k, v in counts.counts.items()}
+            assert plain["the"] == 3
+            assert plain["fox"] == 1
+            assert "," not in plain
+
+    def test_word_taints_come_from_file_reads(self):
+        cluster = Cluster(Mode.PHOSPHOR)
+        node = cluster.add_node("n")
+        node.registry.add_source("java.io.FileInputStream#read")
+        with cluster:
+            cluster.fs.write_file("/in/secret.txt", "password hunter2")
+            counts = map_split(
+                node, WordCountSplit(ApplicationId(TLong(1), TInt(1)), "/in/secret.txt")
+            )
+            for word, count in counts.counts.items():
+                assert count.taint is not None, f"{word.value} lost its file taint"
+
+    def test_reduce_merges_and_unions(self):
+        cluster = Cluster(Mode.PHOSPHOR)
+        node = cluster.add_node("n")
+        with cluster:
+            ta = node.tree.taint_for_tag("a")
+            tb = node.tree.taint_for_tag("b")
+            from repro.systems.mapreduce.wordcount import WordCounts
+
+            app = ApplicationId(TLong(1), TInt(1))
+            p1 = WordCounts(app, {TStr("x"): TInt(2, ta), TStr("y"): TInt(1)})
+            p2 = WordCounts(app, {TStr("x"): TInt(3, tb)})
+            merged = reduce_counts([p1, p2])
+            assert merged["x"].value == 5
+            assert {t.tag for t in merged["x"].taint.tags} == {"a", "b"}
+            assert merged["y"].value == 1
+
+
+class TestDistributedJob:
+    def _submit(self, cluster, client_node, rm_ip, paths):
+        client = RpcClient(client_node, (rm_ip, WORDCOUNT_PORT))
+        app_id = ApplicationId(TLong(42), TInt(7))
+        client.call("submitWordCount", app_id, [TStr(p) for p in paths])
+        result = client.call("getWordCounts", app_id)
+        client.close()
+        return result
+
+    def test_end_to_end_counts(self, wc_cluster):
+        cluster, rm_node, containers, client_node, driver = wc_cluster
+        cluster.fs.write_file("/input/one.txt", "alpha beta alpha")
+        cluster.fs.write_file("/input/two.txt", "beta gamma")
+        result = self._submit(
+            cluster, client_node, rm_node.ip, ["/input/one.txt", "/input/two.txt"]
+        )
+        assert _counts_as_plain(result) == {"alpha": 2, "beta": 2, "gamma": 1}
+
+    def test_splits_run_on_both_containers(self, wc_cluster):
+        cluster, rm_node, containers, client_node, driver = wc_cluster
+        for i in range(4):
+            cluster.fs.write_file(f"/input/p{i}.txt", f"word{i}")
+        self._submit(
+            cluster, client_node, rm_node.ip, [f"/input/p{i}.txt" for i in range(4)]
+        )
+        for container in containers:
+            assert any("Mapping split" in m for m in container.log.messages())
+
+    def test_file_taint_reaches_client_cross_node(self, wc_cluster):
+        """The SIM story, end to end: a file read on container1 taints a
+        word count that the client receives from the RM."""
+        from repro.systems.common import sim_spec
+
+        cluster, rm_node, containers, client_node, driver = wc_cluster
+        sim_spec().apply(cluster)
+        cluster.fs.write_file("/input/sensitive.txt", "apikey apikey token")
+        result = self._submit(cluster, client_node, rm_node.ip, ["/input/sensitive.txt"])
+        plain = _counts_as_plain(result)
+        assert plain == {"apikey": 2, "token": 1}
+        for word, count in result.items():
+            taint = count.taint
+            assert taint is not None
+            (tag,) = taint.tags
+            # The taint originated on a container node, not the client.
+            assert tag.local_id.ip != client_node.ip
+            assert tag.tag.startswith("java.io.FileInputStream#read")

@@ -1,0 +1,176 @@
+"""ZooKeeper system tests: election, SDT/SIM scenarios, znode service."""
+
+import pytest
+
+from repro.runtime.cluster import Cluster
+from repro.runtime.modes import Mode
+from repro.systems.common import SDT, SIM
+from repro.systems.zookeeper import (
+    ZNODE_PORT,
+    ZkClient,
+    ZooKeeperServer,
+    deploy_and_elect,
+    run_workload,
+)
+from repro.systems.zookeeper.messages import Vote
+from repro.taint.values import TInt, TLong
+
+
+class TestElection:
+    def test_highest_zxid_wins(self):
+        result = run_workload(Mode.ORIGINAL)
+        assert result.extras["leader"] == 1
+        assert result.extras["followers"] == [2, 3]
+
+    def test_all_peers_agree_on_winner(self):
+        result = run_workload(Mode.DISTA)
+        vote = result.extras["winning_vote"]
+        assert vote.leader.value == 1
+        assert vote.zxid.value == 300
+
+    def test_vote_ordering(self):
+        high = Vote(TInt(1), TLong(300), TLong(300))
+        low = Vote(TInt(3), TLong(120), TLong(120))
+        assert high.order_key() > low.order_key()
+        tie_a = Vote(TInt(2), TLong(100), TLong(100))
+        tie_b = Vote(TInt(3), TLong(100), TLong(100))
+        assert tie_b.order_key() > tie_a.order_key()  # sid breaks ties
+
+
+class TestSdtScenario:
+    def test_dista_tracks_winning_vote_to_followers(self):
+        """Table IV row 1: Vote → checkLeader, observed cross-node."""
+        result = run_workload(Mode.DISTA, SDT)
+        assert {t.tag for t in result.generated_tags} == {
+            "vote-sid1",
+            "vote-sid2",
+            "vote-sid3",
+        }
+        # Only the winner's vote reaches checkLeader — sound AND precise.
+        assert {t.tag for t in result.observed_tags} == {"vote-sid1"}
+        # Observed on zk2/zk3 though generated on zk1: inter-node flow.
+        assert {t.tag for t in result.cross_node_tags} == {"vote-sid1"}
+        assert len(result.tainted_observations) == 2  # both followers
+
+    def test_phosphor_drops_the_inter_node_vote_taint(self):
+        result = run_workload(Mode.PHOSPHOR, SDT)
+        assert {t.tag for t in result.generated_tags} == {
+            "vote-sid1",
+            "vote-sid2",
+            "vote-sid3",
+        }
+        assert result.observed_tags == frozenset()
+
+    def test_sdt_global_taint_count_is_small(self):
+        """§V-F: SDT scenarios see 1–6 global taints."""
+        result = run_workload(Mode.DISTA, SDT)
+        assert 1 <= result.global_taints <= 6
+
+
+class TestSimScenario:
+    def test_figure11_sim_trace(self):
+        """Fig. 11: zk1 reads three log files ⇒ three taints; only the
+        last file's taint (largest zxid) reaches a sink on another node."""
+        result = run_workload(Mode.DISTA, SIM)
+        # The election phase reads exactly three txn log files on zk1
+        # (reads #1-#3; later reads belong to the snapshot sync phase).
+        zk1_tags = [t for t in result.generated_tags if t.local_id.ip == "10.0.0.1"]
+        assert len(zk1_tags) >= 3
+        # Of the election-phase taints, only #3 (the last log file, the
+        # largest zxid) reaches a *sink* on another node.
+        cross_sink_tags = {
+            t
+            for o in result.tainted_observations
+            for t in o.tags
+            if t.local_id.ip == "10.0.0.1" and o.node != "zk1"
+        }
+        assert {t.tag for t in cross_sink_tags} == {"java.io.FileInputStream#read#3"}
+
+    def test_follower_logs_show_leader_zxid_taint(self):
+        result = run_workload(Mode.DISTA, SIM)
+        following = [
+            o for o in result.tainted_observations if "FOLLOWING" in o.detail
+        ]
+        assert len(following) == 2
+        for obs in following:
+            assert "zxid 300" in obs.detail
+
+
+class TestZnodeService:
+    @pytest.fixture()
+    def ensemble(self):
+        cluster = Cluster(Mode.DISTA)
+        nodes = [cluster.add_node(f"zk{i}") for i in (1, 2, 3)]
+        client_node = cluster.add_node("client")
+        with cluster:
+            addresses = {sid: nodes[sid - 1].ip for sid in (1, 2, 3)}
+            servers = [
+                ZooKeeperServer(nodes[sid - 1], sid, lambda: 1, addresses)
+                for sid in (1, 2, 3)
+            ]
+            yield cluster, nodes, client_node, servers
+            for server in servers:
+                server.shutdown()
+
+    def test_create_get_roundtrip(self, ensemble):
+        cluster, nodes, client_node, servers = ensemble
+        client = ZkClient(client_node, (nodes[0].ip, ZNODE_PORT))
+        client.create("/app/config", b"hello")
+        assert client.get_data("/app/config") == b"hello"
+        assert client.exists("/app/config")
+        assert not client.exists("/app/missing")
+        client.close()
+
+    def test_write_replicates_to_followers(self, ensemble):
+        cluster, nodes, client_node, servers = ensemble
+        client = ZkClient(client_node, (nodes[0].ip, ZNODE_PORT))
+        client.create("/replicated", b"data")
+        client.close()
+        follower = ZkClient(client_node, (nodes[2].ip, ZNODE_PORT))
+        assert follower.get_data("/replicated") == b"data"
+        follower.close()
+
+    def test_write_via_follower_forwards_to_leader(self, ensemble):
+        cluster, nodes, client_node, servers = ensemble
+        client = ZkClient(client_node, (nodes[1].ip, ZNODE_PORT))
+        client.create("/via-follower", b"x")
+        client.close()
+        other = ZkClient(client_node, (nodes[0].ip, ZNODE_PORT))
+        assert other.get_data("/via-follower") == b"x"
+        other.close()
+
+    def test_taint_crosses_replication(self, ensemble):
+        """Data tainted on the client survives client → leader →
+        follower replication → other client read."""
+        cluster, nodes, client_node, servers = ensemble
+        from repro.taint.values import TBytes
+
+        taint = client_node.tree.taint_for_tag("znode-secret")
+        client = ZkClient(client_node, (nodes[0].ip, ZNODE_PORT))
+        client.create("/secret", TBytes.tainted(b"classified", taint))
+        client.close()
+        reader = ZkClient(client_node, (nodes[2].ip, ZNODE_PORT))
+        value = reader.get_data("/secret")
+        reader.close()
+        assert value == b"classified"
+        assert {t.tag for t in value.overall_taint().tags} == {"znode-secret"}
+
+    def test_children_and_delete(self, ensemble):
+        cluster, nodes, client_node, servers = ensemble
+        client = ZkClient(client_node, (nodes[0].ip, ZNODE_PORT))
+        client.create("/dir/a", b"1")
+        client.create("/dir/b", b"2")
+        assert client.get_children("/dir") == ["/dir/a", "/dir/b"]
+        client.delete("/dir/a")
+        assert client.get_children("/dir") == ["/dir/b"]
+        client.close()
+
+    def test_duplicate_create_rejected(self, ensemble):
+        from repro.errors import ReproError
+
+        cluster, nodes, client_node, servers = ensemble
+        client = ZkClient(client_node, (nodes[0].ip, ZNODE_PORT))
+        client.create("/dup", b"1")
+        with pytest.raises(ReproError, match="NodeExists"):
+            client.create("/dup", b"2")
+        client.close()

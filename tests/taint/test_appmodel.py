@@ -1,0 +1,58 @@
+"""Tests for the calibrated application-compute model."""
+
+from repro.appmodel import app_process
+from repro.taint import LocalId, TBytes, TInt, TStr, TaintTree
+from repro.taint.policy import POLICY
+
+
+def _plain_checksum(raw: bytes) -> int:
+    acc = 0
+    for b in raw:
+        acc = (acc + b) & 0xFFFFF
+    return acc
+
+
+class TestModeAwareness:
+    def test_original_mode_returns_plain_int(self):
+        with POLICY.shadows(False):
+            out = app_process(TBytes(b"abc"))
+            assert isinstance(out, int)
+            assert out == _plain_checksum(b"abc")
+
+    def test_shadow_mode_returns_tainted_scalar(self):
+        with POLICY.shadows(True):
+            tree = TaintTree(LocalId("1.1.1.1", 1))
+            taint = tree.taint_for_tag("t")
+            out = app_process(TBytes.tainted(b"abc", taint))
+            assert isinstance(out, TInt)
+            assert out.value == _plain_checksum(b"abc")
+            assert out.taint is taint
+
+    def test_checksums_agree_across_modes(self):
+        data = bytes(range(256))
+        with POLICY.shadows(False):
+            plain = app_process(TBytes(data))
+        with POLICY.shadows(True):
+            shadowed = app_process(TBytes(data))
+        assert plain == shadowed.value
+
+
+class TestInputs:
+    def test_accepts_strings(self):
+        with POLICY.shadows(True):
+            tree = TaintTree(LocalId("1.1.1.1", 1))
+            taint = tree.taint_for_tag("s")
+            out = app_process(TStr.tainted("hello", taint))
+            assert out.taint is taint
+
+    def test_non_bytes_values_are_noops(self):
+        assert app_process(12345) == 0
+        assert app_process(None) == 0
+
+    def test_multi_taint_data_unions(self):
+        with POLICY.shadows(True):
+            tree = TaintTree(LocalId("1.1.1.1", 1))
+            ta, tb = tree.taint_for_tag("a"), tree.taint_for_tag("b")
+            data = TBytes.tainted(b"xx", ta) + TBytes.tainted(b"yy", tb)
+            out = app_process(data)
+            assert {t.tag for t in out.taint.tags} == {"a", "b"}

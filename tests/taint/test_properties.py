@@ -1,0 +1,99 @@
+"""Property-based tests (hypothesis) for the taint core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.taint import LocalId, TBytes, TStr, TaintTree
+
+LOCAL = LocalId("10.0.0.1", 1)
+
+
+def fresh_tree() -> TaintTree:
+    return TaintTree(LOCAL)
+
+
+tag_names = st.sampled_from([f"tag{i}" for i in range(6)])
+tag_sets = st.frozensets(tag_names, max_size=6)
+
+
+@given(tag_sets, tag_sets)
+def test_union_tags_is_set_union(sa, sb):
+    tree = fresh_tree()
+    a = tree.taint_for_tags([tree.new_tag(n) for n in sa])
+    b = tree.taint_for_tags([tree.new_tag(n) for n in sb])
+    assert {t.tag for t in a.union(b).tags} == sa | sb
+
+
+@given(tag_sets, tag_sets, tag_sets)
+def test_union_associative_and_canonical(sa, sb, sc):
+    tree = fresh_tree()
+    a = tree.taint_for_tags([tree.new_tag(n) for n in sa])
+    b = tree.taint_for_tags([tree.new_tag(n) for n in sb])
+    c = tree.taint_for_tags([tree.new_tag(n) for n in sc])
+    left = a.union(b).union(c)
+    right = a.union(b.union(c))
+    # Canonicalization: equal tag sets must be the same node/handle.
+    assert left is right
+
+
+@given(st.lists(tag_sets, min_size=1, max_size=8))
+def test_node_count_bounded_by_distinct_sets(sets):
+    """The set index stores each distinct tag set at most once; because
+    canonical insertion may create intermediate prefix nodes, the node
+    count is bounded by distinct-sets x max-set-size, not explosion."""
+    tree = fresh_tree()
+    for s in sets:
+        tree.taint_for_tags([tree.new_tag(n) for n in s])
+    distinct = {frozenset(s) for s in sets}
+    max_len = max((len(s) for s in sets), default=0)
+    assert tree.node_count() <= 1 + len(distinct) * max(1, max_len)
+
+
+@given(st.binary(max_size=64), st.binary(max_size=64), tag_names, tag_names)
+def test_tbytes_concat_slice_roundtrip(da, db, na, nb):
+    tree = fresh_tree()
+    ta = tree.taint_for_tag(na)
+    tb = tree.taint_for_tag(nb)
+    combined = TBytes.tainted(da, ta) + TBytes.tainted(db, tb)
+    assert combined.data == da + db
+    front = combined[: len(da)]
+    back = combined[len(da) :]
+    assert front.data == da and back.data == db
+    if da:
+        assert front.overall_taint() is ta
+    if db:
+        assert back.overall_taint() is tb
+
+
+@given(st.binary(max_size=128), st.integers(min_value=0, max_value=128), st.integers(min_value=0, max_value=128))
+def test_tbytes_slice_matches_bytes_slice(data, i, j):
+    b = TBytes(data)
+    assert b[i:j].data == data[i:j]
+
+
+@given(st.text(max_size=40), tag_names)
+def test_tstr_encode_decode_preserves_taint(text, name):
+    tree = fresh_tree()
+    t = tree.taint_for_tag(name)
+    s = TStr.tainted(text, t)
+    round_tripped = s.encode("utf-8").decode("utf-8")
+    assert round_tripped.value == text
+    if text:
+        assert round_tripped.overall_taint() is t
+
+
+@settings(max_examples=30)
+@given(st.lists(st.tuples(st.binary(min_size=1, max_size=16), tag_names), min_size=1, max_size=6))
+def test_per_byte_labels_survive_arbitrary_concat(parts):
+    tree = fresh_tree()
+    pieces = [TBytes.tainted(d, tree.taint_for_tag(n)) for d, n in parts]
+    combined = TBytes.empty()
+    for p in pieces:
+        combined = combined + p
+    # Walk the combined array and check every byte kept its own label.
+    pos = 0
+    for (data, name), piece in zip(parts, pieces):
+        for k in range(len(data)):
+            label = combined.label_at(pos + k)
+            assert label is piece.label_at(k)
+        pos += len(data)

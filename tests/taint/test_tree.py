@@ -1,0 +1,134 @@
+"""Unit tests for the per-JVM taint tree (paper §II-B, Fig. 3)."""
+
+import pytest
+
+from repro.taint import LocalId, Taint, TaintTag, TaintTree
+
+
+@pytest.fixture()
+def tree():
+    return TaintTree(LocalId("10.0.0.1", 4242))
+
+
+def tags(taint: Taint) -> set:
+    return {t.tag for t in taint.tags}
+
+
+class TestTagRegistration:
+    def test_empty_taint_has_no_tags(self, tree):
+        assert tree.empty.is_empty
+        assert tree.empty.tags == frozenset()
+
+    def test_new_tag_gets_rank_in_insertion_order(self, tree):
+        a = tree.new_tag("a_tag")
+        b = tree.new_tag("b_tag")
+        assert a.tree_id == 1
+        assert b.tree_id == 2
+
+    def test_reregistering_same_tag_returns_same_object(self, tree):
+        a1 = tree.new_tag("a_tag")
+        a2 = tree.new_tag("a_tag")
+        assert a1 is a2
+        assert tree.tag_count() == 1
+
+    def test_same_value_different_local_id_are_distinct_tags(self, tree):
+        """The tag-conflict scenario of §III-D.1: same code on two nodes."""
+        mine = tree.new_tag("a_tag")
+        theirs = tree.new_tag("a_tag", LocalId("10.0.0.2", 999))
+        assert mine is not theirs
+        assert mine != theirs
+        assert tree.tag_count() == 2
+
+    def test_global_id_defaults_to_zero(self, tree):
+        assert tree.new_tag("a_tag").global_id == 0
+
+    def test_taint_for_tag_is_child_of_root(self, tree):
+        t = tree.taint_for_tag("a_tag")
+        assert t.node.parent is tree.root
+        assert tags(t) == {"a_tag"}
+
+
+class TestCombination:
+    def test_union_is_tag_set_union(self, tree):
+        a = tree.taint_for_tag("a_tag")
+        b = tree.taint_for_tag("b_tag")
+        c = a.union(b)
+        assert tags(c) == {"a_tag", "b_tag"}
+
+    def test_union_with_empty_is_identity(self, tree):
+        a = tree.taint_for_tag("a_tag")
+        assert a.union(tree.empty) is a
+        assert tree.empty.union(a) is a
+
+    def test_union_is_idempotent(self, tree):
+        a = tree.taint_for_tag("a_tag")
+        assert a.union(a) is a
+
+    def test_equal_tag_sets_share_a_node(self, tree):
+        """Fig. 3: equal tag sets refer to the same node (memory sharing)."""
+        a = tree.taint_for_tag("a_tag")
+        b = tree.taint_for_tag("b_tag")
+        ab = a.union(b)
+        ba = b.union(a)
+        assert ab is ba
+        assert ab.node is ba.node
+
+    def test_union_of_three_is_associative(self, tree):
+        a = tree.taint_for_tag("a")
+        b = tree.taint_for_tag("b")
+        c = tree.taint_for_tag("c")
+        assert a.union(b).union(c) is a.union(b.union(c))
+
+    def test_or_operator(self, tree):
+        a = tree.taint_for_tag("a")
+        b = tree.taint_for_tag("b")
+        assert (a | b).tags == a.union(b).tags
+
+    def test_cross_tree_union_rejected(self, tree):
+        other = TaintTree(LocalId("10.0.0.2", 1))
+        a = tree.taint_for_tag("a")
+        b = other.taint_for_tag("b")
+        with pytest.raises(ValueError, match="Taint Map"):
+            a.union(b)
+
+    def test_taint_for_tags_with_foreign_tags(self, tree):
+        """Tags deserialized from another node are interned locally."""
+        foreign = TaintTag("x_tag", LocalId("10.0.0.9", 7), global_id=12)
+        t = tree.taint_for_tags([foreign])
+        assert tags(t) == {"x_tag"}
+        assert tree.tag_count() == 1
+
+    def test_node_count_bounded_by_distinct_sets(self, tree):
+        taints = [tree.taint_for_tag(f"t{i}") for i in range(4)]
+        before = tree.node_count()
+        for _ in range(10):
+            combined = taints[0]
+            for t in taints[1:]:
+                combined = combined.union(t)
+        grown = tree.node_count() - before
+        # Only the nodes on the canonical chain t0→t1→t2→t3 may be added.
+        assert grown <= 3
+
+
+class TestConcurrency:
+    def test_parallel_combination_converges(self, tree):
+        import threading
+
+        taints = [tree.taint_for_tag(f"t{i}") for i in range(8)]
+        results = []
+
+        def worker(order):
+            combined = tree.empty
+            for i in order:
+                combined = combined.union(taints[i])
+            results.append(combined)
+
+        threads = [
+            threading.Thread(target=worker, args=(list(range(8))[:: 1 if k % 2 else -1],))
+            for k in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(r is results[0] for r in results)
