@@ -1,0 +1,174 @@
+"""Run-length shadow path vs the seed's per-byte list path.
+
+The legacy reference below is the seed implementation of the hot path
+(per-byte label lists: ``labels[i]``-scanning ``_gid_array``, the
+``residue + wire`` / ``body[:, 1:].copy()`` decode, per-byte list
+materialization) kept self-contained here so the comparison survives the
+production code moving on.  The new production path stores shadows as
+:class:`~repro.taint.values.LabelRuns` and encodes/decodes per run.
+
+Results land in ``BENCH_PR1.json`` at the repository root, asserting the
+run path wins on the canonical workload: a 64 KiB single-taint message.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import wire
+from repro.taint import LocalId, TaintTree
+from repro.taint.values import LabelRuns, TBytes
+
+SIZE = 64 * 1024
+REPEATS = 7
+INNER = 3
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+
+
+# --------------------------------------------------------------------- #
+# Legacy (seed) list-path reference — do not "optimize"; it is the baseline
+# --------------------------------------------------------------------- #
+
+
+def _legacy_gid_array(length, labels, gid_for):
+    gids = np.zeros(length, dtype=">u4")
+    if labels is None:
+        return gids
+    i = 0
+    while i < length:
+        label = labels[i]
+        j = i + 1
+        while j < length and labels[j] is label:
+            j += 1
+        if label is not None:
+            gids[i:j] = gid_for(label)
+        i = j
+    return gids
+
+
+def _legacy_labels_list(gids, taint_for):
+    if not gids.any():
+        return None
+    unique = np.unique(gids)
+    mapping = {int(g): (None if g == 0 else taint_for(int(g))) for g in unique}
+    if len(mapping) == 1:
+        return [mapping[int(unique[0])]] * len(gids)
+    return [mapping[g] for g in gids.tolist()]
+
+
+def _legacy_encode_cells(data_bytes, labels, gid_for):
+    length = len(data_bytes)
+    out = np.empty((length, wire.CELL_WIDTH), dtype=np.uint8)
+    out[:, 0] = np.frombuffer(data_bytes, dtype=np.uint8)
+    out[:, 1:] = (
+        _legacy_gid_array(length, labels, gid_for)
+        .view(np.uint8)
+        .reshape(length, wire.GID_WIDTH)
+    )
+    return out.tobytes()
+
+
+def _legacy_decode_cells(stream, taint_for):
+    residue = b""
+    stream = residue + stream
+    cells = len(stream) // wire.CELL_WIDTH
+    body = np.frombuffer(stream[: cells * wire.CELL_WIDTH], dtype=np.uint8).reshape(
+        cells, wire.CELL_WIDTH
+    )
+    data = body[:, 0].tobytes()
+    gids = body[:, 1:].copy().view(">u4").reshape(cells)
+    return data, _legacy_labels_list(gids, taint_for)
+
+
+# --------------------------------------------------------------------- #
+# Measurement
+# --------------------------------------------------------------------- #
+
+
+def _best_of(fn):
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for _ in range(INNER):
+            fn()
+        best = min(best, (time.perf_counter() - start) / INNER)
+    return best
+
+
+def test_run_path_beats_list_path_on_64k_single_taint():
+    tree = TaintTree(LocalId("10.0.0.1", 1))
+    taint = tree.taint_for_tag("payload")
+    payload = b"x" * SIZE
+
+    gid_for = lambda label: 1 if label is not None else 0
+    taint_for = lambda gid: taint
+
+    run_data = TBytes(payload, LabelRuns.filled(SIZE, taint))
+    list_labels = [taint] * SIZE
+    cells = wire.encode_cells(run_data, gid_for)
+    assert cells == _legacy_encode_cells(payload, list_labels, gid_for)
+
+    timings = {
+        "encode": {
+            "list_path_s": _best_of(
+                lambda: _legacy_encode_cells(payload, list_labels, gid_for)
+            ),
+            "run_path_s": _best_of(lambda: wire.encode_cells(run_data, gid_for)),
+        },
+        "decode": {
+            "list_path_s": _best_of(lambda: _legacy_decode_cells(cells, taint_for)),
+            "run_path_s": _best_of(
+                lambda: wire.CellDecoder().feed(cells, taint_for)
+            ),
+        },
+        "slice_concat": {
+            "list_path_s": _best_of(
+                lambda: list_labels[: SIZE // 2] + list_labels[SIZE // 4 :]
+            ),
+            "run_path_s": _best_of(
+                lambda: run_data.labels.slice(0, SIZE // 2).concat(
+                    run_data.labels.slice(SIZE // 4, SIZE)
+                )
+            ),
+        },
+    }
+
+    report = {
+        "bench": "label_runs_vs_list",
+        "message": f"{SIZE} bytes, single taint",
+        "repeats": REPEATS,
+        "results": {
+            name: {
+                **t,
+                "speedup": t["list_path_s"] / t["run_path_s"],
+            }
+            for name, t in timings.items()
+        },
+    }
+    _RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    for name, entry in report["results"].items():
+        assert entry["speedup"] > 1.0, (
+            f"{name}: run path ({entry['run_path_s']:.6f}s) not faster than "
+            f"list path ({entry['list_path_s']:.6f}s)"
+        )
+
+
+def test_run_path_decode_labels_match_list_path():
+    tree = TaintTree(LocalId("10.0.0.1", 1))
+    ta = tree.taint_for_tag("a")
+    tb = tree.taint_for_tag("b")
+    runs = LabelRuns(512, [(0, 100, ta), (200, 300, tb), (300, 512, ta)])
+    data = TBytes(bytes(512), runs)
+
+    by_gid = {1: ta, 2: tb}
+    by_label = {id(ta): 1, id(tb): 2}
+    gid_for = lambda label: by_label.get(id(label), 0) if label is not None else 0
+
+    cells = wire.encode_cells(data, gid_for)
+    decoded = wire.CellDecoder().feed(cells, by_gid.__getitem__)
+    _, legacy_labels = _legacy_decode_cells(cells, by_gid.__getitem__)
+    assert decoded.labels.to_list() == legacy_labels

@@ -20,6 +20,8 @@ and EXPERIMENTS.md for how this calibration affects reported ratios.
 
 from __future__ import annotations
 
+from itertools import chain, repeat
+
 from repro.taint.policy import shadows_enabled
 from repro.taint.values import TBytes, TInt, TStr, plain, union_labels
 
@@ -44,11 +46,12 @@ def app_process(value) -> object:
     acc = 0
     taint = None
     last = None
-    for i, b in enumerate(raw):
+    # zip pads with None past the labels' end (raw can be longer for
+    # multi-byte TStr encodings) so every data byte still checksums.
+    padded = chain(labels, repeat(None)) if labels is not None else repeat(None)
+    for b, label in zip(raw, padded):
         acc = (acc + b) & 0xFFFFF
-        if labels is not None:
-            label = labels[i] if i < len(labels) else None
-            if label is not None and label is not last:
-                last = label
-                taint = union_labels(taint, label)
+        if label is not None and label is not last:
+            last = label
+            taint = union_labels(taint, label)
     return TInt(acc, taint)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import struct
 import threading
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.errors import TaintMapError
 from repro.runtime.kernel import Address, SimKernel, TcpEndpoint
@@ -32,6 +32,10 @@ from repro.taint.tree import Taint, TaintTree
 
 OP_REGISTER = 1
 OP_LOOKUP = 2
+# 3 is OP_SYNC (repro.core.ha) — the HA replication op shares this
+# opcode namespace through the Standby's ``_handle`` fallthrough.
+OP_REGISTER_MANY = 4
+OP_LOOKUP_MANY = 5
 
 STATUS_OK = 0
 STATUS_UNKNOWN_GID = 1
@@ -91,12 +95,24 @@ def serialize_tags(tags: frozenset[TaintTag]) -> bytes:
 
 
 def taint_key(tags: frozenset[TaintTag]) -> bytes:
-    """Canonical identity of a taint, ignoring per-node GlobalID fields."""
+    """Canonical identity of a taint, ignoring per-node GlobalID fields.
+
+    Length-prefixed structural encoding — two distinct tag sets can never
+    collide, and the key does not depend on ``repr`` formatting of the
+    tag values (bytes vs str vs int all encode through their wire kinds).
+    """
     records = []
     for tag in tags:
         kind, payload = _encode_tag_value(tag.tag)
-        records.append((tag.local_id.ip, tag.local_id.pid, kind, payload))
-    return repr(sorted(records)).encode()
+        ip = tag.local_id.ip.encode("ascii")
+        records.append(
+            struct.pack(">B", len(ip))
+            + ip
+            + struct.pack(">IBI", tag.local_id.pid, kind, len(payload))
+            + payload
+        )
+    records.sort()
+    return struct.pack(">H", len(records)) + b"".join(records)
 
 
 def deserialize_tags(raw: bytes) -> list[TaintTag]:
@@ -141,6 +157,41 @@ def _recv_exact(endpoint: TcpEndpoint, n: int) -> bytes:
             raise PipeClosed("taint map connection closed mid-frame")
         out.extend(chunk)
     return bytes(out)
+
+
+def _pack_batch_register(entries: Sequence[bytes]) -> bytes:
+    """``OP_REGISTER_MANY`` payload: count, then length-prefixed taints."""
+    return struct.pack(">H", len(entries)) + b"".join(
+        struct.pack(">I", len(entry)) + entry for entry in entries
+    )
+
+
+def _split_batch_register(payload: bytes) -> list[bytes]:
+    (count,) = struct.unpack(">H", payload[:2])
+    pos = 2
+    entries = []
+    for _ in range(count):
+        (length,) = struct.unpack(">I", payload[pos : pos + 4])
+        pos += 4
+        entries.append(payload[pos : pos + length])
+        pos += length
+    if pos != len(payload):
+        raise TaintMapError(f"trailing bytes in batch register ({len(payload) - pos})")
+    return entries
+
+
+def _split_batch_lookup_response(raw: bytes, count: int) -> list[bytes]:
+    """``OP_LOOKUP_MANY`` response: one length-prefixed taint per GID."""
+    pos = 0
+    out = []
+    for _ in range(count):
+        (length,) = struct.unpack(">I", raw[pos : pos + 4])
+        pos += 4
+        out.append(raw[pos : pos + length])
+        pos += length
+    if pos != len(raw):
+        raise TaintMapError(f"trailing bytes in batch lookup ({len(raw) - pos})")
+    return out
 
 
 class TaintMapStats:
@@ -245,6 +296,37 @@ class TaintMapServer:
             if serialized is None:
                 return STATUS_UNKNOWN_GID, b""
             return STATUS_OK, serialized
+        if op == OP_REGISTER_MANY:
+            with self.stats._lock:
+                self.stats.register_requests += 1
+            try:
+                entries = _split_batch_register(payload)
+                taint_sets = [frozenset(deserialize_tags(entry)) for entry in entries]
+            except Exception:
+                return STATUS_BAD_REQUEST, b""
+            # One _register per entry so subclass hooks (HA replication)
+            # see every registration individually.
+            gids = [
+                self._register(tags, entry)
+                for tags, entry in zip(taint_sets, entries)
+            ]
+            return STATUS_OK, struct.pack(f">{len(gids)}I", *gids)
+        if op == OP_LOOKUP_MANY:
+            with self.stats._lock:
+                self.stats.lookup_requests += 1
+            try:
+                (count,) = struct.unpack(">H", payload[:2])
+                gids = struct.unpack(f">{count}I", payload[2:])
+            except Exception:
+                return STATUS_BAD_REQUEST, b""
+            out = []
+            with self._lock:
+                for gid in gids:
+                    serialized = self._by_gid.get(gid)
+                    if serialized is None:
+                        return STATUS_UNKNOWN_GID, struct.pack(">I", gid)
+                    out.append(struct.pack(">I", len(serialized)) + serialized)
+            return STATUS_OK, b"".join(out)
         return STATUS_BAD_REQUEST, b""
 
     def _register(self, tags: frozenset[TaintTag], serialized: bytes) -> int:
@@ -287,10 +369,13 @@ class TaintMapClient:
         self._cache_enabled = cache_enabled
         self._lock = threading.Lock()
         self._endpoint: Optional[TcpEndpoint] = None
-        #: taint node identity → Global ID.  Keyed by ``id(node)`` (not
-        #: the per-tree rank, which collides between different trees when
-        #: a foreign taint handle is registered).
-        self._gid_cache: dict[int, int] = {}
+        #: taint node identity → (Global ID, taint handle).  Keyed by
+        #: ``id(node)`` (not the per-tree rank, which collides between
+        #: different trees when a foreign taint handle is registered).
+        #: The entry holds a strong reference to the taint so its node
+        #: can never be garbage-collected while cached — otherwise a
+        #: reused ``id()`` could alias a dead node's Global ID.
+        self._gid_cache: dict[int, tuple[int, Taint]] = {}
         #: Global ID → local Taint handle.
         self._taint_cache: dict[int, Taint] = {}
         self.requests_sent = 0
@@ -324,11 +409,52 @@ class TaintMapClient:
         if self._cache_enabled:
             cached = self._gid_cache.get(key)
             if cached is not None:
-                return cached
+                return cached[0]
         response = self._request(OP_REGISTER, serialize_tags(taint.tags))
         (gid,) = struct.unpack(">I", response)
+        self._record_registered(taint, gid)
+        return gid
+
+    def gids_for(self, taints: Sequence[Optional[Taint]]) -> list[int]:
+        """Global IDs for a batch of taints, resolving all cache misses
+        in a single ``OP_REGISTER_MANY`` round-trip.
+
+        A message whose shadow forms *k* label runs therefore costs at
+        most one request on first send, and zero on resend (Fig. 9's
+        "does not need to request a Global ID again", batched).
+        """
+        gids: list[Optional[int]] = [None] * len(taints)
+        misses: dict[int, tuple[Taint, list[int]]] = {}
+        for i, taint in enumerate(taints):
+            if taint is None or taint.is_empty:
+                gids[i] = 0
+                continue
+            key = id(taint.node)
+            if self._cache_enabled:
+                cached = self._gid_cache.get(key)
+                if cached is not None:
+                    gids[i] = cached[0]
+                    continue
+            if key in misses:
+                misses[key][1].append(i)
+            else:
+                misses[key] = (taint, [i])
+        if misses:
+            pending = [taint for taint, _ in misses.values()]
+            payload = _pack_batch_register(
+                [serialize_tags(taint.tags) for taint in pending]
+            )
+            response = self._request(OP_REGISTER_MANY, payload)
+            new_gids = struct.unpack(f">{len(pending)}I", response)
+            for (taint, positions), gid in zip(misses.values(), new_gids):
+                self._record_registered(taint, gid)
+                for i in positions:
+                    gids[i] = gid
+        return gids  # type: ignore[return-value]
+
+    def _record_registered(self, taint: Taint, gid: int) -> None:
         if self._cache_enabled:
-            self._gid_cache[key] = gid
+            self._gid_cache[id(taint.node)] = (gid, taint)
             self._taint_cache.setdefault(gid, taint)
         # Paper §III-D.1: a tag's GlobalID field is set when it first
         # crosses the network (meaningful for singleton taints).
@@ -336,7 +462,6 @@ class TaintMapClient:
             tag = next(iter(taint.tags))
             if tag.global_id == 0:
                 tag.global_id = gid
-        return gid
 
     # -- receiver side (Fig. 9 steps 4-5) ---------------------------------- #
 
@@ -349,11 +474,41 @@ class TaintMapClient:
             if cached is not None:
                 return cached
         serialized = self._request(OP_LOOKUP, struct.pack(">I", gid))
+        taint = self._record_resolved(gid, serialized)
+        return taint
+
+    def taints_for(self, gids: Sequence[int]) -> list[Optional[Taint]]:
+        """Local taints for a batch of Global IDs, resolving all cache
+        misses in a single ``OP_LOOKUP_MANY`` round-trip."""
+        taints: list[Optional[Taint]] = [None] * len(gids)
+        misses: dict[int, list[int]] = {}
+        for i, gid in enumerate(gids):
+            if gid == 0:
+                continue
+            if self._cache_enabled:
+                cached = self._taint_cache.get(gid)
+                if cached is not None:
+                    taints[i] = cached
+                    continue
+            misses.setdefault(gid, []).append(i)
+        if misses:
+            pending = list(misses)
+            payload = struct.pack(f">H{len(pending)}I", len(pending), *pending)
+            response = self._request(OP_LOOKUP_MANY, payload)
+            for gid, serialized in zip(
+                pending, _split_batch_lookup_response(response, len(pending))
+            ):
+                taint = self._record_resolved(gid, serialized)
+                for i in misses[gid]:
+                    taints[i] = taint
+        return taints
+
+    def _record_resolved(self, gid: int, serialized: bytes) -> Taint:
         tags = deserialize_tags(serialized)
         taint = self._node.tree.taint_for_tags(tags)
         if self._cache_enabled:
             self._taint_cache[gid] = taint
-            self._gid_cache.setdefault(id(taint.node), gid)
+            self._gid_cache.setdefault(id(taint.node), (gid, taint))
         return taint
 
     def close(self) -> None:

@@ -17,21 +17,26 @@ Two encodings, matching the instrumentation types:
 
 Global ID 0 is the empty taint and never touches the Taint Map.
 
-Implementation note: the codecs vectorize with numpy over *runs* of
-identical labels (real messages taint long byte runs with one taint), so
-the simulated encode/decode cost scales the way DisTA's JIT-compiled
-instrumentation does rather than paying Python interpreter cost per byte.
+Implementation note: shadows are run-length encoded
+(:class:`~repro.taint.values.LabelRuns`), and the codecs work directly
+on runs — encoding fills one GID region per run and decoding rebuilds
+runs from GID boundaries, so the Python-level cost is O(runs) and the
+per-byte work is vectorized numpy, the way DisTA's JIT-compiled
+instrumentation amortizes it.  When the caller supplies the batched
+resolvers (``gids_for``/``taints_for``, see
+:class:`~repro.core.taintmap.TaintMapClient`), all of a message's
+distinct labels resolve in a single Taint Map round-trip.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import WireFormatError
-from repro.taint.values import TBytes
+from repro.taint.values import LabelRuns, TBytes
 
 #: Width of a Global ID on the wire ("4 bytes in default", §V-F).
 GID_WIDTH = 4
@@ -48,44 +53,90 @@ PACKET_HEADER = len(PACKET_MAGIC) + 1 + 4
 GidFor = Callable[[Optional[object]], int]
 #: ``taint_for(gid)`` maps a Global ID back to a local Taint (or None).
 TaintFor = Callable[[int], Optional[object]]
+#: Batched variants: one call resolves every distinct label of a message.
+GidsFor = Callable[[Sequence], list]
+TaintsFor = Callable[[Sequence[int]], list]
+
+_GID_BE = np.dtype(">u4")
+#: One wire cell as a structured scalar: decoding views the byte stream
+#: through this dtype directly — a single contiguous read, no
+#: reshape/copy/view dance.
+_CELL_DTYPE = np.dtype([("data", np.uint8), ("gid", _GID_BE)])
+assert _CELL_DTYPE.itemsize == CELL_WIDTH
 
 
-def _gid_array(length: int, labels, gid_for: GidFor) -> np.ndarray:
-    """Per-byte Global IDs as a big-endian u32 array, by label runs."""
-    gids = np.zeros(length, dtype=">u4")
-    if labels is None:
+def _coerce_runs(length: int, labels) -> Optional[LabelRuns]:
+    if labels is None or isinstance(labels, LabelRuns):
+        return labels
+    return LabelRuns.from_list(labels)
+
+
+def _resolve_gids(labels: LabelRuns, gid_for: GidFor, gids_for: Optional[GidsFor]) -> dict:
+    """Map each distinct run label (by identity) to its Global ID."""
+    unique = labels.unique_labels()
+    if gids_for is not None:
+        gids = gids_for(unique)
+    else:
+        gids = [gid_for(label) for label in unique]
+    return {id(label): gid for label, gid in zip(unique, gids)}
+
+
+def _gid_array(
+    length: int, labels, gid_for: GidFor, gids_for: Optional[GidsFor] = None
+) -> np.ndarray:
+    """Per-byte Global IDs as a big-endian u32 array, filled per run."""
+    gids = np.zeros(length, dtype=_GID_BE)
+    labels = _coerce_runs(length, labels)
+    if labels is None or not labels.has_labels():
         return gids
-    i = 0
-    while i < length:
-        label = labels[i]
-        j = i + 1
-        while j < length and labels[j] is label:
-            j += 1
-        if label is not None:
-            gids[i:j] = gid_for(label)
-        i = j
+    mapping = _resolve_gids(labels, gid_for, gids_for)
+    for start, end, label in labels.runs:
+        gid = mapping[id(label)]
+        if gid:
+            gids[start:end] = gid
     return gids
 
 
-def _labels_list(gids: np.ndarray, taint_for: TaintFor) -> Optional[list]:
-    """Per-byte labels from a GID array, resolving each GID once."""
+def _label_runs(
+    gids: np.ndarray, taint_for: TaintFor, taints_for: Optional[TaintsFor] = None
+) -> Optional[LabelRuns]:
+    """Shadow runs from a per-byte GID array.
+
+    Run boundaries come from GID changes; each distinct GID resolves
+    once (one batched round-trip when ``taints_for`` is supplied).
+    Returns ``None`` when every GID is 0 (untainted payload).
+    """
     if not gids.any():
         return None
-    unique = np.unique(gids)
-    mapping = {int(g): (None if g == 0 else taint_for(int(g))) for g in unique}
-    if len(mapping) == 1:
-        return [mapping[int(unique[0])]] * len(gids)
-    return [mapping[g] for g in gids.tolist()]
+    n = int(gids.shape[0])
+    boundaries = (np.flatnonzero(gids[1:] != gids[:-1]) + 1).tolist()
+    starts = [0] + boundaries
+    ends = boundaries + [n]
+    run_gids = [int(gids[s]) for s in starts]
+    unique = sorted({g for g in run_gids if g})
+    if taints_for is not None:
+        mapping = dict(zip(unique, taints_for(unique)))
+    else:
+        mapping = {g: taint_for(g) for g in unique}
+    return LabelRuns(
+        n, ((s, e, mapping[g]) for s, e, g in zip(starts, ends, run_gids) if g)
+    )
 
 
-def encode_cells(data: TBytes, gid_for: GidFor) -> bytes:
+def encode_cells(
+    data: TBytes, gid_for: GidFor, gids_for: Optional[GidsFor] = None
+) -> bytes:
     """Serialize data + per-byte labels into a 5-byte cell stream."""
     length = len(data)
     if length == 0:
         return b""
     out = np.empty((length, CELL_WIDTH), dtype=np.uint8)
     out[:, 0] = np.frombuffer(data.data, dtype=np.uint8)
-    out[:, 1:] = _gid_array(length, data.labels, gid_for).view(np.uint8).reshape(length, GID_WIDTH)
+    out[:, 1:] = (
+        _gid_array(length, data.labels, gid_for, gids_for)
+        .view(np.uint8)
+        .reshape(length, GID_WIDTH)
+    )
     return out.tobytes()
 
 
@@ -100,19 +151,18 @@ class CellDecoder:
     def __init__(self) -> None:
         self._residue = b""
 
-    def feed(self, wire: bytes, taint_for: TaintFor) -> TBytes:
+    def feed(
+        self, wire: bytes, taint_for: TaintFor, taints_for: Optional[TaintsFor] = None
+    ) -> TBytes:
         """Decode every complete cell in ``residue + wire``."""
-        stream = self._residue + wire
+        stream = self._residue + wire if self._residue else wire
         cells = len(stream) // CELL_WIDTH
         self._residue = stream[cells * CELL_WIDTH :]
         if cells == 0:
             return TBytes.empty()
-        body = np.frombuffer(stream[: cells * CELL_WIDTH], dtype=np.uint8).reshape(
-            cells, CELL_WIDTH
-        )
-        data = body[:, 0].tobytes()
-        gids = body[:, 1:].copy().view(">u4").reshape(cells)
-        labels = _labels_list(gids, taint_for)
+        body = np.frombuffer(stream, dtype=_CELL_DTYPE, count=cells)
+        data = body["data"].tobytes()
+        labels = _label_runs(body["gid"], taint_for, taints_for)
         if labels is None:
             return TBytes.raw(data)
         return TBytes(data, labels)
@@ -139,9 +189,11 @@ def max_data_for_wire(wire_budget: int) -> int:
     return wire_budget // CELL_WIDTH
 
 
-def encode_packet(data: TBytes, gid_for: GidFor) -> bytes:
+def encode_packet(
+    data: TBytes, gid_for: GidFor, gids_for: Optional[GidsFor] = None
+) -> bytes:
     """Serialize one datagram payload + taints into an envelope."""
-    gids = _gid_array(len(data), data.labels, gid_for)
+    gids = _gid_array(len(data), data.labels, gid_for, gids_for)
     return (
         PACKET_MAGIC
         + bytes([PACKET_VERSION])
@@ -155,7 +207,9 @@ def is_enveloped(raw: bytes) -> bool:
     return raw[: len(PACKET_MAGIC)] == PACKET_MAGIC
 
 
-def decode_packet(raw: bytes, taint_for: TaintFor) -> TBytes:
+def decode_packet(
+    raw: bytes, taint_for: TaintFor, taints_for: Optional[TaintsFor] = None
+) -> TBytes:
     """Parse an envelope back into labelled bytes.
 
     Raises :class:`WireFormatError` on malformed envelopes; callers that
@@ -175,8 +229,8 @@ def decode_packet(raw: bytes, taint_for: TaintFor) -> TBytes:
         )
     data = raw[PACKET_HEADER : PACKET_HEADER + length]
     gid_area = raw[PACKET_HEADER + length : expected]
-    gids = np.frombuffer(gid_area, dtype=">u4")
-    labels = _labels_list(gids, taint_for)
+    gids = np.frombuffer(gid_area, dtype=_GID_BE)
+    labels = _label_runs(gids, taint_for, taints_for)
     if labels is None:
         return TBytes.raw(data)
     return TBytes(data, labels)

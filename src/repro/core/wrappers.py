@@ -33,7 +33,7 @@ from repro.jre.jni import EOF, UNAVAILABLE
 from repro.jre.buffer import NativeMemory
 from repro.jre.datagram_api import DatagramPacket
 from repro.runtime.kernel import MAX_DATAGRAM
-from repro.taint.values import TByteArray, TBytes
+from repro.taint.values import LabelRuns, TByteArray, TBytes
 
 
 class DisTARuntime:
@@ -77,24 +77,24 @@ class DisTARuntime:
 
     # -- native-memory shadow ------------------------------------------------ #
 
-    def shadow_for(self, mem: NativeMemory) -> list:
+    def shadow_for(self, mem: NativeMemory) -> LabelRuns:
         shadow = self.node.jni.native_shadow.get(mem.address)
         if shadow is None:
-            shadow = [None] * mem.size
+            shadow = LabelRuns(mem.size)
             self.node.jni.native_shadow[mem.address] = shadow
         return shadow
 
     def native_read(self, mem: NativeMemory, position: int, count: int) -> TBytes:
         """Bytes + shadow labels from native memory."""
         shadow = self.node.jni.native_shadow.get(mem.address)
-        labels = None if shadow is None else shadow[position : position + count]
+        labels = None if shadow is None else shadow.slice(position, position + count)
         return TBytes(mem.read(position, count), labels)
 
     def native_write(self, mem: NativeMemory, position: int, data: TBytes) -> None:
         """Bytes into native memory, labels into its shadow."""
         mem.write(position, data.data)
         shadow = self.shadow_for(mem)
-        shadow[position : position + len(data)] = data.effective_labels()
+        shadow[position : position + len(data)] = data.label_runs()
 
 
 # --------------------------------------------------------------------- #
@@ -106,7 +106,9 @@ def make_socket_write0(runtime: DisTARuntime):
     def wrapper(original):
         def socket_write0(fd, data: TBytes) -> None:
             runtime.trace.record(runtime.node.name, "send", "socketWrite0", data)
-            cells = wire.encode_cells(runtime.outgoing(data), runtime.client.gid_for)
+            cells = wire.encode_cells(
+                runtime.outgoing(data), runtime.client.gid_for, runtime.client.gids_for
+            )
             original(fd, TBytes.raw(cells))
 
         return socket_write0
@@ -127,7 +129,9 @@ def make_socket_read0(runtime: DisTARuntime):
                     decoder.check_clean_eof()
                     return EOF
                 decoded = decoder.feed(
-                    staging.read(0, count).data, runtime.client.taint_for
+                    staging.read(0, count).data,
+                    runtime.client.taint_for,
+                    runtime.client.taints_for,
                 )
                 if decoded:
                     runtime.trace.record(
@@ -173,7 +177,9 @@ def make_datagram_send(runtime: DisTARuntime):
             runtime.trace.record(runtime.node.name, "send", "datagram.send", packet.payload())
             payload = runtime.outgoing(packet.payload())
             _check_envelope_fits(len(payload))
-            envelope = wire.encode_packet(payload, runtime.client.gid_for)
+            envelope = wire.encode_packet(
+                payload, runtime.client.gid_for, runtime.client.gids_for
+            )
             # A fresh packet: mutating the caller's packet could change
             # application semantics (paper Fig. 7).
             wrapped = DatagramPacket(TBytes.raw(envelope), address=packet.socket_address())
@@ -186,7 +192,9 @@ def make_datagram_send(runtime: DisTARuntime):
 
 def _decode_incoming_datagram(runtime: DisTARuntime, raw: TBytes) -> TBytes:
     if wire.is_enveloped(raw.data):
-        return wire.decode_packet(raw.data, runtime.client.taint_for)
+        return wire.decode_packet(
+            raw.data, runtime.client.taint_for, runtime.client.taints_for
+        )
     # Uninstrumented sender: plain payload, no taints to recover.
     return TBytes(raw.data)
 
@@ -261,7 +269,9 @@ def make_disp_write0(runtime: DisTARuntime):
             runtime.node.jni.calls.hit("FileDispatcherImpl#write0")
             data = runtime.outgoing(runtime.native_read(mem, position, count))
             runtime.trace.record(runtime.node.name, "send", "dispatcher.write0", data)
-            cells = wire.encode_cells(data, runtime.client.gid_for)
+            cells = wire.encode_cells(
+                data, runtime.client.gid_for, runtime.client.gids_for
+            )
             # The simulated kernel's buffers are sized so a full cell
             # write completes; see DESIGN.md (blocking simplification).
             fd.send_all(cells)
@@ -294,7 +304,9 @@ def make_disp_read0(runtime: DisTARuntime):
                     if raw == b"":
                         decoder.check_clean_eof()
                         return EOF
-                decoded = decoder.feed(raw, runtime.client.taint_for)
+                decoded = decoder.feed(
+                    raw, runtime.client.taint_for, runtime.client.taints_for
+                )
                 if decoded:
                     runtime.trace.record(
                         runtime.node.name, "receive", "dispatcher.read0", decoded
@@ -315,7 +327,7 @@ def make_dgram_disp_write0(runtime: DisTARuntime):
             runtime.node.jni.calls.hit("DatagramDispatcherImpl#write0")
             data = runtime.outgoing(runtime.native_read(mem, position, count))
             _check_envelope_fits(count)
-            fd.sendto(wire.encode_packet(data, runtime.client.gid_for), destination)
+            fd.sendto(wire.encode_packet(data, runtime.client.gid_for, runtime.client.gids_for), destination)
             return count
 
         return dgram_disp_write0
@@ -352,7 +364,7 @@ def make_dgram_channel_send0(runtime: DisTARuntime):
             runtime.node.jni.calls.hit("DatagramChannelImpl#send0")
             data = runtime.outgoing(runtime.native_read(mem, position, count))
             _check_envelope_fits(count)
-            fd.sendto(wire.encode_packet(data, runtime.client.gid_for), destination)
+            fd.sendto(wire.encode_packet(data, runtime.client.gid_for, runtime.client.gids_for), destination)
             return count
 
         return dgram_channel_send0

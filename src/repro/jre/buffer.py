@@ -20,7 +20,7 @@ import threading
 from typing import Optional, Union
 
 from repro.errors import JavaIOError
-from repro.taint.values import TByteArray, TBytes, as_tbytes
+from repro.taint.values import TByteArray, TBytes, TInt, as_tbytes, with_taint
 
 _address_counter = itertools.count(0x7F0000000000)
 _address_lock = threading.Lock()
@@ -173,8 +173,6 @@ class ByteBuffer:
         return self
 
     def put_byte(self, value) -> "ByteBuffer":
-        from repro.taint.values import TInt, with_taint
-
         if isinstance(value, TInt):
             raw = TBytes(bytes([value.value & 0xFF]))
             data = raw if value.taint is None else with_taint(raw.data, value.taint)

@@ -33,7 +33,7 @@ from repro.errors import InstrumentationError, SimTimeout
 from repro.runtime.kernel import TcpEndpoint, UdpEndpoint
 from repro.runtime.pipes import DEFAULT_TIMEOUT
 from repro.taint.instrument import CallCounter
-from repro.taint.values import TByteArray, TBytes
+from repro.taint.values import LabelRuns, TByteArray, TBytes
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.jre.buffer import NativeMemory
@@ -70,10 +70,11 @@ class JniTable:
     def __init__(self, node) -> None:
         self.node = node
         self.calls = CallCounter()
-        #: Shadow labels for native memory blocks, keyed by address.
-        #: Only DisTA wrappers populate this (uninstrumented JVMs have no
-        #: notion of taint in native memory).
-        self.native_shadow: dict[int, list] = {}
+        #: Shadow labels for native memory blocks, keyed by address; each
+        #: value is a :class:`~repro.taint.values.LabelRuns` sized to the
+        #: block.  Only DisTA wrappers populate this (uninstrumented JVMs
+        #: have no notion of taint in native memory).
+        self.native_shadow: dict[int, LabelRuns] = {}
         self._patched: dict[str, object] = {}
         #: User-registered native methods (paper §VI extension point).
         self._extensions: set[str] = set()

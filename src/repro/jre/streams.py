@@ -56,13 +56,15 @@ class InputStream:
         return chunk.data[0]
 
     def read_fully(self, length: int) -> TBytes:
-        out = TBytes.empty()
-        while len(out) < length:
-            chunk = self.read(length - len(out))
+        parts: list[TBytes] = []
+        got = 0
+        while got < length:
+            chunk = self.read(length - got)
             if not chunk:
-                raise JavaEOFException(f"EOF after {len(out)}/{length} bytes")
-            out = out + chunk
-        return out
+                raise JavaEOFException(f"EOF after {got}/{length} bytes")
+            parts.append(chunk)
+            got += len(chunk)
+        return TBytes.concat(parts)
 
     def available(self) -> int:
         return 0
@@ -173,9 +175,7 @@ class BufferedOutputStream(OutputStream):
 
     def flush(self) -> None:
         if self._pending:
-            combined = TBytes.empty()
-            for part in self._pending:
-                combined = combined + part
+            combined = TBytes.concat(self._pending)
             self._pending = []
             self._pending_len = 0
             self._sink.write(combined)
@@ -340,18 +340,20 @@ class BufferedReader:
     def read_bytes(self, length: int) -> TBytes:
         """Exactly ``length`` raw bytes (labels intact), honouring the
         lookahead buffer — used for HTTP bodies after header lines."""
-        out = TBytes.empty()
-        while len(out) < length:
+        parts: list[TBytes] = []
+        got = 0
+        while got < length:
             if self._buffer:
-                take = min(length - len(out), len(self._buffer))
-                out = out + self._buffer[:take]
+                take = min(length - got, len(self._buffer))
+                parts.append(self._buffer[:take])
                 self._buffer = self._buffer[take:]
+                got += take
                 continue
-            chunk = self._source.read(length - len(out))
+            chunk = self._source.read(length - got)
             if not chunk:
-                raise JavaEOFException(f"EOF after {len(out)}/{length} body bytes")
+                raise JavaEOFException(f"EOF after {got}/{length} body bytes")
             self._buffer = chunk
-        return out
+        return TBytes.concat(parts)
 
     def close(self) -> None:
         self._source.close()

@@ -256,8 +256,7 @@ def _object_codec(from_bytes, combine) -> StreamCodec:
 def _to_text(tb: TBytes) -> TStr:
     """Map payload bytes to printable chars, label-preserving."""
     chars = "".join(chr(33 + (b % 90)) for b in tb.data)
-    labels = list(tb.labels) if tb.labels is not None else None
-    return TStr(chars, labels)
+    return TStr(chars, tb.labels)
 
 
 # -- text codecs ------------------------------------------------------------- #

@@ -16,8 +16,7 @@ from repro.taint.values import TBytes, TStr
 
 def _to_text(data: TBytes) -> TStr:
     chars = "".join(chr(33 + (b % 90)) for b in data.data)
-    labels = list(data.labels) if data.labels is not None else None
-    return TStr(chars, labels)
+    return TStr(chars, data.labels)
 
 
 def _stomp_fn(ctx: CaseContext):

@@ -40,7 +40,12 @@ class ByteBuf:
     def write_bytes(self, data: Union[TBytes, bytes, "ByteBuf"]) -> "ByteBuf":
         if isinstance(data, ByteBuf):
             data = data.read_bytes(data.readable_bytes())
-        self._data = self._data + as_tbytes(data)
+        if not self._data.data:
+            # Common encoder shape: fresh ByteBuf, one bulk write — adopt
+            # the payload (and its label runs) without a concat copy.
+            self._data = as_tbytes(data)
+        else:
+            self._data = self._data + as_tbytes(data)
         return self
 
     def write_int(self, value: Union[TInt, int]) -> "ByteBuf":

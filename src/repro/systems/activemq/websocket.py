@@ -43,8 +43,7 @@ def accept_key(client_key: str) -> str:
 def xor_mask(data: TBytes, mask: bytes) -> TBytes:
     """Byte-wise XOR with a 4-byte mask, labels preserved positionally."""
     raw = bytes(b ^ mask[i % 4] for i, b in enumerate(data.data))
-    labels = list(data.labels) if data.labels is not None else None
-    return TBytes(raw, labels)
+    return TBytes(raw, data.labels)
 
 
 def encode_ws_frame(payload: TBytes, opcode: int = OP_TEXT, mask: Optional[bytes] = None) -> TBytes:

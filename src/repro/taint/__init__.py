@@ -11,6 +11,7 @@ from repro.taint.sources import SinkObservation, SourceEvent, SourceSinkRegistry
 from repro.taint.tags import LocalId, TaintTag
 from repro.taint.tree import Taint, TaintTree, TreeNode
 from repro.taint.values import (
+    LabelRuns,
     TBool,
     TByteArray,
     TBytes,
@@ -30,6 +31,7 @@ from repro.taint.values import (
 
 __all__ = [
     "CallCounter",
+    "LabelRuns",
     "LocalId",
     "POLICY",
     "SinkObservation",

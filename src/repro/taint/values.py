@@ -13,8 +13,11 @@ program is code operating on the types in this module:
   shadow-carrying values.
 
 Labels are ``Taint | None`` where ``None`` denotes the empty taint; this
-lets untainted values exist without a taint tree in scope.  Whether label
-arrays are materialized at all is decided by :mod:`repro.taint.policy`:
+lets untainted values exist without a taint tree in scope.  Shadows are
+stored run-length encoded (:class:`LabelRuns`): real messages taint long
+byte runs with a single taint, so slice/concat/union on the hot
+send/receive paths cost O(runs) rather than O(bytes).  Whether label
+runs are materialized at all is decided by :mod:`repro.taint.policy`:
 under the *Original* baseline every constructor takes the no-shadow fast
 path, reproducing the zero-cost uninstrumented configuration.
 
@@ -24,13 +27,19 @@ paper inherits Phosphor's explicit-flow-only semantics (§VI).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Union
+from bisect import bisect_right
+from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 from repro.taint.policy import shadows_enabled
 from repro.taint.tree import Taint
 
 Label = Optional[Taint]
-LabelArray = Optional[list]
+#: Accepted shadow inputs: a per-byte list (legacy), a :class:`LabelRuns`,
+#: or ``None`` (no shadow materialized).
+LabelArray = Optional[object]
+
+#: One maximal run of identically-labelled bytes: ``(start, end, label)``.
+Run = Tuple[int, int, Taint]
 
 
 def union_labels(a: Label, b: Label) -> Label:
@@ -58,30 +67,279 @@ def union_all(labels: Iterable[Label]) -> Label:
     return out
 
 
-def _materialize(length: int, label: Label) -> LabelArray:
+class LabelRuns:
+    """Run-length-encoded per-byte shadow labels.
+
+    The canonical shadow representation: real messages taint long byte
+    runs with a single taint (cf. *The Taint Rabbit*'s fast paths over
+    identically-labelled data), so shadows are stored as sorted,
+    non-overlapping ``(start, end, taint)`` runs over ``[0, length)``.
+    Bytes covered by no run carry the empty label (``None``).
+
+    Complexity: point lookup is O(log runs); slice, concat, union and
+    splice are O(runs); conversion to/from per-byte lists is lossless
+    (:meth:`from_list` / :meth:`to_list`).  Labels within a run compare
+    by identity, matching the tree's interned :class:`Taint` handles.
+
+    The type is list-compatible where the codebase historically indexed
+    per-byte label lists: ``len``, ``bool``, iteration (per byte),
+    integer and unit-step slice ``[]``, slice assignment (splice), and
+    ``==`` against per-byte lists.
+    """
+
+    __slots__ = ("length", "_starts", "_ends", "_labels")
+
+    def __init__(self, length: int, runs: Iterable[Run] = ()):
+        if length < 0:
+            raise ValueError(f"negative shadow length {length}")
+        self.length = length
+        starts: list = []
+        ends: list = []
+        labels: list = []
+        for start, end, label in runs:
+            if label is None:
+                continue
+            start = max(start, 0)
+            end = min(end, length)
+            if start >= end:
+                continue
+            if starts and start < ends[-1]:
+                raise ValueError("label runs overlap or are unsorted")
+            if starts and start == ends[-1] and labels[-1] is label:
+                ends[-1] = end
+            else:
+                starts.append(start)
+                ends.append(end)
+                labels.append(label)
+        self._starts = starts
+        self._ends = ends
+        self._labels = labels
+
+    # -- constructors -------------------------------------------------- #
+
+    @classmethod
+    def filled(cls, length: int, label: Label) -> "LabelRuns":
+        """Every byte carries ``label`` (the common source-point case)."""
+        return cls(length, ((0, length, label),) if label is not None else ())
+
+    @classmethod
+    def from_list(cls, labels: Sequence[Label]) -> "LabelRuns":
+        """Lossless conversion from a per-byte label list."""
+        n = len(labels)
+        runs: list = []
+        i = 0
+        while i < n:
+            label = labels[i]
+            j = i + 1
+            while j < n and labels[j] is label:
+                j += 1
+            if label is not None:
+                runs.append((i, j, label))
+            i = j
+        return cls(n, runs)
+
+    def copy(self) -> "LabelRuns":
+        out = LabelRuns.__new__(LabelRuns)
+        out.length = self.length
+        out._starts = list(self._starts)
+        out._ends = list(self._ends)
+        out._labels = list(self._labels)
+        return out
+
+    # -- run access ----------------------------------------------------- #
+
+    @property
+    def runs(self) -> list:
+        """The non-empty runs as ``(start, end, taint)`` tuples."""
+        return list(zip(self._starts, self._ends, self._labels))
+
+    @property
+    def run_count(self) -> int:
+        return len(self._starts)
+
+    def iter_runs(self) -> Iterator[Tuple[int, int, Label]]:
+        """Maximal runs covering all of ``[0, length)``, gaps as ``None``."""
+        pos = 0
+        for start, end, label in zip(self._starts, self._ends, self._labels):
+            if pos < start:
+                yield pos, start, None
+            yield start, end, label
+            pos = end
+        if pos < self.length:
+            yield pos, self.length, None
+
+    def has_labels(self) -> bool:
+        """Whether any byte carries a (possibly empty) taint handle."""
+        return bool(self._starts)
+
+    def unique_labels(self) -> list:
+        """Distinct run labels in first-appearance order (identity dedup)."""
+        seen: set = set()
+        out: list = []
+        for label in self._labels:
+            if id(label) not in seen:
+                seen.add(id(label))
+                out.append(label)
+        return out
+
+    def overall(self) -> Label:
+        """Union of every byte's label — O(runs), not O(bytes)."""
+        return union_all(self._labels)
+
+    # -- point / range operations ---------------------------------------- #
+
+    def label_at(self, index: int) -> Label:
+        idx = bisect_right(self._starts, index) - 1
+        if idx >= 0 and index < self._ends[idx]:
+            return self._labels[idx]
+        return None
+
+    def slice(self, start: int, stop: int) -> "LabelRuns":
+        start = max(0, min(start, self.length))
+        stop = max(start, min(stop, self.length))
+        out_runs: list = []
+        idx = max(bisect_right(self._starts, start) - 1, 0)
+        for k in range(idx, len(self._starts)):
+            s, e, label = self._starts[k], self._ends[k], self._labels[k]
+            if s >= stop:
+                break
+            lo, hi = max(s, start), min(e, stop)
+            if lo < hi:
+                out_runs.append((lo - start, hi - start, label))
+        return LabelRuns(stop - start, out_runs)
+
+    def concat(self, other: "LabelRuns") -> "LabelRuns":
+        shift = self.length
+        runs = list(zip(self._starts, self._ends, self._labels))
+        runs.extend(
+            (s + shift, e + shift, label)
+            for s, e, label in zip(other._starts, other._ends, other._labels)
+        )
+        return LabelRuns(shift + other.length, runs)
+
+    def union_taint(self, taint: Label) -> "LabelRuns":
+        """Every byte's label unioned with ``taint`` (gaps become it)."""
+        if taint is None:
+            return self.copy()
+        return LabelRuns(
+            self.length,
+            ((s, e, union_labels(label, taint)) for s, e, label in self.iter_runs()),
+        )
+
+    # -- list-compatible protocol ----------------------------------------- #
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __bool__(self) -> bool:
+        return self.length > 0
+
+    def __getitem__(self, item: Union[int, slice]):
+        if isinstance(item, slice):
+            start, stop, step = item.indices(self.length)
+            if step != 1:
+                raise ValueError("label runs support unit-step slices only")
+            return self.slice(start, stop)
+        index = item
+        if index < 0:
+            index += self.length
+        if not 0 <= index < self.length:
+            raise IndexError(f"label index {item} out of range [0, {self.length})")
+        return self.label_at(index)
+
+    def __setitem__(self, item: slice, value) -> None:
+        """Splice ``value`` over a range (the TByteArray/shadow write path)."""
+        if not isinstance(item, slice):
+            raise TypeError("label runs support slice assignment only")
+        start, stop, step = item.indices(self.length)
+        if step != 1:
+            raise ValueError("label runs support unit-step slices only")
+        runs = value if isinstance(value, LabelRuns) else LabelRuns.from_list(value)
+        if runs.length != stop - start:
+            raise ValueError(
+                f"splice of {runs.length} labels into a {stop - start}-byte range"
+            )
+        spliced = self.slice(0, start).concat(runs).concat(self.slice(stop, self.length))
+        self._starts = spliced._starts
+        self._ends = spliced._ends
+        self._labels = spliced._labels
+
+    def __iter__(self) -> Iterator[Label]:
+        for start, end, label in self.iter_runs():
+            for _ in range(start, end):
+                yield label
+
+    def __add__(self, other) -> "LabelRuns":
+        if isinstance(other, LabelRuns):
+            return self.concat(other)
+        if isinstance(other, list):
+            return self.concat(LabelRuns.from_list(other))
+        return NotImplemented
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, list):
+            if len(other) != self.length:
+                return False
+            other = LabelRuns.from_list(other)
+        if not isinstance(other, LabelRuns):
+            return NotImplemented
+        return (
+            self.length == other.length
+            and self._starts == other._starts
+            and self._ends == other._ends
+            and all(a is b for a, b in zip(self._labels, other._labels))
+        )
+
+    def to_list(self) -> list:
+        """Lossless conversion to a per-byte label list."""
+        out: list = [None] * self.length
+        for start, end, label in zip(self._starts, self._ends, self._labels):
+            out[start:end] = [label] * (end - start)
+        return out
+
+    def __repr__(self) -> str:
+        return f"LabelRuns(len={self.length}, runs={self.run_count})"
+
+
+def _as_runs(labels: LabelArray, length: int) -> Optional[LabelRuns]:
+    """Normalize constructor input to the canonical run representation."""
+    if labels is None:
+        return None
+    if isinstance(labels, LabelRuns):
+        if labels.length != length:
+            raise ValueError(
+                f"label array length {labels.length} != data length {length}"
+            )
+        return labels
+    if len(labels) != length:
+        raise ValueError(f"label array length {len(labels)} != data length {length}")
+    return LabelRuns.from_list(labels)
+
+
+def _materialize(length: int, label: Label) -> Optional[LabelRuns]:
     if not shadows_enabled():
         return None
-    return [label] * length
+    return LabelRuns.filled(length, label)
 
 
 class TBytes:
     """Immutable byte string with per-byte taint labels.
 
     This is the type every network message ultimately becomes; DisTA's
-    wire format serializes exactly this (one Global ID per byte).
+    wire format serializes exactly this (one Global ID per byte).  The
+    shadow is held as :class:`LabelRuns`, so slice/concat/union cost
+    O(runs) rather than O(bytes); per-byte lists are accepted on input
+    and converted losslessly.
     """
 
     __slots__ = ("data", "labels")
 
     def __init__(self, data: bytes, labels: LabelArray = None):
-        if labels is not None and len(labels) != len(data):
-            raise ValueError(
-                f"label array length {len(labels)} != data length {len(data)}"
-            )
         self.data = bytes(data)
-        if labels is None and shadows_enabled():
-            labels = [None] * len(data)
-        self.labels = labels
+        runs = _as_runs(labels, len(self.data))
+        if runs is None and shadows_enabled():
+            runs = LabelRuns(len(self.data))
+        self.labels = runs
 
     # -- constructors -------------------------------------------------- #
 
@@ -117,19 +375,25 @@ class TBytes:
     def label_at(self, index: int) -> Label:
         if self.labels is None:
             return None
-        return self.labels[index]
+        return self.labels.label_at(index)
 
-    def effective_labels(self) -> list:
-        """Labels as a concrete list (all-``None`` when untracked)."""
+    def label_runs(self) -> LabelRuns:
+        """The shadow as runs (an all-empty shadow when untracked)."""
         if self.labels is not None:
             return self.labels
+        return LabelRuns(len(self.data))
+
+    def effective_labels(self) -> list:
+        """Labels as a concrete per-byte list (compatibility accessor)."""
+        if self.labels is not None:
+            return self.labels.to_list()
         return [None] * len(self.data)
 
     def overall_taint(self) -> Label:
-        """Union of every byte's label (used at sink points)."""
+        """Union of every byte's label (used at sink points) — O(runs)."""
         if self.labels is None:
             return None
-        return union_all(self.labels)
+        return self.labels.overall()
 
     def is_tainted(self) -> bool:
         return self.overall_taint() is not None
@@ -164,8 +428,25 @@ class TBytes:
             return TBytes(self.data + other.data)
         return TBytes(
             self.data + other.data,
-            self.effective_labels() + other.effective_labels(),
+            self.label_runs().concat(other.label_runs()),
         )
+
+    @classmethod
+    def concat(cls, parts: Sequence) -> "TBytes":
+        """Concatenate many pieces in one pass (data and label runs)."""
+        parts = [as_tbytes(p) for p in parts]
+        data = b"".join(p.data for p in parts)
+        if all(p.labels is None for p in parts):
+            return cls(data)
+        runs: list = []
+        offset = 0
+        for p in parts:
+            if p.labels is not None:
+                runs.extend(
+                    (s + offset, e + offset, label) for s, e, label in p.labels.runs
+                )
+            offset += len(p.data)
+        return cls(data, LabelRuns(len(data), runs))
 
     def __iter__(self):
         for i in range(len(self.data)):
@@ -178,8 +459,7 @@ class TBytes:
         """A copy whose every byte additionally carries ``taint``."""
         if taint is None or not shadows_enabled():
             return self
-        labels = [union_labels(l, taint) for l in self.effective_labels()]
-        return TBytes(self.data, labels)
+        return TBytes(self.data, self.label_runs().union_taint(taint))
 
     def decode(self, encoding: str = "utf-8") -> "TStr":
         """Byte→char label transfer; multi-byte chars union their bytes."""
@@ -188,12 +468,12 @@ class TBytes:
             return TStr(text)
         if len(text) == len(self.data):
             # Single-byte encoding (the common case): labels map 1:1.
-            return TStr(text, list(self.labels))
+            return TStr(text, self.labels)
         labels = []
         pos = 0
         for ch in text:
             width = len(ch.encode(encoding))
-            labels.append(union_all(self.labels[pos : pos + width]))
+            labels.append(self.labels.slice(pos, pos + width).overall())
             pos += width
         return TStr(text, labels)
 
@@ -223,28 +503,28 @@ class TByteArray:
     def __init__(self, size_or_data: Union[int, bytes, TBytes] = 0):
         if isinstance(size_or_data, int):
             self.data = bytearray(size_or_data)
-            self.labels: LabelArray = (
-                [None] * size_or_data if shadows_enabled() else None
+            self.labels: Optional[LabelRuns] = (
+                LabelRuns(size_or_data) if shadows_enabled() else None
             )
         elif isinstance(size_or_data, TBytes):
             self.data = bytearray(size_or_data.data)
             self.labels = (
-                list(size_or_data.labels) if size_or_data.labels is not None else None
+                size_or_data.labels.copy() if size_or_data.labels is not None else None
             )
         else:
             self.data = bytearray(size_or_data)
-            self.labels = [None] * len(self.data) if shadows_enabled() else None
+            self.labels = LabelRuns(len(self.data)) if shadows_enabled() else None
 
     def __len__(self) -> int:
         return len(self.data)
 
-    def _ensure_labels(self) -> list:
+    def _ensure_labels(self) -> LabelRuns:
         if self.labels is None:
-            self.labels = [None] * len(self.data)
+            self.labels = LabelRuns(len(self.data))
         return self.labels
 
     def write(self, offset: int, source: TBytes) -> None:
-        """Copy ``source`` (data and labels) into this buffer."""
+        """Copy ``source`` (data and label runs) into this buffer."""
         end = offset + len(source)
         if end > len(self.data):
             raise IndexError(f"write [{offset}:{end}) exceeds buffer size {len(self.data)}")
@@ -252,11 +532,11 @@ class TByteArray:
         if source.labels is not None:
             self._ensure_labels()[offset:end] = source.labels
         elif self.labels is not None:
-            self.labels[offset:end] = [None] * len(source)
+            self.labels[offset:end] = LabelRuns(len(source))
 
     def read(self, offset: int, length: int) -> TBytes:
         end = offset + length
-        labels = self.labels[offset:end] if self.labels is not None else None
+        labels = self.labels.slice(offset, end) if self.labels is not None else None
         return TBytes(bytes(self.data[offset:end]), labels)
 
     def snapshot(self) -> TBytes:
@@ -265,7 +545,7 @@ class TByteArray:
     def overall_taint(self) -> Label:
         if self.labels is None:
             return None
-        return union_all(self.labels)
+        return self.labels.overall()
 
 
 class _TScalar:
@@ -400,26 +680,31 @@ class TStr:
     __slots__ = ("value", "labels")
 
     def __init__(self, value: str, labels: LabelArray = None):
-        if labels is not None and len(labels) != len(value):
-            raise ValueError("label array length != string length")
         self.value = value
-        if labels is None and shadows_enabled():
-            labels = [None] * len(value)
-        self.labels = labels
+        runs = _as_runs(labels, len(value))
+        if runs is None and shadows_enabled():
+            runs = LabelRuns(len(value))
+        self.labels = runs
 
     @classmethod
     def tainted(cls, value: str, taint: Label) -> "TStr":
         return cls(value, _materialize(len(value), taint))
 
-    def effective_labels(self) -> list:
+    def label_runs(self) -> LabelRuns:
+        """The shadow as runs (an all-empty shadow when untracked)."""
         if self.labels is not None:
             return self.labels
+        return LabelRuns(len(self.value))
+
+    def effective_labels(self) -> list:
+        if self.labels is not None:
+            return self.labels.to_list()
         return [None] * len(self.value)
 
     def overall_taint(self) -> Label:
         if self.labels is None:
             return None
-        return union_all(self.labels)
+        return self.labels.overall()
 
     def is_tainted(self) -> bool:
         return self.overall_taint() is not None
@@ -443,7 +728,7 @@ class TStr:
             return TStr(self.value + other.value)
         return TStr(
             self.value + other.value,
-            self.effective_labels() + other.effective_labels(),
+            self.label_runs().concat(other.label_runs()),
         )
 
     def __radd__(self, other: str) -> "TStr":
@@ -462,18 +747,21 @@ class TStr:
             return TBytes(raw)
         if len(raw) == len(self.value):
             # Single-byte encoding (the common case): labels map 1:1.
-            return TBytes(raw, list(self.labels))
-        labels: list = []
-        for ch, label in zip(self.value, self.labels):
-            labels.extend([label] * len(ch.encode(encoding)))
-        return TBytes(raw, labels)
+            return TBytes(raw, self.labels)
+        # Char widths vary: stretch each char run to its byte extent.
+        runs: list = []
+        pos = 0
+        for start, end, label in self.labels.iter_runs():
+            width = len(self.value[start:end].encode(encoding))
+            if label is not None:
+                runs.append((pos, pos + width, label))
+            pos += width
+        return TBytes(raw, LabelRuns(len(raw), runs))
 
     def with_taint(self, taint: Label) -> "TStr":
         if taint is None or not shadows_enabled():
             return self
-        return TStr(
-            self.value, [union_labels(l, taint) for l in self.effective_labels()]
-        )
+        return TStr(self.value, self.label_runs().union_taint(taint))
 
     def split(self, sep: str) -> list:
         parts = []

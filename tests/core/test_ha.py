@@ -44,6 +44,28 @@ class TestReplication:
         resolved = standby_client.taint_for(gid)
         assert {t.tag for t in resolved.tags} == {"replicated"}
 
+    def test_batched_register_replicates_every_entry(self, ha_setup):
+        """OP_REGISTER_MANY goes through the same per-taint _register hook,
+        so the standby sees each batch entry individually."""
+        kernel, node, primary, standby = ha_setup
+        client = TaintMapClient(node, PRIMARY)
+        taints = [node.tree.taint_for_tag(f"batch{i}") for i in range(4)]
+        gids = client.gids_for(taints)
+        assert primary.replicated == 4
+        assert standby.global_taint_count() == 4
+        standby_client = TaintMapClient(node, STANDBY)
+        assert standby_client.taints_for(gids)[2].tags == taints[2].tags
+
+    def test_failover_client_batches_through_failover(self, ha_setup):
+        kernel, node, primary, standby = ha_setup
+        client = FailoverTaintMapClient(node, PRIMARY, STANDBY)
+        warm = client.gids_for([node.tree.taint_for_tag("warm")])
+        primary.stop()
+        taints = [node.tree.taint_for_tag(f"fo{i}") for i in range(3)]
+        gids = client.gids_for(taints)
+        assert len(set(gids)) == 3
+        assert all(g > warm[0] for g in gids)
+
     def test_primary_survives_standby_outage(self, ha_setup):
         kernel, node, primary, standby = ha_setup
         standby.stop()
