@@ -22,10 +22,16 @@ from repro.core.trace import Crossing, CrossingTrace
 from repro.core.config import AgentOptions, TaintSpec
 from repro.core.launch import LaunchScript, all_launch_scripts, average_changed_loc
 from repro.core.taintmap import (
+    GID_SHARD_BITS,
+    MAX_SHARDS,
+    ShardedTaintMapService,
+    ShardRouter,
     TaintMapClient,
     TaintMapServer,
     TaintMapStats,
     deserialize_tags,
+    gid_shard,
+    make_gid,
     serialize_tags,
 )
 from repro.core.wire import (
@@ -55,7 +61,13 @@ __all__ = [
     "CellDecoder",
     "DisTAAgent",
     "DisTARuntime",
+    "GID_SHARD_BITS",
     "GID_WIDTH",
+    "MAX_SHARDS",
+    "ShardRouter",
+    "ShardedTaintMapService",
+    "gid_shard",
+    "make_gid",
     "INSTRUMENTED_METHODS",
     "InstrumentedMethod",
     "LaunchScript",

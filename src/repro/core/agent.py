@@ -23,7 +23,6 @@ from typing import Optional
 from repro.core import wrappers
 from repro.core.taintmap import TaintMapClient
 from repro.errors import InstrumentationError
-from repro.runtime.kernel import Address
 
 
 @dataclass(frozen=True)
@@ -120,15 +119,21 @@ class DisTAAgent:
 
     def __init__(
         self,
-        taint_map_address: Address,
+        taint_map_address,
         cache_enabled: bool = True,
         byte_granularity: bool = True,
+        cache_capacity: Optional[int] = None,
         extensions: tuple = (),
         wrapper_types: frozenset = frozenset({1, 2, 3}),
         trace=None,
     ):
+        #: One ``(ip, port)`` or a sequence of per-shard addresses —
+        #: passed straight to :class:`TaintMapClient`, which routes by
+        #: consistent hash / GID shard bits.
         self.taint_map_address = taint_map_address
         self.cache_enabled = cache_enabled
+        #: Optional LRU bound for the client's GID/taint caches.
+        self.cache_capacity = cache_capacity
         self.byte_granularity = byte_granularity
         #: User :class:`~repro.core.extensions.ExtensionPoint`s for
         #: system-specific native methods (paper §VI).
@@ -145,7 +150,9 @@ class DisTAAgent:
         """Patch every instrumentation point on ``node``'s JNI table."""
         if node.jni.instrumented:
             raise InstrumentationError(f"node {node.name} is already instrumented")
-        client = TaintMapClient(node, self.taint_map_address, self.cache_enabled)
+        client = TaintMapClient(
+            node, self.taint_map_address, self.cache_enabled, self.cache_capacity
+        )
         runtime = wrappers.DisTARuntime(node, client, self.byte_granularity)
         if self.trace is not None:
             runtime.trace = self.trace

@@ -9,19 +9,26 @@ allocation to a standby replica (``OP_SYNC``), and
 :class:`FailoverTaintMapClient` transparently switches to the standby
 when the primary becomes unreachable.  GID numbering is preserved across
 failover because the standby applies allocations verbatim.
+
+Replication and failover **compose per shard**: a sharded deployment
+runs one primary/standby pair per shard, and the failover client keeps
+an independent active-replica choice per shard — shard 2 losing its
+primary never disturbs shard 0's connections.
 """
 
 from __future__ import annotations
 
 import struct
 import threading
-from typing import Optional
+from typing import Optional, Sequence, Union
 
 from repro.core import taintmap
 from repro.core.taintmap import (
+    GID_SEQ_MASK,
     STATUS_OK,
     TaintMapClient,
     TaintMapServer,
+    _normalize_addresses,
     _recv_exact,
     _send_frame,
 )
@@ -43,7 +50,10 @@ class StandbyTaintMapServer(TaintMapServer):
             with self._lock:
                 self._by_key[key] = gid
                 self._by_gid[gid] = serialized
-                self._next_gid = max(self._next_gid, gid + 1)
+                # Continue the shard-local sequence after promotion; the
+                # shard index lives in the GID's high bits, not the
+                # per-shard counter.
+                self._next_gid = max(self._next_gid, (gid & GID_SEQ_MASK) + 1)
             return STATUS_OK, b""
         return super()._handle(op, payload)
 
@@ -55,8 +65,17 @@ class ReplicatedTaintMapServer(TaintMapServer):
     primary keeps serving, which matches the paper's best-effort framing.
     """
 
-    def __init__(self, kernel: SimKernel, ip: str, port: int, standby: Address):
-        super().__init__(kernel, ip, port)
+    def __init__(
+        self,
+        kernel: SimKernel,
+        ip: str,
+        port: int,
+        standby: Address,
+        shard_index: int = 0,
+        shard_count: int = 1,
+        service_time: float = 0.0,
+    ):
+        super().__init__(kernel, ip, port, shard_index, shard_count, service_time)
         self._standby_address = standby
         self._standby_lock = threading.Lock()
         self._standby_endpoint: Optional[TcpEndpoint] = None
@@ -93,25 +112,38 @@ class ReplicatedTaintMapServer(TaintMapServer):
 
 
 class FailoverTaintMapClient(TaintMapClient):
-    """A client that falls back to the standby when the primary dies."""
+    """A client that falls back to the standby when the primary dies.
 
-    def __init__(self, node, primary: Address, standby: Address, cache_enabled: bool = True):
-        super().__init__(node, primary, cache_enabled)
-        self._addresses = [primary, standby]
-        self._active = 0
+    ``primary`` and ``standby`` are each one address (single-point
+    deployment) or a sequence of per-shard addresses (sharded
+    deployment; both sequences in shard order and of equal length).
+    The replica-rotation machinery itself lives in the base client's
+    per-shard request path — this class only widens each shard's
+    replica list from ``[primary]`` to ``[primary, standby]``.
+    """
+
+    def __init__(
+        self,
+        node,
+        primary: Union[Address, Sequence[Address]],
+        standby: Union[Address, Sequence[Address]],
+        cache_enabled: bool = True,
+        cache_capacity: Optional[int] = None,
+    ):
+        super().__init__(node, primary, cache_enabled, cache_capacity)
+        standbys = _normalize_addresses(standby)
+        if len(standbys) != len(self._shard_replicas):
+            raise TaintMapError(
+                f"{len(self._shard_replicas)} primary shard(s) but "
+                f"{len(standbys)} standby address(es)"
+            )
+        for replicas, standby_address in zip(self._shard_replicas, standbys):
+            replicas.append(standby_address)
 
     @property
     def active_address(self) -> Address:
-        return self._addresses[self._active]
+        """Shard 0's active replica (the single-shard deployment's one)."""
+        return self.active_address_for(0)
 
-    def _request(self, op: int, payload: bytes) -> bytes:
-        last_error: Optional[Exception] = None
-        for _ in range(len(self._addresses)):
-            self._address = self._addresses[self._active]
-            try:
-                return super()._request(op, payload)
-            except (ConnectionError, EOFError, OSError, TimeoutError) as exc:
-                last_error = exc
-                self._endpoint = None
-                self._active = (self._active + 1) % len(self._addresses)
-        raise TaintMapError(f"all taint map replicas unreachable: {last_error}")
+    def active_address_for(self, shard: int) -> Address:
+        return self._shard_replicas[shard][self._active[shard]]

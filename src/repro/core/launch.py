@@ -183,7 +183,15 @@ def launch_cluster(
         agent_options["cache_enabled"] = False
     if options.extras.get("granularity") == "message":
         agent_options["byte_granularity"] = False
-    cluster = Cluster(mode, name=name, agent_options=agent_options)
+    if "gidCacheCapacity" in options.extras:
+        agent_options["cache_capacity"] = int(options.extras["gidCacheCapacity"])
+    taint_map_shards = int(options.extras.get("taintMapShards", 1))
+    cluster = Cluster(
+        mode,
+        name=name,
+        agent_options=agent_options,
+        taint_map_shards=taint_map_shards,
+    )
     if mode is not Mode.ORIGINAL:
         TaintSpec.from_texts(sources_text, sinks_text).apply(cluster)
     return cluster

@@ -16,14 +16,25 @@ traffic must not pass through instrumented JNI methods, both to avoid
 recursion and to keep it out of the workload's overhead accounting.
 
 As in the paper, this is the "simplest implementation" (202 LOC there):
-a single-point map, replaceable by ZooKeeper/etcd in production.
+a single-point map, replaceable by ZooKeeper/etcd in production.  The
+paper concedes (§V-F, §VI) that a single point bounds cluster
+throughput; this module therefore also supports **sharding**: N servers,
+each owning a partition of the taint-key space (consistent hash) and a
+partition of the Global-ID namespace (the shard index lives in the high
+:data:`GID_SHARD_BITS` bits of the 4-byte GID).  A one-shard deployment
+is bit-for-bit identical to the unsharded protocol — shard 0 allocates
+GIDs 1, 2, 3, … and the wire format never changes.
 """
 
 from __future__ import annotations
 
+import bisect
+import hashlib
 import struct
 import threading
-from typing import Optional, Sequence
+import time
+from collections import OrderedDict
+from typing import Optional, Sequence, Union
 
 from repro.errors import TaintMapError
 from repro.runtime.kernel import Address, SimKernel, TcpEndpoint
@@ -44,6 +55,69 @@ STATUS_BAD_REQUEST = 2
 _KIND_STR = ord("s")
 _KIND_INT = ord("i")
 _KIND_BYTES = ord("b")
+
+# --------------------------------------------------------------------- #
+# Global-ID namespace partitioning
+# --------------------------------------------------------------------- #
+
+#: High bits of the 4-byte Global ID naming the owning shard.  Shard 0's
+#: IDs are plain 1, 2, 3, … — a single-shard map emits exactly the bytes
+#: the unsharded protocol did, and GID 0 (the empty taint) never belongs
+#: to any shard.
+GID_SHARD_BITS = 4
+GID_SHARD_SHIFT = 32 - GID_SHARD_BITS
+GID_SEQ_MASK = (1 << GID_SHARD_SHIFT) - 1
+MAX_SHARDS = 1 << GID_SHARD_BITS
+
+#: Transport-level failures (vs protocol-level STATUS_* errors).  HA
+#: clients fail over on these; semantic errors must never fail over.
+TRANSPORT_ERRORS = (ConnectionError, EOFError, OSError, TimeoutError)
+
+
+def make_gid(shard: int, seq: int) -> int:
+    """Compose a Global ID from a shard index and a per-shard sequence."""
+    return (shard << GID_SHARD_SHIFT) | seq
+
+
+def gid_shard(gid: int) -> int:
+    """The shard that allocated (and can resolve) ``gid``."""
+    return gid >> GID_SHARD_SHIFT
+
+
+class ShardRouter:
+    """Consistent-hash routing of taint keys onto shard indices.
+
+    Every client and every server build the identical ring (SHA-256 over
+    ``shard:<index>:<vnode>`` labels), so a taint registers on the same
+    shard no matter which node first sees it — the property that keeps
+    registration idempotent cluster-wide.  Lookups never consult the
+    ring: a received GID carries its shard in its high bits.
+    """
+
+    VNODES = 64
+
+    def __init__(self, shard_count: int):
+        if not 1 <= shard_count <= MAX_SHARDS:
+            raise TaintMapError(
+                f"shard count {shard_count} outside 1..{MAX_SHARDS}"
+            )
+        self.shard_count = shard_count
+        points = []
+        for shard in range(shard_count):
+            for vnode in range(self.VNODES):
+                digest = hashlib.sha256(f"shard:{shard}:{vnode}".encode()).digest()
+                points.append((int.from_bytes(digest[:8], "big"), shard))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._shards = [s for _, s in points]
+
+    def shard_for_key(self, key: bytes) -> int:
+        """Owning shard of a canonical :func:`taint_key`."""
+        if self.shard_count == 1:
+            return 0
+        point = int.from_bytes(hashlib.sha256(key).digest()[:8], "big")
+        index = bisect.bisect_right(self._hashes, point) % len(self._hashes)
+        return self._shards[index]
 
 
 # --------------------------------------------------------------------- #
@@ -195,13 +269,26 @@ def _split_batch_lookup_response(raw: bytes, count: int) -> list[bytes]:
 
 
 class TaintMapStats:
-    """Server-side counters (feed the §V-F scalability analysis)."""
+    """Taint Map counters (feed the §V-F scalability analysis).
+
+    Servers fill the request/population counters; clients fill the
+    cache counters (hits/misses/evictions of ``_gid_cache`` /
+    ``_taint_cache``).  One snapshot shape for both keeps aggregation
+    across shards trivial.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self.register_requests = 0
         self.lookup_requests = 0
         self.global_taints = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -209,15 +296,102 @@ class TaintMapStats:
                 "register_requests": self.register_requests,
                 "lookup_requests": self.lookup_requests,
                 "global_taints": self.global_taints,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "cache_evictions": self.cache_evictions,
             }
 
 
-class TaintMapServer:
-    """The map service: allocates Global IDs, answers lookups."""
+class _LruCache:
+    """Thread-safe mapping with optional LRU capacity.
 
-    def __init__(self, kernel: SimKernel, ip: str, port: int):
+    ``capacity=None`` (the default) never evicts — preserving Fig. 9's
+    "does not need to request a Global ID again" guarantee exactly.  A
+    bounded cache trades that for bounded memory on long-lived nodes;
+    evicted entries simply re-register/re-look-up on next use.
+    """
+
+    def __init__(self, capacity: Optional[int], stats: TaintMapStats):
+        if capacity is not None and capacity < 1:
+            raise TaintMapError(f"cache capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._stats = stats
+        self._lock = threading.Lock()
+        self._data: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get(self, key):
+        with self._lock:
+            if key not in self._data:
+                self._stats.bump("cache_misses")
+                return None
+            if self._capacity is not None:
+                self._data.move_to_end(key)
+            self._stats.bump("cache_hits")
+            return self._data[key]
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._evict_over_capacity(key)
+
+    def setdefault(self, key, value) -> None:
+        """Insert without touching hit/miss accounting (secondary fills)."""
+        with self._lock:
+            if key not in self._data:
+                self._data[key] = value
+                self._evict_over_capacity(key)
+
+    def _evict_over_capacity(self, fresh_key) -> None:
+        if self._capacity is None:
+            return
+        self._data.move_to_end(fresh_key)
+        while len(self._data) > self._capacity:
+            self._data.popitem(last=False)
+            self._stats.bump("cache_evictions")
+
+
+class TaintMapServer:
+    """The map service: allocates Global IDs, answers lookups.
+
+    One server is one **shard** of the Global-ID space.  ``shard_index``
+    is embedded in the high :data:`GID_SHARD_BITS` bits of every GID it
+    allocates; with the defaults (``shard_index=0, shard_count=1``) the
+    allocated IDs and the wire bytes are identical to the unsharded
+    protocol.  Requests are handled serially per shard — the map is a
+    single-point service per partition (paper §V-F); horizontal scale
+    comes from adding shards, not from threading one shard.
+
+    ``service_time`` models the per-request processing cost of a
+    production deployment where each shard runs on its own node (the
+    paper boots the map on a dedicated machine).  It defaults to 0 —
+    purely in-process tests pay nothing — and exists so the sharding
+    benchmark can measure queueing behaviour rather than the GIL.
+    """
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        ip: str,
+        port: int,
+        shard_index: int = 0,
+        shard_count: int = 1,
+        service_time: float = 0.0,
+    ):
+        if not 0 <= shard_index < shard_count:
+            raise TaintMapError(
+                f"shard index {shard_index} outside 0..{shard_count - 1}"
+            )
         self._kernel = kernel
         self.address: Address = (ip, port)
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self._router = ShardRouter(shard_count)
+        self._service_time = service_time
+        self._service_lock = threading.Lock()
         self._listener = None
         self._lock = threading.Lock()
         self._by_key: dict[bytes, int] = {}
@@ -268,7 +442,12 @@ class TaintMapServer:
                     return
                 (length,) = struct.unpack(">I", _recv_exact(endpoint, 4))
                 payload = _recv_exact(endpoint, length) if length else b""
-                status, response = self._handle(head[0], payload)
+                # Serial per-shard handling: one shard is one single-point
+                # service; concurrency comes from running more shards.
+                with self._service_lock:
+                    if self._service_time > 0.0:
+                        time.sleep(self._service_time)
+                    status, response = self._handle(head[0], payload)
                 _send_frame(endpoint, bytes([status]), response)
         except Exception:
             pass
@@ -282,6 +461,8 @@ class TaintMapServer:
             try:
                 tags = frozenset(deserialize_tags(payload))
             except Exception:
+                return STATUS_BAD_REQUEST, b""
+            if self._misrouted(tags):
                 return STATUS_BAD_REQUEST, b""
             gid = self._register(tags, payload)
             return STATUS_OK, struct.pack(">I", gid)
@@ -303,6 +484,8 @@ class TaintMapServer:
                 entries = _split_batch_register(payload)
                 taint_sets = [frozenset(deserialize_tags(entry)) for entry in entries]
             except Exception:
+                return STATUS_BAD_REQUEST, b""
+            if any(self._misrouted(tags) for tags in taint_sets):
                 return STATUS_BAD_REQUEST, b""
             # One _register per entry so subclass hooks (HA replication)
             # see every registration individually.
@@ -329,14 +512,26 @@ class TaintMapServer:
             return STATUS_OK, b"".join(out)
         return STATUS_BAD_REQUEST, b""
 
+    def _misrouted(self, tags: frozenset[TaintTag]) -> bool:
+        """A register that the consistent-hash ring owns elsewhere."""
+        if self.shard_count == 1:
+            return False
+        return self._router.shard_for_key(taint_key(tags)) != self.shard_index
+
     def _register(self, tags: frozenset[TaintTag], serialized: bytes) -> int:
         key = taint_key(tags)
         with self._lock:
             gid = self._by_key.get(key)
             if gid is not None:
                 return gid
-            gid = self._next_gid
+            seq = self._next_gid
+            if seq > GID_SEQ_MASK:
+                raise TaintMapError(
+                    f"shard {self.shard_index} exhausted its {GID_SHARD_SHIFT}-bit "
+                    "Global-ID sequence space"
+                )
             self._next_gid += 1
+            gid = make_gid(self.shard_index, seq)
             self._by_key[key] = gid
             self._by_gid[gid] = serialized
         with self.stats._lock:
@@ -350,54 +545,289 @@ class TaintMapServer:
             return len(self._by_key)
 
 
-class TaintMapClient:
-    """Per-node connection to the Taint Map, with both-direction caches.
+class ShardedTaintMapService:
+    """Boots and owns N Taint Map shards on one service node.
 
-    ``cache_enabled=False`` exists only for the ablation benchmark — it
-    re-registers every byte's taint, demonstrating why Fig. 9's step ②
-    ("does not need to request a Global ID again") matters.
+    Shard *i* listens on ``base_port + i``.  The single-shard default
+    (``shard_count=1``) is exactly one classic :class:`TaintMapServer`.
     """
 
     def __init__(
         self,
+        kernel: SimKernel,
+        ip: str,
+        base_port: int,
+        shard_count: int = 1,
+        service_time: float = 0.0,
+    ):
+        self.servers = [
+            TaintMapServer(
+                kernel,
+                ip,
+                base_port + index,
+                shard_index=index,
+                shard_count=shard_count,
+                service_time=service_time,
+            )
+            for index in range(shard_count)
+        ]
+
+    @property
+    def addresses(self) -> list[Address]:
+        return [server.address for server in self.servers]
+
+    def start(self) -> "ShardedTaintMapService":
+        for server in self.servers:
+            server.start()
+        return self
+
+    def stop(self) -> None:
+        for server in self.servers:
+            server.stop()
+
+    def global_taint_count(self) -> int:
+        return sum(server.global_taint_count() for server in self.servers)
+
+    def stats_snapshot(self) -> dict:
+        """Counter totals across every shard (one §V-F aggregate)."""
+        totals: dict = {}
+        for server in self.servers:
+            for key, value in server.stats.snapshot().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+
+def _normalize_addresses(address) -> list[Address]:
+    """Accept one ``(ip, port)`` or a sequence of them (one per shard)."""
+    if (
+        isinstance(address, tuple)
+        and len(address) == 2
+        and isinstance(address[0], str)
+    ):
+        return [address]
+    addresses = [tuple(entry) for entry in address]
+    if not addresses:
+        raise TaintMapError("taint map address list is empty")
+    if len(addresses) > MAX_SHARDS:
+        raise TaintMapError(
+            f"{len(addresses)} shard addresses exceed the {MAX_SHARDS}-shard "
+            f"GID namespace ({GID_SHARD_BITS} shard bits)"
+        )
+    return addresses
+
+
+class TaintMapClient:
+    """Per-node connection to the Taint Map, with both-direction caches.
+
+    ``address`` is either a single ``(ip, port)`` — the classic
+    single-point deployment — or a sequence of shard addresses in shard
+    order.  Registrations route by consistent hash of the canonical
+    taint key; lookups route by the shard bits of the received GID.
+    Each shard gets its own **connection pool**, so concurrent JNI
+    wrappers on one node issue requests in parallel instead of queueing
+    behind a single locked connection, and batch operations resolve
+    their per-shard sub-batches concurrently (one round-trip per shard).
+
+    ``cache_enabled=False`` exists only for the ablation benchmark — it
+    re-registers every byte's taint, demonstrating why Fig. 9's step ②
+    ("does not need to request a Global ID again") matters.
+    ``cache_capacity`` optionally bounds both caches with LRU eviction
+    (default unbounded, preserving Fig. 9 semantics exactly).
+    """
+
+    #: Idle connections kept per shard; beyond this, released
+    #: connections are closed rather than pooled.
+    MAX_IDLE_PER_SHARD = 8
+
+    def __init__(
+        self,
         node,
-        address: Address,
+        address: Union[Address, Sequence[Address]],
         cache_enabled: bool = True,
+        cache_capacity: Optional[int] = None,
     ):
         self._node = node
-        self._address = address
+        #: Replica candidates per shard; the base client has exactly one
+        #: per shard, :class:`~repro.core.ha.FailoverTaintMapClient`
+        #: appends a standby to each.
+        self._shard_replicas: list[list[Address]] = [
+            [addr] for addr in _normalize_addresses(address)
+        ]
+        self._active = [0] * len(self._shard_replicas)
+        self._router = ShardRouter(len(self._shard_replicas))
         self._cache_enabled = cache_enabled
-        self._lock = threading.Lock()
-        self._endpoint: Optional[TcpEndpoint] = None
+        self._pool_lock = threading.Lock()
+        self._pools: list[list[TcpEndpoint]] = [[] for _ in self._shard_replicas]
+        #: Client-side counters: cache hits/misses/evictions.
+        self.stats = TaintMapStats()
         #: taint node identity → (Global ID, taint handle).  Keyed by
         #: ``id(node)`` (not the per-tree rank, which collides between
         #: different trees when a foreign taint handle is registered).
         #: The entry holds a strong reference to the taint so its node
         #: can never be garbage-collected while cached — otherwise a
         #: reused ``id()`` could alias a dead node's Global ID.
-        self._gid_cache: dict[int, tuple[int, Taint]] = {}
+        self._gid_cache = _LruCache(cache_capacity, self.stats)
         #: Global ID → local Taint handle.
-        self._taint_cache: dict[int, Taint] = {}
+        self._taint_cache = _LruCache(cache_capacity, self.stats)
         self.requests_sent = 0
 
-    def _connection(self) -> TcpEndpoint:
-        if self._endpoint is None or self._endpoint.closed:
-            self._endpoint = self._node.kernel.connect(self._node.ip, self._address)
-        return self._endpoint
+    @property
+    def shard_count(self) -> int:
+        return len(self._shard_replicas)
 
-    def _request(self, op: int, payload: bytes) -> bytes:
-        with self._lock:
-            endpoint = self._connection()
-            _send_frame(endpoint, bytes([op]), payload)
-            status = _recv_exact(endpoint, 1)[0]
-            (length,) = struct.unpack(">I", _recv_exact(endpoint, 4))
-            response = _recv_exact(endpoint, length) if length else b""
+    # -- connection pool ------------------------------------------------- #
+
+    @property
+    def _endpoint(self) -> Optional[TcpEndpoint]:
+        """Compatibility view of the transport: shard 0's most recently
+        pooled connection (the seed client's single connection)."""
+        with self._pool_lock:
+            pool = self._pools[0]
+            return pool[-1] if pool else None
+
+    @_endpoint.setter
+    def _endpoint(self, value) -> None:
+        if value is not None:
+            raise TaintMapError("_endpoint can only be reset to None")
+        self._drop_pools()
+
+    def _drop_pools(self) -> None:
+        with self._pool_lock:
+            endpoints = [e for pool in self._pools for e in pool]
+            for pool in self._pools:
+                pool.clear()
+        for endpoint in endpoints:
+            endpoint.close()
+
+    def _acquire(self, shard: int) -> tuple[TcpEndpoint, bool]:
+        """An idle pooled connection (reused=True) or a fresh connect."""
+        with self._pool_lock:
+            pool = self._pools[shard]
+            while pool:
+                endpoint = pool.pop()
+                if not endpoint.closed:
+                    return endpoint, True
+            address = self._shard_replicas[shard][self._active[shard]]
+        return self._node.kernel.connect(self._node.ip, address), False
+
+    def _release(self, shard: int, endpoint: TcpEndpoint) -> None:
+        with self._pool_lock:
+            pool = self._pools[shard]
+            if len(pool) < self.MAX_IDLE_PER_SHARD:
+                pool.append(endpoint)
+                return
+        endpoint.close()
+
+    def _rotate(self, shard: int, observed_active: int) -> None:
+        """Fail over ``shard`` to its next replica (no-op if another
+        thread already rotated past ``observed_active``)."""
+        with self._pool_lock:
+            if self._active[shard] != observed_active:
+                return
+            self._active[shard] = (observed_active + 1) % len(
+                self._shard_replicas[shard]
+            )
+            stale = list(self._pools[shard])
+            self._pools[shard].clear()
+        for endpoint in stale:
+            endpoint.close()
+
+    # -- request path ----------------------------------------------------- #
+
+    def _roundtrip(self, endpoint: TcpEndpoint, op: int, payload: bytes) -> tuple[int, bytes]:
+        _send_frame(endpoint, bytes([op]), payload)
+        status = _recv_exact(endpoint, 1)[0]
+        (length,) = struct.unpack(">I", _recv_exact(endpoint, 4))
+        response = _recv_exact(endpoint, length) if length else b""
+        with self.stats._lock:
             self.requests_sent += 1
-        if status == STATUS_UNKNOWN_GID:
-            raise TaintMapError("unknown Global ID")
-        if status != STATUS_OK:
-            raise TaintMapError(f"taint map rejected request (status {status})")
-        return response
+        return status, response
+
+    def _attempt(self, shard: int, op: int, payload: bytes) -> tuple[int, bytes]:
+        """One request against the shard's active replica.
+
+        A connection that fails mid-frame is **always closed and
+        discarded** — a poisoned half-read connection must never return
+        to the pool, or its buffered remainder would desynchronize
+        framing for every subsequent request.  Failures on *reused*
+        pooled connections (which may simply have gone stale while idle)
+        retry once on a fresh connection; fresh-connection failures
+        propagate to the failover layer.
+        """
+        while True:
+            endpoint, reused = self._acquire(shard)
+            try:
+                status, response = self._roundtrip(endpoint, op, payload)
+            except Exception:
+                endpoint.close()
+                if reused:
+                    continue
+                raise
+            self._release(shard, endpoint)
+            return status, response
+
+    def _request(self, op: int, payload: bytes, shard: int = 0) -> bytes:
+        replicas = self._shard_replicas[shard]
+        last_error: Optional[Exception] = None
+        for _ in range(len(replicas)):
+            observed_active = self._active[shard]
+            try:
+                status, response = self._attempt(shard, op, payload)
+            except TRANSPORT_ERRORS as exc:
+                last_error = exc
+                self._rotate(shard, observed_active)
+                continue
+            # Protocol-level status: semantic errors never fail over.
+            if status == STATUS_UNKNOWN_GID:
+                raise TaintMapError("unknown Global ID")
+            if status != STATUS_OK:
+                raise TaintMapError(f"taint map rejected request (status {status})")
+            return response
+        if len(replicas) == 1:
+            raise last_error  # single replica: surface the transport error
+        raise TaintMapError(f"all taint map replicas unreachable: {last_error}")
+
+    def _request_by_shard(
+        self, calls: Sequence[tuple[int, int, bytes]]
+    ) -> list[bytes]:
+        """Fire ``(shard, op, payload)`` requests concurrently, one
+        thread per shard, preserving the one-round-trip-per-shard
+        property for batches that span the ring."""
+        if len(calls) == 1:
+            shard, op, payload = calls[0]
+            return [self._request(op, payload, shard)]
+        results: list[Optional[bytes]] = [None] * len(calls)
+        errors: list[Exception] = []
+
+        def fire(index: int, shard: int, op: int, payload: bytes) -> None:
+            try:
+                results[index] = self._request(op, payload, shard)
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=fire, args=(i, *call), daemon=True)
+            for i, call in enumerate(calls)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results  # type: ignore[return-value]
+
+    def _shard_for_taint(self, taint: Taint) -> int:
+        return self._router.shard_for_key(taint_key(taint.tags))
+
+    def _shard_for_gid(self, gid: int) -> int:
+        shard = gid_shard(gid)
+        if shard >= len(self._shard_replicas):
+            raise TaintMapError(
+                f"Global ID {gid} names shard {shard}, but only "
+                f"{len(self._shard_replicas)} shard(s) are configured"
+            )
+        return shard
 
     # -- sender side (Fig. 9 steps 1-2) ---------------------------------- #
 
@@ -410,18 +840,21 @@ class TaintMapClient:
             cached = self._gid_cache.get(key)
             if cached is not None:
                 return cached[0]
-        response = self._request(OP_REGISTER, serialize_tags(taint.tags))
+        response = self._request(
+            OP_REGISTER, serialize_tags(taint.tags), self._shard_for_taint(taint)
+        )
         (gid,) = struct.unpack(">I", response)
         self._record_registered(taint, gid)
         return gid
 
     def gids_for(self, taints: Sequence[Optional[Taint]]) -> list[int]:
         """Global IDs for a batch of taints, resolving all cache misses
-        in a single ``OP_REGISTER_MANY`` round-trip.
+        in one ``OP_REGISTER_MANY`` round-trip **per shard**, with the
+        per-shard sub-batches issued concurrently.
 
         A message whose shadow forms *k* label runs therefore costs at
-        most one request on first send, and zero on resend (Fig. 9's
-        "does not need to request a Global ID again", batched).
+        most one request per shard on first send, and zero on resend
+        (Fig. 9's "does not need to request a Global ID again", batched).
         """
         gids: list[Optional[int]] = [None] * len(taints)
         misses: dict[int, tuple[Taint, list[int]]] = {}
@@ -440,21 +873,33 @@ class TaintMapClient:
             else:
                 misses[key] = (taint, [i])
         if misses:
-            pending = [taint for taint, _ in misses.values()]
-            payload = _pack_batch_register(
-                [serialize_tags(taint.tags) for taint in pending]
-            )
-            response = self._request(OP_REGISTER_MANY, payload)
-            new_gids = struct.unpack(f">{len(pending)}I", response)
-            for (taint, positions), gid in zip(misses.values(), new_gids):
-                self._record_registered(taint, gid)
-                for i in positions:
-                    gids[i] = gid
+            by_shard: dict[int, list[tuple[Taint, list[int]]]] = {}
+            for taint, positions in misses.values():
+                by_shard.setdefault(self._shard_for_taint(taint), []).append(
+                    (taint, positions)
+                )
+            calls = [
+                (
+                    shard,
+                    OP_REGISTER_MANY,
+                    _pack_batch_register(
+                        [serialize_tags(taint.tags) for taint, _ in entries]
+                    ),
+                )
+                for shard, entries in by_shard.items()
+            ]
+            responses = self._request_by_shard(calls)
+            for entries, response in zip(by_shard.values(), responses):
+                new_gids = struct.unpack(f">{len(entries)}I", response)
+                for (taint, positions), gid in zip(entries, new_gids):
+                    self._record_registered(taint, gid)
+                    for i in positions:
+                        gids[i] = gid
         return gids  # type: ignore[return-value]
 
     def _record_registered(self, taint: Taint, gid: int) -> None:
         if self._cache_enabled:
-            self._gid_cache[id(taint.node)] = (gid, taint)
+            self._gid_cache.put(id(taint.node), (gid, taint))
             self._taint_cache.setdefault(gid, taint)
         # Paper §III-D.1: a tag's GlobalID field is set when it first
         # crosses the network (meaningful for singleton taints).
@@ -473,13 +918,16 @@ class TaintMapClient:
             cached = self._taint_cache.get(gid)
             if cached is not None:
                 return cached
-        serialized = self._request(OP_LOOKUP, struct.pack(">I", gid))
+        serialized = self._request(
+            OP_LOOKUP, struct.pack(">I", gid), self._shard_for_gid(gid)
+        )
         taint = self._record_resolved(gid, serialized)
         return taint
 
     def taints_for(self, gids: Sequence[int]) -> list[Optional[Taint]]:
         """Local taints for a batch of Global IDs, resolving all cache
-        misses in a single ``OP_LOOKUP_MANY`` round-trip."""
+        misses in one ``OP_LOOKUP_MANY`` round-trip per shard (sub-batches
+        issued concurrently — receivers route by the GID's shard bits)."""
         taints: list[Optional[Taint]] = [None] * len(gids)
         misses: dict[int, list[int]] = {}
         for i, gid in enumerate(gids):
@@ -492,27 +940,34 @@ class TaintMapClient:
                     continue
             misses.setdefault(gid, []).append(i)
         if misses:
-            pending = list(misses)
-            payload = struct.pack(f">H{len(pending)}I", len(pending), *pending)
-            response = self._request(OP_LOOKUP_MANY, payload)
-            for gid, serialized in zip(
-                pending, _split_batch_lookup_response(response, len(pending))
-            ):
-                taint = self._record_resolved(gid, serialized)
-                for i in misses[gid]:
-                    taints[i] = taint
+            by_shard: dict[int, list[int]] = {}
+            for gid in misses:
+                by_shard.setdefault(self._shard_for_gid(gid), []).append(gid)
+            calls = [
+                (
+                    shard,
+                    OP_LOOKUP_MANY,
+                    struct.pack(f">H{len(pending)}I", len(pending), *pending),
+                )
+                for shard, pending in by_shard.items()
+            ]
+            responses = self._request_by_shard(calls)
+            for pending, response in zip(by_shard.values(), responses):
+                for gid, serialized in zip(
+                    pending, _split_batch_lookup_response(response, len(pending))
+                ):
+                    taint = self._record_resolved(gid, serialized)
+                    for i in misses[gid]:
+                        taints[i] = taint
         return taints
 
     def _record_resolved(self, gid: int, serialized: bytes) -> Taint:
         tags = deserialize_tags(serialized)
         taint = self._node.tree.taint_for_tags(tags)
         if self._cache_enabled:
-            self._taint_cache[gid] = taint
+            self._taint_cache.put(gid, taint)
             self._gid_cache.setdefault(id(taint.node), (gid, taint))
         return taint
 
     def close(self) -> None:
-        with self._lock:
-            if self._endpoint is not None:
-                self._endpoint.close()
-                self._endpoint = None
+        self._drop_pools()

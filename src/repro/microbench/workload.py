@@ -138,11 +138,7 @@ def run_case(case: MicroCase, mode: Mode, size: int = DEFAULT_SIZE) -> CaseResul
         else:
             sound = precise = None
         wire = cluster.wire_bytes(exclude_taint_map=True)
-        taints = (
-            cluster.taint_map_server.global_taint_count()
-            if cluster.taint_map_server is not None
-            else 0
-        )
+        taints = cluster.global_taint_count()
     return CaseResult(
         case=case.name,
         protocol=case.protocol,

@@ -36,11 +36,16 @@ class Cluster:
         mode: Mode = Mode.ORIGINAL,
         name: str = "cluster",
         agent_options: Optional[dict] = None,
+        taint_map_shards: int = 1,
     ):
         self.mode = mode
         self.name = name
         #: Extra DisTAAgent keyword options (ablation benchmarks only).
         self.agent_options = dict(agent_options or {})
+        #: Number of Taint Map shards (shard i at TAINT_MAP_PORT + i).
+        #: The default single shard is byte-identical to the unsharded
+        #: deployment.
+        self.taint_map_shards = taint_map_shards
         self.kernel = SimKernel(name)
         self.fs = SimFileSystem()
         self.nodes: dict[str, SimNode] = {}
@@ -48,6 +53,9 @@ class Cluster:
         self._pids = itertools.count(1000)
         self._default_sources: list[str] = []
         self._default_sinks: list[str] = []
+        #: The sharded service (all shards); ``taint_map_server`` below
+        #: stays the shard-0 server for single-shard compatibility.
+        self.taint_map_service = None
         self.taint_map_server = None
         self._started = False
         self._previous_shadow: Optional[bool] = None
@@ -103,12 +111,22 @@ class Cluster:
         self._started = True
         return self
 
+    @property
+    def taint_map_addresses(self) -> list:
+        """Every shard's address (one entry for a single-shard map)."""
+        return [
+            (TAINT_MAP_IP, TAINT_MAP_PORT + index)
+            for index in range(self.taint_map_shards)
+        ]
+
     def _start_taint_map(self) -> None:
-        from repro.core.taintmap import TaintMapServer
+        from repro.core.taintmap import ShardedTaintMapService
 
         self.kernel.register_node(TAINT_MAP_IP)
-        self.taint_map_server = TaintMapServer(self.kernel, TAINT_MAP_IP, TAINT_MAP_PORT)
-        self.taint_map_server.start()
+        self.taint_map_service = ShardedTaintMapService(
+            self.kernel, TAINT_MAP_IP, TAINT_MAP_PORT, self.taint_map_shards
+        ).start()
+        self.taint_map_server = self.taint_map_service.servers[0]
 
     def _attach_agent(self, node: SimNode) -> None:
         if self.mode is not Mode.DISTA:
@@ -116,15 +134,16 @@ class Cluster:
         from repro.core.agent import DisTAAgent
 
         DisTAAgent(
-            taint_map_address=(TAINT_MAP_IP, TAINT_MAP_PORT), **self.agent_options
+            taint_map_address=self.taint_map_addresses, **self.agent_options
         ).attach(node)
 
     def shutdown(self) -> None:
         for node in self.nodes.values():
             if node.taintmap is not None:
                 node.taintmap.close()
-        if self.taint_map_server is not None:
-            self.taint_map_server.stop()
+        if self.taint_map_service is not None:
+            self.taint_map_service.stop()
+            self.taint_map_service = None
             self.taint_map_server = None
         if self._previous_shadow is not None:
             if self._previous_shadow:
@@ -158,7 +177,13 @@ class Cluster:
             tags.update(node.registry.generated_tags())
         return frozenset(tags)
 
+    def global_taint_count(self) -> int:
+        """Distinct global taints across every Taint Map shard."""
+        if self.taint_map_service is None:
+            return 0
+        return self.taint_map_service.global_taint_count()
+
     def wire_bytes(self, exclude_taint_map: bool = True):
         """Total bytes the kernel carried (for the 5× overhead check)."""
-        exclude = ((TAINT_MAP_IP, TAINT_MAP_PORT),) if exclude_taint_map else ()
+        exclude = tuple(self.taint_map_addresses) if exclude_taint_map else ()
         return self.kernel.stats.total(exclude)

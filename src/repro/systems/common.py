@@ -128,11 +128,7 @@ def run_system_workload(
             for tag in obs.tags
             if node_ips.get(obs.node) != tag.local_id.ip
         )
-        taints = (
-            cluster.taint_map_server.global_taint_count()
-            if cluster.taint_map_server is not None
-            else 0
-        )
+        taints = cluster.global_taint_count()
         wire = cluster.wire_bytes(exclude_taint_map=True)
     return WorkloadResult(
         system=system,
