@@ -17,12 +17,47 @@ same effect as the paper wrapping each entry point.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.core import wrappers
+from repro.core.aio_transport import AsyncTaintMapClient
 from repro.core.taintmap import TaintMapClient
 from repro.errors import InstrumentationError
+
+#: Recognized Taint Map transports: ``pooled`` (per-shard connection
+#: pools, thread-per-request — the default) and ``async`` (one
+#: multiplexed connection per shard + cross-message coalescing,
+#: :mod:`repro.core.aio_transport`).
+TRANSPORTS = ("pooled", "async")
+
+#: Environment override for the transport; lets CI run the whole suite
+#: on the async transport without touching any test code.
+TRANSPORT_ENV = "DISTA_TAINTMAP_TRANSPORT"
+
+#: Environment override for the coalescing window (microseconds).
+COALESCE_WINDOW_ENV = "DISTA_COALESCE_WINDOW_US"
+
+
+def resolve_transport(transport: Optional[str] = None) -> str:
+    """The effective transport: explicit argument, else the
+    ``DISTA_TAINTMAP_TRANSPORT`` environment variable, else pooled."""
+    choice = transport or os.environ.get(TRANSPORT_ENV) or "pooled"
+    if choice not in TRANSPORTS:
+        raise InstrumentationError(
+            f"unknown taint map transport {choice!r}; expected one of {TRANSPORTS}"
+        )
+    return choice
+
+
+def resolve_coalesce_window(window_us: Optional[float] = None) -> Optional[float]:
+    """The effective coalescing window (µs), or ``None`` for the
+    transport default."""
+    if window_us is not None:
+        return float(window_us)
+    from_env = os.environ.get(COALESCE_WINDOW_ENV)
+    return float(from_env) if from_env else None
 
 
 @dataclass(frozen=True)
@@ -126,6 +161,8 @@ class DisTAAgent:
         extensions: tuple = (),
         wrapper_types: frozenset = frozenset({1, 2, 3}),
         trace=None,
+        transport: Optional[str] = None,
+        coalesce_window_us: Optional[float] = None,
     ):
         #: One ``(ip, port)`` or a sequence of per-shard addresses —
         #: passed straight to :class:`TaintMapClient`, which routes by
@@ -145,15 +182,39 @@ class DisTAAgent:
         #: Optional :class:`~repro.core.trace.CrossingTrace` shared by
         #: every node this agent attaches to.
         self.trace = trace
+        #: Taint Map transport: "pooled" (default) or "async"; ``None``
+        #: defers to ``DISTA_TAINTMAP_TRANSPORT`` at attach time.
+        self.transport = transport
+        #: Coalescing window (µs) for the async transport; ``None``
+        #: defers to ``DISTA_COALESCE_WINDOW_US``/the transport default.
+        self.coalesce_window_us = coalesce_window_us
+
+    def _make_client(self, node) -> tuple[TaintMapClient, str]:
+        transport = resolve_transport(self.transport)
+        if transport == "async":
+            window = resolve_coalesce_window(self.coalesce_window_us)
+            options = {} if window is None else {"coalesce_window_us": window}
+            client = AsyncTaintMapClient(
+                node,
+                self.taint_map_address,
+                self.cache_enabled,
+                self.cache_capacity,
+                **options,
+            )
+        else:
+            client = TaintMapClient(
+                node, self.taint_map_address, self.cache_enabled, self.cache_capacity
+            )
+        return client, transport
 
     def attach(self, node) -> wrappers.DisTARuntime:
         """Patch every instrumentation point on ``node``'s JNI table."""
         if node.jni.instrumented:
             raise InstrumentationError(f"node {node.name} is already instrumented")
-        client = TaintMapClient(
-            node, self.taint_map_address, self.cache_enabled, self.cache_capacity
+        client, transport = self._make_client(node)
+        runtime = wrappers.DisTARuntime(
+            node, client, self.byte_granularity, transport=transport
         )
-        runtime = wrappers.DisTARuntime(node, client, self.byte_granularity)
         if self.trace is not None:
             runtime.trace = self.trace
         for target, (wrapper_type, factory) in _WRAPPER_FACTORIES_BY_TYPE.items():

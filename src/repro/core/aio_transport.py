@@ -1,0 +1,540 @@
+"""Async multiplexed Taint Map transport with cross-message coalescing.
+
+The pooled :class:`~repro.core.taintmap.TaintMapClient` burns one
+blocking thread-and-connection per in-flight request — exactly the
+per-request overhead the Taint Rabbit line of work attributes to slow
+generic paths.  This module decouples the traced execution from the
+tracking traffic instead:
+
+* **One long-lived connection per shard.**  The client upgrades each
+  connection with :data:`~repro.core.taintmap.OP_MUX_HELLO`; after the
+  acknowledgement every frame carries a 4-byte **correlation id** in
+  front of the *unchanged* sync frame bytes, so thousands of requests
+  can be in flight at once and responses resolve futures out of order.
+  The inner frames — and every payload encoding: taint serialization,
+  batch formats, GID packing — are byte-identical to the sync protocol;
+  the server dispatches both through the same ``_handle``.
+
+* **A background event loop.**  Each client owns one asyncio loop on a
+  daemon thread.  Sync callers (the JNI wrappers) submit work with
+  ``run_coroutine_threadsafe`` and block only on their own future; the
+  loop itself never blocks on the simulated kernel (endpoint I/O runs
+  on the loop's executor, frame arrival is pushed in by a per-connection
+  reader thread).
+
+* **Cross-message coalescing.**  ``gid_for``/``gids_for``/``taint_for``/
+  ``taints_for`` misses from concurrent wrappers accumulate in a
+  per-shard pending window, flushed when the window reaches
+  ``max_batch`` entries or when a ``coalesce_window_us`` timer fires —
+  so *k* small messages in flight cost one ``OP_REGISTER_MANY`` /
+  ``OP_LOOKUP_MANY`` round-trip per shard per window instead of *k*.
+  Identical entries submitted by different messages share one wire
+  entry and one future; this is safe because registration is idempotent
+  (same taint ⇒ same GID) and lookup is read-only.
+
+* **Failover with in-flight futures.**  Replica rotation composes per
+  shard exactly as in the pooled client: a connection that dies fails
+  every pending future with a transport error, and each affected
+  request retries on the shard's next replica (idempotency makes the
+  retry safe).  Semantic errors (``STATUS_*``) never fail over.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import struct
+import threading
+from collections import OrderedDict
+from typing import Optional, Sequence, Union
+
+from repro.core.taintmap import (
+    OP_LOOKUP,
+    OP_LOOKUP_MANY,
+    OP_MUX_HELLO,
+    OP_REGISTER,
+    OP_REGISTER_MANY,
+    STATUS_OK,
+    STATUS_UNKNOWN_GID,
+    TRANSPORT_ERRORS,
+    TaintMapClient,
+    _pack_batch_register,
+    _recv_exact,
+    _send_frame,
+    _split_batch_lookup_response,
+    _split_batch_register,
+)
+from repro.errors import PipeClosed, TaintMapError
+from repro.runtime.kernel import Address, TcpEndpoint
+
+#: Default coalescing window (µs).  Long enough that concurrent wrapper
+#: calls on one node land in the same flush, short enough to be
+#: invisible next to a LAN round-trip.
+DEFAULT_WINDOW_US = 200.0
+
+#: Entries that force an immediate flush regardless of the timer.
+DEFAULT_MAX_BATCH = 512
+
+_REGISTER = 0
+_LOOKUP = 1
+
+
+def mux_frame(corr: int, op: int, payload: bytes) -> bytes:
+    """One multiplexed request frame: a correlation-id prefix followed
+    by the **unchanged** sync frame bytes (``op | len | payload``)."""
+    return (
+        struct.pack(">I", corr)
+        + bytes([op])
+        + struct.pack(">I", len(payload))
+        + payload
+    )
+
+
+class _MuxConnection:
+    """One upgraded connection: correlated frames, out-of-order futures.
+
+    All state except the reader thread is confined to the event loop
+    thread; the reader pushes completed frames in with
+    ``call_soon_threadsafe``.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, endpoint: TcpEndpoint):
+        self._loop = loop
+        self._endpoint = endpoint
+        self._pending: dict[int, asyncio.Future] = {}
+        self._corr = itertools.count(1)
+        self._send_lock = asyncio.Lock()
+        self._broken: Optional[Exception] = None
+        threading.Thread(
+            target=self._read_loop, name="taintmap-mux-reader", daemon=True
+        ).start()
+
+    @property
+    def broken(self) -> bool:
+        return self._broken is not None
+
+    async def request(self, op: int, payload: bytes) -> tuple[int, bytes]:
+        """Send one frame, await its correlated response (any order)."""
+        if self._broken is not None:
+            raise self._broken
+        corr = next(self._corr)
+        future = self._loop.create_future()
+        self._pending[corr] = future
+        frame = mux_frame(corr, op, payload)
+        try:
+            # Serialized sends: two interleaved send_all calls would
+            # interleave partial writes and desynchronize framing.
+            async with self._send_lock:
+                await self._loop.run_in_executor(
+                    None, self._endpoint.send_all, frame
+                )
+        except BaseException:
+            self._pending.pop(corr, None)
+            raise
+        return await future
+
+    # -- reader thread ---------------------------------------------------- #
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                first = self._endpoint.recv(1)
+                if not first:
+                    raise PipeClosed("taint map mux connection closed")
+                (corr,) = struct.unpack(">I", first + _recv_exact(self._endpoint, 3))
+                status = _recv_exact(self._endpoint, 1)[0]
+                (length,) = struct.unpack(">I", _recv_exact(self._endpoint, 4))
+                response = _recv_exact(self._endpoint, length) if length else b""
+                self._loop.call_soon_threadsafe(self._resolve, corr, status, response)
+        except Exception as exc:
+            try:
+                self._loop.call_soon_threadsafe(self._fail_pending, exc)
+            except RuntimeError:
+                pass  # loop already closed during shutdown
+
+    # -- loop-thread callbacks ---------------------------------------------- #
+
+    def _resolve(self, corr: int, status: int, response: bytes) -> None:
+        future = self._pending.pop(corr, None)
+        if future is not None and not future.done():
+            future.set_result((status, response))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        """Connection death: every in-flight future gets the transport
+        error, so its request can fail over to the next replica."""
+        self._broken = exc
+        pending = list(self._pending.values())
+        self._pending.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(exc)
+
+    def close(self) -> None:
+        self._endpoint.close()
+
+
+class _PendingWindow:
+    """One shard's accumulating batch of one kind (register or lookup)."""
+
+    __slots__ = ("entries", "timer")
+
+    def __init__(self) -> None:
+        #: entry key (serialized taint bytes, or int GID) → result future.
+        self.entries: OrderedDict = OrderedDict()
+        self.timer: Optional[asyncio.TimerHandle] = None
+
+
+class _ShardChannel:
+    """Per-shard connection management + replica failover.
+
+    State is event-loop-confined; the replica list and active index are
+    shared with the owning client so HA widening
+    (:class:`~repro.core.ha.AsyncFailoverTaintMapClient`) and
+    ``active_address_for`` introspection keep working unchanged.
+    """
+
+    def __init__(self, transport: "AsyncTaintMapTransport", shard: int):
+        self._transport = transport
+        self._shard = shard
+        self._connection: Optional[_MuxConnection] = None
+        self._connect_lock = asyncio.Lock()
+
+    async def _connected(self) -> _MuxConnection:
+        if self._connection is not None and not self._connection.broken:
+            return self._connection
+        async with self._connect_lock:
+            if self._connection is not None and not self._connection.broken:
+                return self._connection
+            client = self._transport.client
+            address = client._shard_replicas[self._shard][
+                client._active[self._shard]
+            ]
+            loop = self._transport.loop
+            endpoint = await loop.run_in_executor(
+                None, self._transport._connect, address
+            )
+            self._connection = _MuxConnection(loop, endpoint)
+            return self._connection
+
+    def _rotate(self, observed_active: int) -> None:
+        """Fail over to the shard's next replica (no-op if a concurrent
+        request already rotated past ``observed_active``); always drop
+        the broken connection."""
+        client = self._transport.client
+        stale, self._connection = self._connection, None
+        if client._active[self._shard] == observed_active:
+            client._active[self._shard] = (observed_active + 1) % len(
+                client._shard_replicas[self._shard]
+            )
+        if stale is not None:
+            try:
+                stale.close()
+            except Exception:
+                client.stats.bump("close_errors")
+
+    async def roundtrip(self, op: int, payload: bytes) -> tuple[int, bytes]:
+        """One request with per-shard replica failover.  Transport
+        errors rotate and retry (idempotent ops make the retry safe);
+        protocol-level statuses are returned to the caller."""
+        client = self._transport.client
+        replicas = client._shard_replicas[self._shard]
+        last_error: Optional[Exception] = None
+        for _ in range(len(replicas)):
+            observed_active = client._active[self._shard]
+            try:
+                connection = await self._connected()
+                status, response = await connection.request(op, payload)
+            except TRANSPORT_ERRORS as exc:
+                last_error = exc
+                self._rotate(observed_active)
+                continue
+            with client.stats._lock:
+                client.requests_sent += 1
+            return status, response
+        if len(replicas) == 1:
+            raise last_error  # single replica: surface the transport error
+        raise TaintMapError(f"all taint map replicas unreachable: {last_error}")
+
+    def close(self) -> None:
+        connection, self._connection = self._connection, None
+        if connection is not None:
+            try:
+                connection.close()
+            except Exception:
+                self._transport.client.stats.bump("close_errors")
+
+
+class AsyncTaintMapTransport:
+    """The event-loop half of :class:`AsyncTaintMapClient`.
+
+    ``submit``/``submit_many`` are the sync bridge: they accept the
+    pooled client's ``(shard, op, payload)`` request shape, route the
+    four map ops through the coalescing windows, and return response
+    payloads in exactly the sync protocol's formats — so the caching
+    and batching logic of :class:`~repro.core.taintmap.TaintMapClient`
+    runs unmodified on top.
+    """
+
+    def __init__(
+        self,
+        client: TaintMapClient,
+        coalesce_window_us: float = DEFAULT_WINDOW_US,
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ):
+        if max_batch < 1:
+            raise TaintMapError(f"max_batch must be >= 1, got {max_batch}")
+        self.client = client
+        self.coalesce_window_us = max(float(coalesce_window_us), 0.0)
+        self.max_batch = max_batch
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._lifecycle_lock = threading.Lock()
+        self._channels: list[_ShardChannel] = []
+        self._windows: list[tuple[_PendingWindow, _PendingWindow]] = []
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------- #
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        with self._lifecycle_lock:
+            if self._closed:
+                raise TaintMapError("async taint map transport is closed")
+            if self.loop is None:
+                self.loop = asyncio.new_event_loop()
+                shard_count = len(self.client._shard_replicas)
+                self._channels = [
+                    _ShardChannel(self, shard) for shard in range(shard_count)
+                ]
+                self._windows = [
+                    (_PendingWindow(), _PendingWindow())
+                    for _ in range(shard_count)
+                ]
+                self._thread = threading.Thread(
+                    target=self.loop.run_forever, name="taintmap-aio", daemon=True
+                )
+                self._thread.start()
+            return self.loop
+
+    def close(self) -> None:
+        with self._lifecycle_lock:
+            self._closed = True
+            loop, self.loop = self.loop, None
+            thread, self._thread = self._thread, None
+            channels, self._channels = self._channels, []
+            windows, self._windows = self._windows, []
+        if loop is None:
+            return
+
+        def shutdown() -> None:
+            closed = TaintMapError("async taint map transport is closed")
+            for register_window, lookup_window in windows:
+                for window in (register_window, lookup_window):
+                    if window.timer is not None:
+                        window.timer.cancel()
+                        window.timer = None
+                    for future in window.entries.values():
+                        if not future.done():
+                            future.set_exception(closed)
+                    window.entries.clear()
+            for channel in channels:
+                channel.close()
+            loop.stop()
+
+        try:
+            loop.call_soon_threadsafe(shutdown)
+        except RuntimeError:
+            return
+        if thread is not None:
+            thread.join(timeout=10)
+        if not loop.is_running():
+            loop.close()
+
+    def _connect(self, address: Address) -> TcpEndpoint:
+        """Blocking connect + OP_MUX_HELLO upgrade (runs on executor)."""
+        node = self.client._node
+        endpoint = node.kernel.connect(node.ip, address)
+        try:
+            _send_frame(endpoint, bytes([OP_MUX_HELLO]), b"")
+            status = _recv_exact(endpoint, 1)[0]
+            (length,) = struct.unpack(">I", _recv_exact(endpoint, 4))
+            if length:
+                _recv_exact(endpoint, length)
+            if status != STATUS_OK:
+                raise TaintMapError(
+                    f"taint map refused multiplexed upgrade (status {status})"
+                )
+        except BaseException:
+            endpoint.close()
+            raise
+        return endpoint
+
+    # -- sync bridge -------------------------------------------------------- #
+
+    def submit(self, shard: int, op: int, payload: bytes) -> bytes:
+        loop = self._ensure_loop()
+        return asyncio.run_coroutine_threadsafe(
+            self._dispatch(shard, op, payload), loop
+        ).result()
+
+    def submit_many(self, calls: Sequence[tuple[int, int, bytes]]) -> list[bytes]:
+        loop = self._ensure_loop()
+
+        async def run_all() -> list[bytes]:
+            return await asyncio.gather(
+                *(self._dispatch(shard, op, payload) for shard, op, payload in calls)
+            )
+
+        return asyncio.run_coroutine_threadsafe(run_all(), loop).result()
+
+    # -- op dispatch (loop thread) ------------------------------------------- #
+
+    async def _dispatch(self, shard: int, op: int, payload: bytes) -> bytes:
+        """Route one sync-protocol request through the coalescing
+        windows, returning the response payload the sync protocol
+        would have produced."""
+        if op == OP_REGISTER:
+            gids = await self._coalesce(shard, _REGISTER, [bytes(payload)])
+            return struct.pack(">I", gids[0])
+        if op == OP_REGISTER_MANY:
+            entries = _split_batch_register(payload)
+            gids = await self._coalesce(shard, _REGISTER, entries)
+            return struct.pack(f">{len(gids)}I", *gids)
+        if op == OP_LOOKUP:
+            (gid,) = struct.unpack(">I", payload)
+            values = await self._coalesce(shard, _LOOKUP, [gid])
+            return values[0]
+        if op == OP_LOOKUP_MANY:
+            (count,) = struct.unpack(">H", payload[:2])
+            gids = list(struct.unpack(f">{count}I", payload[2:]))
+            values = await self._coalesce(shard, _LOOKUP, gids)
+            return b"".join(
+                struct.pack(">I", len(value)) + value for value in values
+            )
+        # Unknown/extension op: pass through un-coalesced.
+        status, response = await self._channels[shard].roundtrip(op, payload)
+        self._check_status(status)
+        return response
+
+    @staticmethod
+    def _check_status(status: int) -> None:
+        if status == STATUS_UNKNOWN_GID:
+            raise TaintMapError("unknown Global ID")
+        if status != STATUS_OK:
+            raise TaintMapError(f"taint map rejected request (status {status})")
+
+    # -- coalescing windows (loop thread) ------------------------------------- #
+
+    async def _coalesce(self, shard: int, kind: int, keys: Sequence) -> list:
+        """Enqueue ``keys`` into the shard's pending window and await
+        their results.  All of one call's keys enter the window
+        atomically (the loop is single-threaded), preserving the
+        one-round-trip-per-shard property of a single batched call even
+        with a zero-length window."""
+        window = self._windows[shard][kind]
+        futures = []
+        for key in keys:
+            future = window.entries.get(key)
+            if future is None:
+                future = self.loop.create_future()
+                window.entries[key] = future
+            futures.append(future)
+        if len(window.entries) >= self.max_batch:
+            self._flush_now(shard, kind)
+        elif window.timer is None:
+            delay = self.coalesce_window_us / 1e6
+            window.timer = self.loop.call_later(
+                delay, self._flush_now, shard, kind
+            )
+        results = await asyncio.gather(*futures, return_exceptions=True)
+        for result in results:
+            if isinstance(result, BaseException):
+                raise result
+        return list(results)
+
+    def _flush_now(self, shard: int, kind: int) -> None:
+        window = self._windows[shard][kind]
+        if window.timer is not None:
+            window.timer.cancel()
+            window.timer = None
+        if not window.entries:
+            return
+        entries, window.entries = window.entries, OrderedDict()
+        self.loop.create_task(self._flush(shard, kind, entries))
+
+    async def _flush(self, shard: int, kind: int, entries: OrderedDict) -> None:
+        """One wire round-trip for an accumulated window; resolves every
+        entry future (out of order relative to other flushes)."""
+        keys = list(entries)
+        try:
+            if kind == _REGISTER:
+                status, response = await self._channels[shard].roundtrip(
+                    OP_REGISTER_MANY, _pack_batch_register(keys)
+                )
+                self._check_status(status)
+                gids = struct.unpack(f">{len(keys)}I", response)
+                for key, gid in zip(keys, gids):
+                    future = entries[key]
+                    if not future.done():
+                        future.set_result(gid)
+                return
+            status, response = await self._channels[shard].roundtrip(
+                OP_LOOKUP_MANY, struct.pack(f">H{len(keys)}I", len(keys), *keys)
+            )
+            if status == STATUS_UNKNOWN_GID and len(response) == 4:
+                # The server names the offending GID: fail that entry
+                # alone and re-flush the remainder (one extra
+                # round-trip) instead of failing the whole window.
+                (bad,) = struct.unpack(">I", response)
+                future = entries.pop(bad, None)
+                if future is not None:
+                    if not future.done():
+                        future.set_exception(TaintMapError("unknown Global ID"))
+                    if entries:
+                        await self._flush(shard, kind, entries)
+                    return
+            self._check_status(status)
+            serialized = _split_batch_lookup_response(response, len(keys))
+            for key, value in zip(keys, serialized):
+                future = entries[key]
+                if not future.done():
+                    future.set_result(value)
+        except Exception as exc:
+            for future in entries.values():
+                if not future.done():
+                    future.set_exception(exc)
+
+
+class AsyncTaintMapClient(TaintMapClient):
+    """Drop-in :class:`~repro.core.taintmap.TaintMapClient` whose
+    transport is one multiplexed connection per shard plus cross-message
+    coalescing.  The sync ``gid_for``/``gids_for``/``taint_for``/
+    ``taints_for`` API, both-direction caches, shard routing, and HA
+    failover semantics are all inherited — only the two request-path
+    hooks (``_request`` / ``_request_by_shard``) change.
+    """
+
+    def __init__(
+        self,
+        node,
+        address: Union[Address, Sequence[Address]],
+        cache_enabled: bool = True,
+        cache_capacity: Optional[int] = None,
+        coalesce_window_us: float = DEFAULT_WINDOW_US,
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ):
+        super().__init__(node, address, cache_enabled, cache_capacity)
+        self.transport = AsyncTaintMapTransport(
+            self, coalesce_window_us, max_batch
+        )
+
+    def _request(self, op: int, payload: bytes, shard: int = 0) -> bytes:
+        return self.transport.submit(shard, op, payload)
+
+    def _request_by_shard(
+        self, calls: Sequence[tuple[int, int, bytes]]
+    ) -> list[bytes]:
+        return self.transport.submit_many(calls)
+
+    def close(self) -> None:
+        self.transport.close()
+        super().close()

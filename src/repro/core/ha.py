@@ -23,6 +23,7 @@ import threading
 from typing import Optional, Sequence, Union
 
 from repro.core import taintmap
+from repro.core.aio_transport import AsyncTaintMapClient
 from repro.core.taintmap import (
     GID_SEQ_MASK,
     STATUS_OK,
@@ -111,15 +112,39 @@ class ReplicatedTaintMapServer(TaintMapServer):
                 self._standby_endpoint = None
 
 
-class FailoverTaintMapClient(TaintMapClient):
+def _append_standbys(
+    client: TaintMapClient, standby: Union[Address, Sequence[Address]]
+) -> None:
+    """Widen each shard's replica list from ``[primary]`` to
+    ``[primary, standby]``.  The replica-rotation machinery itself lives
+    in the client's per-shard request path — both the pooled and async
+    failover clients only widen the lists."""
+    standbys = _normalize_addresses(standby)
+    if len(standbys) != len(client._shard_replicas):
+        raise TaintMapError(
+            f"{len(client._shard_replicas)} primary shard(s) but "
+            f"{len(standbys)} standby address(es)"
+        )
+    for replicas, standby_address in zip(client._shard_replicas, standbys):
+        replicas.append(standby_address)
+
+
+class _ActiveAddressMixin:
+    @property
+    def active_address(self) -> Address:
+        """Shard 0's active replica (the single-shard deployment's one)."""
+        return self.active_address_for(0)
+
+    def active_address_for(self, shard: int) -> Address:
+        return self._shard_replicas[shard][self._active[shard]]
+
+
+class FailoverTaintMapClient(_ActiveAddressMixin, TaintMapClient):
     """A client that falls back to the standby when the primary dies.
 
     ``primary`` and ``standby`` are each one address (single-point
     deployment) or a sequence of per-shard addresses (sharded
     deployment; both sequences in shard order and of equal length).
-    The replica-rotation machinery itself lives in the base client's
-    per-shard request path — this class only widens each shard's
-    replica list from ``[primary]`` to ``[primary, standby]``.
     """
 
     def __init__(
@@ -131,19 +156,27 @@ class FailoverTaintMapClient(TaintMapClient):
         cache_capacity: Optional[int] = None,
     ):
         super().__init__(node, primary, cache_enabled, cache_capacity)
-        standbys = _normalize_addresses(standby)
-        if len(standbys) != len(self._shard_replicas):
-            raise TaintMapError(
-                f"{len(self._shard_replicas)} primary shard(s) but "
-                f"{len(standbys)} standby address(es)"
-            )
-        for replicas, standby_address in zip(self._shard_replicas, standbys):
-            replicas.append(standby_address)
+        _append_standbys(self, standby)
 
-    @property
-    def active_address(self) -> Address:
-        """Shard 0's active replica (the single-shard deployment's one)."""
-        return self.active_address_for(0)
 
-    def active_address_for(self, shard: int) -> Address:
-        return self._shard_replicas[shard][self._active[shard]]
+class AsyncFailoverTaintMapClient(_ActiveAddressMixin, AsyncTaintMapClient):
+    """The failover client on the async multiplexed transport.
+
+    Failover state is the same per-shard ``(replicas, active)`` pair the
+    pooled client rotates; a broken multiplexed connection fails every
+    in-flight future with a transport error, and each affected request
+    retries on the standby (registration and lookup are idempotent, so
+    the retry is safe).
+    """
+
+    def __init__(
+        self,
+        node,
+        primary: Union[Address, Sequence[Address]],
+        standby: Union[Address, Sequence[Address]],
+        cache_enabled: bool = True,
+        cache_capacity: Optional[int] = None,
+        **transport_options,
+    ):
+        super().__init__(node, primary, cache_enabled, cache_capacity, **transport_options)
+        _append_standbys(self, standby)

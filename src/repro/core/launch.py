@@ -185,6 +185,10 @@ def launch_cluster(
         agent_options["byte_granularity"] = False
     if "gidCacheCapacity" in options.extras:
         agent_options["cache_capacity"] = int(options.extras["gidCacheCapacity"])
+    if options.extras.get("taintMapAsync") == "on":
+        agent_options["transport"] = "async"
+    if "coalesceWindowUs" in options.extras:
+        agent_options["coalesce_window_us"] = float(options.extras["coalesceWindowUs"])
     taint_map_shards = int(options.extras.get("taintMapShards", 1))
     cluster = Cluster(
         mode,

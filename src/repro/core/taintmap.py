@@ -47,6 +47,12 @@ OP_LOOKUP = 2
 # opcode namespace through the Standby's ``_handle`` fallthrough.
 OP_REGISTER_MANY = 4
 OP_LOOKUP_MANY = 5
+#: Connection upgrade: the first frame of an async multiplexed client
+#: (:mod:`repro.core.aio_transport`).  After the server acknowledges
+#: with ``STATUS_OK``, every subsequent frame on the connection carries
+#: a 4-byte correlation-id prefix in front of the *unchanged* sync frame
+#: bytes, and responses may be delivered out of order.
+OP_MUX_HELLO = 6
 
 STATUS_OK = 0
 STATUS_UNKNOWN_GID = 1
@@ -281,10 +287,13 @@ class TaintMapStats:
         self._lock = threading.Lock()
         self.register_requests = 0
         self.lookup_requests = 0
+        self.register_entries = 0
+        self.lookup_entries = 0
         self.global_taints = 0
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
+        self.close_errors = 0
 
     def bump(self, counter: str, amount: int = 1) -> None:
         with self._lock:
@@ -295,10 +304,13 @@ class TaintMapStats:
             return {
                 "register_requests": self.register_requests,
                 "lookup_requests": self.lookup_requests,
+                "register_entries": self.register_entries,
+                "lookup_entries": self.lookup_entries,
                 "global_taints": self.global_taints,
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "cache_evictions": self.cache_evictions,
+                "close_errors": self.close_errors,
             }
 
 
@@ -442,6 +454,12 @@ class TaintMapServer:
                     return
                 (length,) = struct.unpack(">I", _recv_exact(endpoint, 4))
                 payload = _recv_exact(endpoint, length) if length else b""
+                if head[0] == OP_MUX_HELLO:
+                    # Upgrade: the rest of this connection speaks the
+                    # correlation-id multiplexed framing.
+                    _send_frame(endpoint, bytes([STATUS_OK]), b"")
+                    self._serve_mux(endpoint)
+                    return
                 # Serial per-shard handling: one shard is one single-point
                 # service; concurrency comes from running more shards.
                 with self._service_lock:
@@ -454,10 +472,42 @@ class TaintMapServer:
         finally:
             endpoint.close()
 
+    def _serve_mux(self, endpoint: TcpEndpoint) -> None:
+        """Accept loop for one upgraded (multiplexed) connection.
+
+        Each frame is ``corr:4`` + the unchanged sync request frame
+        (``op:1 | len:4 | payload``); each response echoes the
+        correlation id in front of the unchanged sync response frame.
+        Requests pipeline: the client never waits for one response
+        before sending the next, so thousands of registrations can be
+        in flight on this single connection.  Handling stays serial per
+        shard (the single-point service model) but a batched request
+        pays ``service_time`` once for its whole window.
+        """
+        while self._running:
+            first = endpoint.recv(1)
+            if not first:
+                return
+            (corr,) = struct.unpack(">I", first + _recv_exact(endpoint, 3))
+            op = _recv_exact(endpoint, 1)[0]
+            (length,) = struct.unpack(">I", _recv_exact(endpoint, 4))
+            payload = _recv_exact(endpoint, length) if length else b""
+            with self._service_lock:
+                if self._service_time > 0.0:
+                    time.sleep(self._service_time)
+                status, response = self._handle(op, payload)
+            endpoint.send_all(
+                struct.pack(">I", corr)
+                + bytes([status])
+                + struct.pack(">I", len(response))
+                + response
+            )
+
     def _handle(self, op: int, payload: bytes) -> tuple[int, bytes]:
         if op == OP_REGISTER:
             with self.stats._lock:
                 self.stats.register_requests += 1
+                self.stats.register_entries += 1
             try:
                 tags = frozenset(deserialize_tags(payload))
             except Exception:
@@ -469,6 +519,7 @@ class TaintMapServer:
         if op == OP_LOOKUP:
             with self.stats._lock:
                 self.stats.lookup_requests += 1
+                self.stats.lookup_entries += 1
             if len(payload) != 4:
                 return STATUS_BAD_REQUEST, b""
             (gid,) = struct.unpack(">I", payload)
@@ -485,6 +536,8 @@ class TaintMapServer:
                 taint_sets = [frozenset(deserialize_tags(entry)) for entry in entries]
             except Exception:
                 return STATUS_BAD_REQUEST, b""
+            with self.stats._lock:
+                self.stats.register_entries += len(entries)
             if any(self._misrouted(tags) for tags in taint_sets):
                 return STATUS_BAD_REQUEST, b""
             # One _register per entry so subclass hooks (HA replication)
@@ -502,6 +555,8 @@ class TaintMapServer:
                 gids = struct.unpack(f">{count}I", payload[2:])
             except Exception:
                 return STATUS_BAD_REQUEST, b""
+            with self.stats._lock:
+                self.stats.lookup_entries += count
             out = []
             with self._lock:
                 for gid in gids:
@@ -691,13 +746,22 @@ class TaintMapClient:
             raise TaintMapError("_endpoint can only be reset to None")
         self._drop_pools()
 
+    def _close_quietly(self, endpoint: TcpEndpoint) -> None:
+        """Close an endpoint, suppressing (and counting) close-time
+        socket errors — one bad endpoint must never abort a cache/pool
+        reset that still has healthy endpoints to release."""
+        try:
+            endpoint.close()
+        except Exception:
+            self.stats.bump("close_errors")
+
     def _drop_pools(self) -> None:
         with self._pool_lock:
             endpoints = [e for pool in self._pools for e in pool]
             for pool in self._pools:
                 pool.clear()
         for endpoint in endpoints:
-            endpoint.close()
+            self._close_quietly(endpoint)
 
     def _acquire(self, shard: int) -> tuple[TcpEndpoint, bool]:
         """An idle pooled connection (reused=True) or a fresh connect."""
@@ -716,7 +780,7 @@ class TaintMapClient:
             if len(pool) < self.MAX_IDLE_PER_SHARD:
                 pool.append(endpoint)
                 return
-        endpoint.close()
+        self._close_quietly(endpoint)
 
     def _rotate(self, shard: int, observed_active: int) -> None:
         """Fail over ``shard`` to its next replica (no-op if another
@@ -730,7 +794,7 @@ class TaintMapClient:
             stale = list(self._pools[shard])
             self._pools[shard].clear()
         for endpoint in stale:
-            endpoint.close()
+            self._close_quietly(endpoint)
 
     # -- request path ----------------------------------------------------- #
 
@@ -759,7 +823,7 @@ class TaintMapClient:
             try:
                 status, response = self._roundtrip(endpoint, op, payload)
             except Exception:
-                endpoint.close()
+                self._close_quietly(endpoint)
                 if reused:
                     continue
                 raise

@@ -31,7 +31,7 @@ distinct labels resolve in a single Taint Map round-trip.
 from __future__ import annotations
 
 import struct
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -56,6 +56,52 @@ TaintFor = Callable[[int], Optional[object]]
 #: Batched variants: one call resolves every distinct label of a message.
 GidsFor = Callable[[Sequence], list]
 TaintsFor = Callable[[Sequence[int]], list]
+
+class LabelResolver:
+    """The codec-facing slice of a Taint Map client: the four label ↔
+    Global-ID resolvers bundled as one value.
+
+    The wrappers hand this to the codecs instead of individual
+    callables, so the whole resolution path — including the transport
+    behind it (pooled threads or the async multiplexed client with
+    cross-message coalescing, :mod:`repro.core.aio_transport`) — is
+    swappable in one place.  Every codec below also still accepts the
+    bare callables for backwards compatibility.
+    """
+
+    __slots__ = ("gid_for", "gids_for", "taint_for", "taints_for")
+
+    def __init__(
+        self,
+        gid_for: GidFor,
+        taint_for: TaintFor,
+        gids_for: Optional[GidsFor] = None,
+        taints_for: Optional[TaintsFor] = None,
+    ):
+        self.gid_for = gid_for
+        self.taint_for = taint_for
+        self.gids_for = gids_for
+        self.taints_for = taints_for
+
+    @classmethod
+    def for_client(cls, client) -> "LabelResolver":
+        """Resolvers bound to a Taint Map client's batched methods."""
+        return cls(
+            client.gid_for, client.taint_for, client.gids_for, client.taints_for
+        )
+
+
+def _gid_resolvers(gid_for, gids_for):
+    if isinstance(gid_for, LabelResolver):
+        return gid_for.gid_for, gid_for.gids_for
+    return gid_for, gids_for
+
+
+def _taint_resolvers(taint_for, taints_for):
+    if isinstance(taint_for, LabelResolver):
+        return taint_for.taint_for, taint_for.taints_for
+    return taint_for, taints_for
+
 
 _GID_BE = np.dtype(">u4")
 #: One wire cell as a structured scalar: decoding views the byte stream
@@ -124,9 +170,13 @@ def _label_runs(
 
 
 def encode_cells(
-    data: TBytes, gid_for: GidFor, gids_for: Optional[GidsFor] = None
+    data: TBytes, gid_for: Union[GidFor, LabelResolver], gids_for: Optional[GidsFor] = None
 ) -> bytes:
-    """Serialize data + per-byte labels into a 5-byte cell stream."""
+    """Serialize data + per-byte labels into a 5-byte cell stream.
+
+    ``gid_for`` may be a :class:`LabelResolver` in place of the bare
+    callables (the wrapper-facing form)."""
+    gid_for, gids_for = _gid_resolvers(gid_for, gids_for)
     length = len(data)
     if length == 0:
         return b""
@@ -152,9 +202,15 @@ class CellDecoder:
         self._residue = b""
 
     def feed(
-        self, wire: bytes, taint_for: TaintFor, taints_for: Optional[TaintsFor] = None
+        self,
+        wire: bytes,
+        taint_for: Union[TaintFor, LabelResolver],
+        taints_for: Optional[TaintsFor] = None,
     ) -> TBytes:
-        """Decode every complete cell in ``residue + wire``."""
+        """Decode every complete cell in ``residue + wire``.
+
+        ``taint_for`` may be a :class:`LabelResolver`."""
+        taint_for, taints_for = _taint_resolvers(taint_for, taints_for)
         stream = self._residue + wire if self._residue else wire
         cells = len(stream) // CELL_WIDTH
         self._residue = stream[cells * CELL_WIDTH :]
@@ -190,9 +246,12 @@ def max_data_for_wire(wire_budget: int) -> int:
 
 
 def encode_packet(
-    data: TBytes, gid_for: GidFor, gids_for: Optional[GidsFor] = None
+    data: TBytes, gid_for: Union[GidFor, LabelResolver], gids_for: Optional[GidsFor] = None
 ) -> bytes:
-    """Serialize one datagram payload + taints into an envelope."""
+    """Serialize one datagram payload + taints into an envelope.
+
+    ``gid_for`` may be a :class:`LabelResolver`."""
+    gid_for, gids_for = _gid_resolvers(gid_for, gids_for)
     gids = _gid_array(len(data), data.labels, gid_for, gids_for)
     return (
         PACKET_MAGIC
@@ -208,14 +267,18 @@ def is_enveloped(raw: bytes) -> bool:
 
 
 def decode_packet(
-    raw: bytes, taint_for: TaintFor, taints_for: Optional[TaintsFor] = None
+    raw: bytes,
+    taint_for: Union[TaintFor, LabelResolver],
+    taints_for: Optional[TaintsFor] = None,
 ) -> TBytes:
     """Parse an envelope back into labelled bytes.
 
-    Raises :class:`WireFormatError` on malformed envelopes; callers that
+    ``taint_for`` may be a :class:`LabelResolver`.  Raises
+    :class:`WireFormatError` on malformed envelopes; callers that
     want uninstrumented-sender interop should check :func:`is_enveloped`
     first and fall back to treating the payload as plain data.
     """
+    taint_for, taints_for = _taint_resolvers(taint_for, taints_for)
     if not is_enveloped(raw):
         raise WireFormatError("datagram payload lacks the DisTA envelope magic")
     version = raw[len(PACKET_MAGIC)]

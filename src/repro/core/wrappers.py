@@ -45,9 +45,16 @@ class DisTARuntime:
         client: TaintMapClient,
         byte_granularity: bool = True,
         trace=NULL_TRACE,
+        transport: str = "pooled",
     ):
         self.node = node
         self.client = client
+        #: Every wrapper resolves labels through this bundle, so the
+        #: transport behind it (pooled threads vs the async multiplexed
+        #: client) is swappable without touching wrapper code.
+        self.resolver = wire.LabelResolver.for_client(client)
+        #: Which transport the agent selected ("pooled" or "async").
+        self.transport = transport
         #: False only in the granularity ablation: whole-message tainting.
         self.byte_granularity = byte_granularity
         #: Optional CrossingTrace recording tainted boundary crossings.
@@ -107,7 +114,7 @@ def make_socket_write0(runtime: DisTARuntime):
         def socket_write0(fd, data: TBytes) -> None:
             runtime.trace.record(runtime.node.name, "send", "socketWrite0", data)
             cells = wire.encode_cells(
-                runtime.outgoing(data), runtime.client.gid_for, runtime.client.gids_for
+                runtime.outgoing(data), runtime.resolver
             )
             original(fd, TBytes.raw(cells))
 
@@ -129,9 +136,7 @@ def make_socket_read0(runtime: DisTARuntime):
                     decoder.check_clean_eof()
                     return EOF
                 decoded = decoder.feed(
-                    staging.read(0, count).data,
-                    runtime.client.taint_for,
-                    runtime.client.taints_for,
+                    staging.read(0, count).data, runtime.resolver
                 )
                 if decoded:
                     runtime.trace.record(
@@ -178,7 +183,7 @@ def make_datagram_send(runtime: DisTARuntime):
             payload = runtime.outgoing(packet.payload())
             _check_envelope_fits(len(payload))
             envelope = wire.encode_packet(
-                payload, runtime.client.gid_for, runtime.client.gids_for
+                payload, runtime.resolver
             )
             # A fresh packet: mutating the caller's packet could change
             # application semantics (paper Fig. 7).
@@ -192,9 +197,7 @@ def make_datagram_send(runtime: DisTARuntime):
 
 def _decode_incoming_datagram(runtime: DisTARuntime, raw: TBytes) -> TBytes:
     if wire.is_enveloped(raw.data):
-        return wire.decode_packet(
-            raw.data, runtime.client.taint_for, runtime.client.taints_for
-        )
+        return wire.decode_packet(raw.data, runtime.resolver)
     # Uninstrumented sender: plain payload, no taints to recover.
     return TBytes(raw.data)
 
@@ -269,9 +272,7 @@ def make_disp_write0(runtime: DisTARuntime):
             runtime.node.jni.calls.hit("FileDispatcherImpl#write0")
             data = runtime.outgoing(runtime.native_read(mem, position, count))
             runtime.trace.record(runtime.node.name, "send", "dispatcher.write0", data)
-            cells = wire.encode_cells(
-                data, runtime.client.gid_for, runtime.client.gids_for
-            )
+            cells = wire.encode_cells(data, runtime.resolver)
             # The simulated kernel's buffers are sized so a full cell
             # write completes; see DESIGN.md (blocking simplification).
             fd.send_all(cells)
@@ -304,9 +305,7 @@ def make_disp_read0(runtime: DisTARuntime):
                     if raw == b"":
                         decoder.check_clean_eof()
                         return EOF
-                decoded = decoder.feed(
-                    raw, runtime.client.taint_for, runtime.client.taints_for
-                )
+                decoded = decoder.feed(raw, runtime.resolver)
                 if decoded:
                     runtime.trace.record(
                         runtime.node.name, "receive", "dispatcher.read0", decoded
@@ -327,7 +326,7 @@ def make_dgram_disp_write0(runtime: DisTARuntime):
             runtime.node.jni.calls.hit("DatagramDispatcherImpl#write0")
             data = runtime.outgoing(runtime.native_read(mem, position, count))
             _check_envelope_fits(count)
-            fd.sendto(wire.encode_packet(data, runtime.client.gid_for, runtime.client.gids_for), destination)
+            fd.sendto(wire.encode_packet(data, runtime.resolver), destination)
             return count
 
         return dgram_disp_write0
@@ -364,7 +363,7 @@ def make_dgram_channel_send0(runtime: DisTARuntime):
             runtime.node.jni.calls.hit("DatagramChannelImpl#send0")
             data = runtime.outgoing(runtime.native_read(mem, position, count))
             _check_envelope_fits(count)
-            fd.sendto(wire.encode_packet(data, runtime.client.gid_for, runtime.client.gids_for), destination)
+            fd.sendto(wire.encode_packet(data, runtime.resolver), destination)
             return count
 
         return dgram_channel_send0

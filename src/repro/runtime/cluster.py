@@ -37,11 +37,21 @@ class Cluster:
         name: str = "cluster",
         agent_options: Optional[dict] = None,
         taint_map_shards: int = 1,
+        taint_map_transport: Optional[str] = None,
+        coalesce_window_us: Optional[float] = None,
     ):
         self.mode = mode
         self.name = name
         #: Extra DisTAAgent keyword options (ablation benchmarks only).
         self.agent_options = dict(agent_options or {})
+        #: Taint Map transport: "pooled" (default) or "async"; ``None``
+        #: defers to the ``DISTA_TAINTMAP_TRANSPORT`` environment
+        #: variable, so CI can flip a whole suite without code changes.
+        if taint_map_transport is not None:
+            self.agent_options.setdefault("transport", taint_map_transport)
+        #: Async-transport coalescing window in microseconds.
+        if coalesce_window_us is not None:
+            self.agent_options.setdefault("coalesce_window_us", coalesce_window_us)
         #: Number of Taint Map shards (shard i at TAINT_MAP_PORT + i).
         #: The default single shard is byte-identical to the unsharded
         #: deployment.

@@ -1,0 +1,514 @@
+"""Tests for the async multiplexed Taint Map transport (ISSUE 3):
+correlation-id framing, cross-message coalescing (timer vs size flush),
+out-of-order response delivery, mid-frame connection kill, per-shard
+failover with in-flight futures, and the transport-selection knobs."""
+
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.core.agent import DisTAAgent, resolve_transport
+from repro.core.aio_transport import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_WINDOW_US,
+    AsyncTaintMapClient,
+    mux_frame,
+)
+from repro.core.ha import (
+    AsyncFailoverTaintMapClient,
+    ReplicatedTaintMapServer,
+    StandbyTaintMapServer,
+)
+from repro.core.launch import launch_cluster
+from repro.core.taintmap import (
+    OP_MUX_HELLO,
+    OP_REGISTER,
+    STATUS_OK,
+    ShardedTaintMapService,
+    ShardRouter,
+    TaintMapClient,
+    TaintMapServer,
+    _recv_exact,
+    gid_shard,
+    serialize_tags,
+    taint_key,
+)
+from repro.errors import InstrumentationError, PipeClosed, TaintMapError
+from repro.runtime.cluster import TAINT_MAP_IP, TAINT_MAP_PORT, Cluster
+from repro.runtime.fs import SimFileSystem
+from repro.runtime.kernel import SimKernel
+from repro.runtime.modes import Mode
+from repro.runtime.node import SimNode
+
+
+def _node(kernel, fs, name="n", ip="10.0.0.1", pid=1):
+    return SimNode(name, kernel.register_node(ip), pid, kernel, fs, Mode.DISTA)
+
+
+@pytest.fixture()
+def single():
+    kernel = SimKernel("aio-test")
+    kernel.register_node(TAINT_MAP_IP)
+    fs = SimFileSystem()
+    server = TaintMapServer(kernel, TAINT_MAP_IP, TAINT_MAP_PORT)
+    server.start()
+    node = _node(kernel, fs)
+    yield kernel, fs, server, node
+    server.stop()
+
+
+class TestMuxFraming:
+    def test_golden_frame_bytes(self):
+        """A mux frame is the sync frame with a 4-byte corr prefix —
+        the payload encodings themselves are byte-identical."""
+        payload = b"\x01\x02\x03"
+        frame = mux_frame(0xDEADBEEF, OP_REGISTER, payload)
+        assert frame == b"\xde\xad\xbe\xef" + bytes([OP_REGISTER]) + b"\x00\x00\x00\x03" + payload
+
+    def test_hello_handshake_then_correlated_roundtrip(self, single):
+        """Raw protocol: OP_MUX_HELLO upgrade, then a correlated register
+        whose inner bytes are the unchanged sync frame."""
+        kernel, _, server, node = single
+        endpoint = kernel.connect(node.ip, server.address)
+        endpoint.send_all(bytes([OP_MUX_HELLO]) + struct.pack(">I", 0))
+        assert _recv_exact(endpoint, 1)[0] == STATUS_OK
+        assert struct.unpack(">I", _recv_exact(endpoint, 4)) == (0,)
+
+        taint = node.tree.taint_for_tag("raw")
+        payload = serialize_tags(taint.tags)
+        endpoint.send_all(mux_frame(77, OP_REGISTER, payload))
+        (corr,) = struct.unpack(">I", _recv_exact(endpoint, 4))
+        status = _recv_exact(endpoint, 1)[0]
+        (length,) = struct.unpack(">I", _recv_exact(endpoint, 4))
+        assert (corr, status, length) == (77, STATUS_OK, 4)
+        (gid,) = struct.unpack(">I", _recv_exact(endpoint, 4))
+        assert gid == 1
+        endpoint.close()
+
+    def test_out_of_order_responses_resolve_correct_futures(self, single):
+        """Two concurrent requests whose responses arrive in reverse
+        order must each resolve their own caller."""
+        kernel, _, server, node = single
+        server.stop()
+        listener = kernel.listen(TAINT_MAP_IP, TAINT_MAP_PORT)
+        release = threading.Event()
+
+        def reordering_server():
+            endpoint = listener.accept(timeout=10)
+            # Hello upgrade.
+            _recv_exact(endpoint, 5)
+            endpoint.send_all(bytes([STATUS_OK]) + struct.pack(">I", 0))
+            # Read two register frames, then answer them REVERSED with
+            # distinguishable GIDs.
+            frames = []
+            for _ in range(2):
+                (corr,) = struct.unpack(">I", _recv_exact(endpoint, 4))
+                _recv_exact(endpoint, 1)
+                (length,) = struct.unpack(">I", _recv_exact(endpoint, 4))
+                _recv_exact(endpoint, length)
+                frames.append(corr)
+            release.wait(10)
+            for index, corr in enumerate(reversed(frames)):
+                endpoint.send_all(
+                    struct.pack(">I", corr)
+                    + bytes([STATUS_OK])
+                    + struct.pack(">I", 4)
+                    + struct.pack(">I", 1000 + index)
+                )
+            listener.close()
+
+        thread = threading.Thread(target=reordering_server, daemon=True)
+        thread.start()
+
+        # window=0 and two *sequential-kind* distinct taints would share
+        # a window; force separate frames by using the raw submit API.
+        client = AsyncTaintMapClient(node, (TAINT_MAP_IP, TAINT_MAP_PORT))
+        t1 = serialize_tags(node.tree.taint_for_tag("a").tags)
+        t2 = serialize_tags(node.tree.taint_for_tag("b").tags)
+        loop = client.transport._ensure_loop()
+        channel = client.transport._channels[0]
+
+        import asyncio
+
+        first = asyncio.run_coroutine_threadsafe(channel.roundtrip(OP_REGISTER, t1), loop)
+        # Ensure deterministic send order before submitting the second.
+        time.sleep(0.05)
+        second = asyncio.run_coroutine_threadsafe(channel.roundtrip(OP_REGISTER, t2), loop)
+        time.sleep(0.05)
+        release.set()
+        # Responses were sent reversed: the *second* request's corr came
+        # back first carrying 1000, the first's carrying 1001.
+        assert first.result(10) == (STATUS_OK, struct.pack(">I", 1001))
+        assert second.result(10) == (STATUS_OK, struct.pack(">I", 1000))
+        thread.join(10)
+        client.close()
+
+
+class TestAsyncClientApi:
+    def test_register_lookup_interop_with_pooled_client(self, single):
+        kernel, fs, server, node = single
+        aclient = AsyncTaintMapClient(node, server.address)
+        node2 = _node(kernel, fs, "n2", "10.0.0.2", 2)
+        pooled = TaintMapClient(node2, server.address)
+
+        taints = [node.tree.taint_for_tag(f"t{i}") for i in range(10)]
+        gids = aclient.gids_for(taints)
+        # The pooled client resolves the same taints to the same GIDs:
+        # both transports speak one registry.
+        assert pooled.gids_for(taints) == gids
+        back = aclient.taints_for(gids)
+        assert [sorted(t.tag for t in b.tags) for b in back] == [
+            sorted(t.tag for t in a.tags) for a in taints
+        ]
+        assert aclient.gid_for(None) == 0
+        assert aclient.taint_for(0) is None
+        aclient.close()
+        pooled.close()
+
+    def test_unknown_gid_raises_and_other_lookups_survive(self, single):
+        """A coalesced lookup window containing one unknown GID fails
+        only that future; co-batched lookups still resolve."""
+        kernel, _, server, node = single
+        client = AsyncTaintMapClient(
+            node, server.address, coalesce_window_us=20000.0
+        )
+        known = client.gid_for(node.tree.taint_for_tag("known"))
+        client._taint_cache._data.clear()  # force a wire lookup
+
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def fetch(name, gid):
+            barrier.wait()
+            try:
+                results[name] = client.taint_for(gid)
+            except TaintMapError as exc:
+                results[name] = exc
+
+        threads = [
+            threading.Thread(target=fetch, args=("known", known), daemon=True),
+            threading.Thread(target=fetch, args=("bogus", 0x0ABCDEF), daemon=True),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10)
+        assert isinstance(results["bogus"], TaintMapError)
+        assert "unknown Global ID" in str(results["bogus"])
+        assert {t.tag for t in results["known"].tags} == {"known"}
+        client.close()
+
+    def test_closed_client_rejects_requests(self, single):
+        _, _, server, node = single
+        client = AsyncTaintMapClient(node, server.address)
+        client.gid_for(node.tree.taint_for_tag("pre"))
+        client.close()
+        with pytest.raises(TaintMapError, match="closed"):
+            client.gid_for(node.tree.taint_for_tag("post"))
+
+    def test_bad_max_batch_rejected(self, single):
+        _, _, server, node = single
+        with pytest.raises(TaintMapError, match="max_batch"):
+            AsyncTaintMapClient(node, server.address, max_batch=0)
+
+
+class TestCoalescing:
+    def test_concurrent_registrations_coalesce_to_one_roundtrip(self, single):
+        """k concurrent single-taint messages cost one round-trip per
+        window, not k — the tentpole's headline property."""
+        kernel, _, server, node = single
+        server._service_time = 0.002  # hold the window open
+        client = AsyncTaintMapClient(
+            node, server.address, cache_enabled=False, coalesce_window_us=5000.0
+        )
+        workers = 12
+        taints = [node.tree.taint_for_tag(f"co-{i}") for i in range(workers)]
+        barrier = threading.Barrier(workers)
+        gids = [None] * workers
+
+        def run(i):
+            barrier.wait()
+            gids[i] = client.gid_for(taints[i])
+
+        threads = [threading.Thread(target=run, args=(i,), daemon=True) for i in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10)
+        assert len(set(gids)) == workers
+        assert client.requests_sent < workers
+        assert server.stats.register_entries == workers
+        assert server.stats.register_requests < workers
+        client.close()
+
+    def test_duplicate_keys_share_one_wire_entry(self, single):
+        """The same taint submitted by two in-flight messages dedups to
+        one entry (registration is idempotent)."""
+        kernel, _, server, node = single
+        server._service_time = 0.002
+        client = AsyncTaintMapClient(
+            node, server.address, cache_enabled=False, coalesce_window_us=5000.0
+        )
+        taint = node.tree.taint_for_tag("dup")
+        barrier = threading.Barrier(8)
+        gids = [None] * 8
+
+        def run(i):
+            barrier.wait()
+            gids[i] = client.gid_for(taint)
+
+        threads = [threading.Thread(target=run, args=(i,), daemon=True) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10)
+        assert set(gids) == {gids[0]}
+        assert server.stats.register_entries <= 2  # at most two windows
+        client.close()
+
+    def test_flush_on_max_batch_size_beats_timer(self, single):
+        """A window reaching max_batch flushes immediately — well before
+        a deliberately huge timer could fire."""
+        _, _, server, node = single
+        client = AsyncTaintMapClient(
+            node,
+            server.address,
+            cache_enabled=False,
+            coalesce_window_us=5_000_000.0,  # 5 s: the timer can't be the flusher
+            max_batch=8,
+        )
+        taints = [node.tree.taint_for_tag(f"mb-{i}") for i in range(8)]
+        start = time.monotonic()
+        gids = client.gids_for(taints)
+        elapsed = time.monotonic() - start
+        assert len(set(gids)) == 8
+        assert elapsed < 2.0  # size-triggered, not the 5 s timer
+        client.close()
+
+    def test_flush_on_timer_when_under_batch_size(self, single):
+        """A lone sub-batch request relies on the timer flush."""
+        _, _, server, node = single
+        client = AsyncTaintMapClient(
+            node,
+            server.address,
+            cache_enabled=False,
+            coalesce_window_us=50_000.0,  # 50 ms — measurable but quick
+            max_batch=64,
+        )
+        start = time.monotonic()
+        gid = client.gid_for(node.tree.taint_for_tag("timer"))
+        elapsed = time.monotonic() - start
+        assert gid == 1
+        assert 0.04 <= elapsed < 5.0  # waited for the timer, then flushed
+        client.close()
+
+    def test_zero_window_still_batches_one_call(self, single):
+        """window=0 degrades gracefully: a single gids_for call is still
+        one round-trip (all entries enter the window atomically)."""
+        _, _, server, node = single
+        client = AsyncTaintMapClient(
+            node, server.address, cache_enabled=False, coalesce_window_us=0.0
+        )
+        taints = [node.tree.taint_for_tag(f"z-{i}") for i in range(16)]
+        before = client.requests_sent
+        gids = client.gids_for(taints)
+        assert len(set(gids)) == 16
+        assert client.requests_sent - before == 1
+        client.close()
+
+
+class TestFaultInjection:
+    def test_mid_frame_kill_fails_inflight_and_recovers(self):
+        """A server dying mid-response frame fails the in-flight future
+        with a transport error; once a healthy server rebinds, the same
+        client reconnects with clean framing."""
+        kernel = SimKernel("aio-kill")
+        kernel.register_node(TAINT_MAP_IP)
+        fs = SimFileSystem()
+        node = _node(kernel, fs)
+        client = AsyncTaintMapClient(node, (TAINT_MAP_IP, TAINT_MAP_PORT))
+
+        listener = kernel.listen(TAINT_MAP_IP, TAINT_MAP_PORT)
+
+        def evil():
+            endpoint = listener.accept(timeout=10)
+            _recv_exact(endpoint, 5)  # hello
+            endpoint.send_all(bytes([STATUS_OK]) + struct.pack(">I", 0))
+            # Swallow one request, answer with a truncated frame, die.
+            (corr,) = struct.unpack(">I", _recv_exact(endpoint, 4))
+            _recv_exact(endpoint, 1)
+            (length,) = struct.unpack(">I", _recv_exact(endpoint, 4))
+            _recv_exact(endpoint, length)
+            endpoint.send_all(struct.pack(">I", corr) + bytes([STATUS_OK]) + struct.pack(">I", 8) + b"\x2a")
+            endpoint.close()
+            listener.close()
+
+        thread = threading.Thread(target=evil, daemon=True)
+        thread.start()
+        with pytest.raises((PipeClosed, EOFError)):
+            client.gid_for(node.tree.taint_for_tag("victim"))
+        thread.join(10)
+
+        server = TaintMapServer(kernel, TAINT_MAP_IP, TAINT_MAP_PORT)
+        server.start()
+        assert client.gid_for(node.tree.taint_for_tag("victim")) == 1
+        server.stop()
+        client.close()
+
+    def test_per_shard_failover_with_inflight_futures(self):
+        """Killing shard 1's primary mid-stream fails over only shard 1;
+        shard 0's connection and GIDs are undisturbed, and requests that
+        were in flight during the kill complete via the standby."""
+        kernel = SimKernel("aio-ha")
+        fs = SimFileSystem()
+        shards = 2
+        primaries, standbys = [], []
+        for shard in range(shards):
+            p_ip = kernel.register_node(f"10.1.0.{shard + 1}")
+            s_ip = kernel.register_node(f"10.2.0.{shard + 1}")
+            standby = StandbyTaintMapServer(
+                kernel, s_ip, 7300, shard_index=shard, shard_count=shards
+            ).start()
+            primary = ReplicatedTaintMapServer(
+                kernel, p_ip, 7300, standby.address,
+                shard_index=shard, shard_count=shards,
+            ).start()
+            primaries.append(primary)
+            standbys.append(standby)
+
+        node = _node(kernel, fs)
+        client = AsyncFailoverTaintMapClient(
+            node,
+            [p.address for p in primaries],
+            [s.address for s in standbys],
+            cache_enabled=False,
+        )
+        router = ShardRouter(shards)
+
+        def taint_on(shard, prefix):
+            for i in range(10000):
+                taint = node.tree.taint_for_tag(f"{prefix}-{i}")
+                if router.shard_for_key(taint_key(taint.tags)) == shard:
+                    return taint
+            raise AssertionError("no key found")
+
+        t0, t1 = taint_on(0, "s0"), taint_on(1, "s1")
+        g0, g1 = client.gids_for([t0, t1])
+        assert gid_shard(g0) == 0 and gid_shard(g1) == 1
+        assert client.active_address_for(1) == primaries[1].address
+
+        # Slow shard 1 down and kill its primary while a request is in
+        # flight; that future must fail over to the standby.
+        primaries[1]._service_time = 0.2
+        victim = taint_on(1, "inflight")
+        result = {}
+
+        def register():
+            result["gid"] = client.gid_for(victim)
+
+        thread = threading.Thread(target=register, daemon=True)
+        thread.start()
+        time.sleep(0.05)  # the request is now mid-service on primary 1
+        primaries[1].stop()
+        thread.join(10)
+        assert gid_shard(result["gid"]) == 1
+        assert client.active_address_for(1) == standbys[1].address
+        # Shard 0 never failed over.
+        assert client.active_address_for(0) == primaries[0].address
+        # Replicated GIDs survive: the pre-kill registration resolves to
+        # the same id on the standby.
+        assert client.gid_for(t1) == g1
+
+        client.close()
+        primaries[0].stop()
+        for standby in standbys:
+            standby.stop()
+
+
+class TestCloseErrorSuppression:
+    def test_pool_reset_counts_and_survives_close_errors(self, single):
+        """Satellite 1: one endpoint whose close() raises must not abort
+        the pool reset; the error is counted in TaintMapStats."""
+        _, _, server, node = single
+        client = TaintMapClient(node, server.address)
+        client.gid_for(node.tree.taint_for_tag("warm"))  # pools one endpoint
+
+        class ExplodingEndpoint:
+            closed = False
+
+            def close(self):
+                raise OSError("close failed")
+
+        with client._pool_lock:
+            client._pools[0].insert(0, ExplodingEndpoint())
+            healthy = len(client._pools[0]) - 1
+        client._drop_pools()
+        assert client.stats.snapshot()["close_errors"] == 1
+        with client._pool_lock:
+            assert not client._pools[0]  # healthy endpoints released too
+        assert healthy >= 1
+        # The client keeps working after the reset.
+        assert client.gid_for(node.tree.taint_for_tag("after")) == 2
+        client.close()
+
+
+class TestTransportSelection:
+    def test_resolve_transport_validates(self, monkeypatch):
+        monkeypatch.delenv("DISTA_TAINTMAP_TRANSPORT", raising=False)
+        assert resolve_transport() == "pooled"
+        assert resolve_transport("async") == "async"
+        monkeypatch.setenv("DISTA_TAINTMAP_TRANSPORT", "async")
+        assert resolve_transport() == "async"
+        assert resolve_transport("pooled") == "pooled"  # explicit wins
+        with pytest.raises(InstrumentationError, match="unknown taint map transport"):
+            resolve_transport("carrier-pigeon")
+
+    def test_env_var_selects_async_for_cluster(self, monkeypatch):
+        monkeypatch.setenv("DISTA_TAINTMAP_TRANSPORT", "async")
+        with Cluster(Mode.DISTA) as cluster:
+            node = cluster.add_node("n1")
+            assert isinstance(node.taintmap, AsyncTaintMapClient)
+            runtime_gid = node.taintmap.gid_for(node.tree.taint_for_tag("env"))
+            assert runtime_gid == 1
+
+    def test_cluster_kwarg_selects_async(self, monkeypatch):
+        monkeypatch.delenv("DISTA_TAINTMAP_TRANSPORT", raising=False)
+        with Cluster(
+            Mode.DISTA, taint_map_transport="async", coalesce_window_us=0.0
+        ) as cluster:
+            node = cluster.add_node("n1")
+            assert isinstance(node.taintmap, AsyncTaintMapClient)
+            assert node.taintmap.transport.coalesce_window_us == 0.0
+
+    def test_default_stays_pooled(self, monkeypatch):
+        monkeypatch.delenv("DISTA_TAINTMAP_TRANSPORT", raising=False)
+        with Cluster(Mode.DISTA) as cluster:
+            node = cluster.add_node("n1")
+            assert isinstance(node.taintmap, TaintMapClient)
+            assert not isinstance(node.taintmap, AsyncTaintMapClient)
+
+    def test_launch_extras_select_async(self, monkeypatch):
+        monkeypatch.delenv("DISTA_TAINTMAP_TRANSPORT", raising=False)
+        cluster = launch_cluster(
+            Mode.DISTA,
+            "taintSources=s.spec,taintSinks=k.spec,taintMapAsync=on,coalesceWindowUs=350",
+            sources_text="source:ignored#m\n",
+            sinks_text="sink:ignored#m\n",
+        )
+        assert cluster.agent_options["transport"] == "async"
+        assert cluster.agent_options["coalesce_window_us"] == 350.0
+        with cluster:
+            node = cluster.add_node("n1")
+            assert isinstance(node.taintmap, AsyncTaintMapClient)
+            assert node.taintmap.transport.coalesce_window_us == 350.0
+
+    def test_agent_reports_transport_on_runtime(self, single, monkeypatch):
+        monkeypatch.delenv("DISTA_TAINTMAP_TRANSPORT", raising=False)
+        _, _, server, node = single
+        runtime = DisTAAgent(server.address, transport="async").attach(node)
+        assert runtime.transport == "async"
+        assert isinstance(runtime.client, AsyncTaintMapClient)
+        assert runtime.resolver.gids_for == runtime.client.gids_for
+        DisTAAgent(server.address).detach(node)
