@@ -1,0 +1,37 @@
+"""Baseline-vs-DisTA overhead profile over the SIM workloads (ISSUE 4).
+
+Runs the :class:`~repro.obs.profiler.OverheadProfiler` over three real
+system workloads — each once uninstrumented (``Mode.BASELINE``) and once
+under full DisTA with the SIM scenario — and writes the §V-F-shaped
+table to ``BENCH_PR4.json`` at the repository root.
+
+The acceptance gate is the telemetry canary, not a timing bound (CI
+timing is noisy): every DisTA run must report **non-zero crossings**
+and non-zero Taint Map RPCs in its own telemetry.  A DisTA run with
+zero crossings means the instrumentation silently stopped observing —
+an overhead table built on it would be meaningless.
+"""
+
+from pathlib import Path
+
+from repro.obs.profiler import DEFAULT_SYSTEMS, OverheadProfiler
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
+
+
+def test_overhead_profile_sim_systems():
+    profiler = OverheadProfiler(systems=DEFAULT_SYSTEMS)
+    profiles = profiler.run()
+    profiler.write(_RESULTS_PATH)
+    print()
+    print(profiler.render())
+
+    assert len(profiles) >= 3
+    assert profiler.broken_systems() == []
+    for profile in profiles:
+        assert profile.crossings > 0, f"{profile.system}: zero crossings"
+        assert profile.taintmap_rpcs > 0, f"{profile.system}: zero Taint Map RPCs"
+        assert profile.tainted_bytes > 0, f"{profile.system}: zero tainted bytes"
+        assert profile.baseline_seconds > 0
+        assert profile.dista_seconds > 0
+        assert profile.rpc_p95_seconds > 0

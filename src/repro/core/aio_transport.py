@@ -45,6 +45,7 @@ import asyncio
 import itertools
 import struct
 import threading
+import time
 from collections import OrderedDict
 from typing import Optional, Sequence, Union
 
@@ -98,13 +99,20 @@ class _MuxConnection:
     ``call_soon_threadsafe``.
     """
 
-    def __init__(self, loop: asyncio.AbstractEventLoop, endpoint: TcpEndpoint):
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        endpoint: TcpEndpoint,
+        inflight=None,
+    ):
         self._loop = loop
         self._endpoint = endpoint
         self._pending: dict[int, asyncio.Future] = {}
         self._corr = itertools.count(1)
         self._send_lock = asyncio.Lock()
         self._broken: Optional[Exception] = None
+        #: Optional gauge child tracking in-flight request depth.
+        self._inflight = inflight
         threading.Thread(
             target=self._read_loop, name="taintmap-mux-reader", daemon=True
         ).start()
@@ -120,6 +128,8 @@ class _MuxConnection:
         corr = next(self._corr)
         future = self._loop.create_future()
         self._pending[corr] = future
+        if self._inflight is not None:
+            self._inflight.inc()
         frame = mux_frame(corr, op, payload)
         try:
             # Serialized sends: two interleaved send_all calls would
@@ -129,7 +139,8 @@ class _MuxConnection:
                     None, self._endpoint.send_all, frame
                 )
         except BaseException:
-            self._pending.pop(corr, None)
+            if self._pending.pop(corr, None) is not None and self._inflight is not None:
+                self._inflight.dec()
             raise
         return await future
 
@@ -156,8 +167,11 @@ class _MuxConnection:
 
     def _resolve(self, corr: int, status: int, response: bytes) -> None:
         future = self._pending.pop(corr, None)
-        if future is not None and not future.done():
-            future.set_result((status, response))
+        if future is not None:
+            if self._inflight is not None:
+                self._inflight.dec()
+            if not future.done():
+                future.set_result((status, response))
 
     def _fail_pending(self, exc: Exception) -> None:
         """Connection death: every in-flight future gets the transport
@@ -165,6 +179,8 @@ class _MuxConnection:
         self._broken = exc
         pending = list(self._pending.values())
         self._pending.clear()
+        if pending and self._inflight is not None:
+            self._inflight.dec(len(pending))
         for future in pending:
             if not future.done():
                 future.set_exception(exc)
@@ -213,7 +229,9 @@ class _ShardChannel:
             endpoint = await loop.run_in_executor(
                 None, self._transport._connect, address
             )
-            self._connection = _MuxConnection(loop, endpoint)
+            self._connection = _MuxConnection(
+                loop, endpoint, self._transport._inflight_child
+            )
             return self._connection
 
     def _rotate(self, observed_active: int) -> None:
@@ -241,6 +259,7 @@ class _ShardChannel:
         last_error: Optional[Exception] = None
         for _ in range(len(replicas)):
             observed_active = client._active[self._shard]
+            started = time.perf_counter()
             try:
                 connection = await self._connected()
                 status, response = await connection.request(op, payload)
@@ -250,6 +269,7 @@ class _ShardChannel:
                 continue
             with client.stats._lock:
                 client.requests_sent += 1
+            client._observe_rpc(op, time.perf_counter() - started)
             return status, response
         if len(replicas) == 1:
             raise last_error  # single replica: surface the transport error
@@ -286,6 +306,32 @@ class AsyncTaintMapTransport:
         self.client = client
         self.coalesce_window_us = max(float(coalesce_window_us), 0.0)
         self.max_batch = max_batch
+        # Coalescing/in-flight telemetry on the owning node's registry
+        # (None for bare test nodes).  Families and their reason
+        # children are pre-declared so /metrics always exposes them.
+        self._flush_reason = None
+        self._window_entries = None
+        self._inflight_child = None
+        metrics = getattr(client, "_metrics", None)
+        if metrics is not None:
+            self._flush_reason = metrics.counter(
+                "dista_coalesce_flush_total",
+                "Coalescing-window flushes by trigger (size vs timer).",
+                ("reason",),
+            )
+            for reason in ("size", "timer"):
+                self._flush_reason.labels(reason=reason)
+            self._window_entries = metrics.histogram(
+                "dista_coalesce_window_entries",
+                "Entries per flushed coalescing window.",
+                (),
+                lowest=1.0,
+                buckets=16,
+            )
+            self._inflight_child = metrics.gauge(
+                "dista_taintmap_inflight_requests",
+                "Requests in flight on the multiplexed Taint Map connections.",
+            ).labels()
         self.loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._lifecycle_lock = threading.Lock()
@@ -439,11 +485,11 @@ class AsyncTaintMapTransport:
                 window.entries[key] = future
             futures.append(future)
         if len(window.entries) >= self.max_batch:
-            self._flush_now(shard, kind)
+            self._flush_now(shard, kind, "size")
         elif window.timer is None:
             delay = self.coalesce_window_us / 1e6
             window.timer = self.loop.call_later(
-                delay, self._flush_now, shard, kind
+                delay, self._flush_now, shard, kind, "timer"
             )
         results = await asyncio.gather(*futures, return_exceptions=True)
         for result in results:
@@ -451,7 +497,7 @@ class AsyncTaintMapTransport:
                 raise result
         return list(results)
 
-    def _flush_now(self, shard: int, kind: int) -> None:
+    def _flush_now(self, shard: int, kind: int, reason: str = "size") -> None:
         window = self._windows[shard][kind]
         if window.timer is not None:
             window.timer.cancel()
@@ -459,6 +505,9 @@ class AsyncTaintMapTransport:
         if not window.entries:
             return
         entries, window.entries = window.entries, OrderedDict()
+        if self._flush_reason is not None:
+            self._flush_reason.labels(reason=reason).inc()
+            self._window_entries.observe(len(entries))
         self.loop.create_task(self._flush(shard, kind, entries))
 
     async def _flush(self, shard: int, kind: int, entries: OrderedDict) -> None:
@@ -512,6 +561,8 @@ class AsyncTaintMapClient(TaintMapClient):
     failover semantics are all inherited — only the two request-path
     hooks (``_request`` / ``_request_by_shard``) change.
     """
+
+    transport_name = "async"
 
     def __init__(
         self,

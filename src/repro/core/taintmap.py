@@ -37,6 +37,7 @@ from collections import OrderedDict
 from typing import Optional, Sequence, Union
 
 from repro.errors import TaintMapError
+from repro.obs.registry import MetricsRegistry
 from repro.runtime.kernel import Address, SimKernel, TcpEndpoint
 from repro.taint.tags import LocalId, TaintTag
 from repro.taint.tree import Taint, TaintTree
@@ -57,6 +58,21 @@ OP_MUX_HELLO = 6
 STATUS_OK = 0
 STATUS_UNKNOWN_GID = 1
 STATUS_BAD_REQUEST = 2
+
+#: Human-readable op names for telemetry labels (op 3 is OP_SYNC in
+#: :mod:`repro.core.ha`, which shares this opcode namespace).
+OP_NAMES = {
+    OP_REGISTER: "register",
+    OP_LOOKUP: "lookup",
+    3: "sync",
+    OP_REGISTER_MANY: "register_many",
+    OP_LOOKUP_MANY: "lookup_many",
+    OP_MUX_HELLO: "mux_hello",
+}
+
+
+def op_name(op: int) -> str:
+    return OP_NAMES.get(op, f"op{op}")
 
 _KIND_STR = ord("s")
 _KIND_INT = ord("i")
@@ -313,6 +329,16 @@ class TaintMapStats:
                 "close_errors": self.close_errors,
             }
 
+    @staticmethod
+    def merge(*snapshots: dict) -> dict:
+        """Key-wise sum of snapshot dicts — the multi-shard rollup
+        callers used to hand-assemble in tests and benchmarks."""
+        totals: dict = {}
+        for snapshot in snapshots:
+            for key, value in snapshot.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
 
 class _LruCache:
     """Thread-safe mapping with optional LRU capacity.
@@ -412,6 +438,15 @@ class TaintMapServer:
         self._running = False
         self._connections: list[TcpEndpoint] = []
         self.stats = TaintMapStats()
+        #: Per-shard telemetry: request-handling latency plus the
+        #: TaintMapStats counters folded in at scrape time.
+        self.metrics = MetricsRegistry({"node": f"taintmap-shard{shard_index}"})
+        self._handle_seconds = self.metrics.histogram(
+            "dista_taintmap_server_handle_seconds",
+            "Per-request Taint Map handling time (server side) in seconds.",
+            ("op",),
+        )
+        self.metrics.register_collector(self._stats_samples)
 
     # -- lifecycle ------------------------------------------------------- #
 
@@ -465,7 +500,11 @@ class TaintMapServer:
                 with self._service_lock:
                     if self._service_time > 0.0:
                         time.sleep(self._service_time)
+                    started = time.perf_counter()
                     status, response = self._handle(head[0], payload)
+                    self._handle_seconds.labels(op=op_name(head[0])).observe(
+                        time.perf_counter() - started
+                    )
                 _send_frame(endpoint, bytes([status]), response)
         except Exception:
             pass
@@ -495,7 +534,11 @@ class TaintMapServer:
             with self._service_lock:
                 if self._service_time > 0.0:
                     time.sleep(self._service_time)
+                started = time.perf_counter()
                 status, response = self._handle(op, payload)
+                self._handle_seconds.labels(op=op_name(op)).observe(
+                    time.perf_counter() - started
+                )
             endpoint.send_all(
                 struct.pack(">I", corr)
                 + bytes([status])
@@ -599,6 +642,33 @@ class TaintMapServer:
         with self._lock:
             return len(self._by_key)
 
+    def _stats_samples(self) -> dict:
+        """Scrape-time fold of :class:`TaintMapStats` into the registry."""
+        snap = self.stats.snapshot()
+        return {
+            "dista_taintmap_server_requests_total": {
+                "type": "counter",
+                "help": "Requests handled by this Taint Map shard.",
+                "samples": [
+                    {"labels": {"kind": "register"}, "value": snap["register_requests"]},
+                    {"labels": {"kind": "lookup"}, "value": snap["lookup_requests"]},
+                ],
+            },
+            "dista_taintmap_server_entries_total": {
+                "type": "counter",
+                "help": "Batch entries processed by this Taint Map shard.",
+                "samples": [
+                    {"labels": {"kind": "register"}, "value": snap["register_entries"]},
+                    {"labels": {"kind": "lookup"}, "value": snap["lookup_entries"]},
+                ],
+            },
+            "dista_taintmap_global_taints": {
+                "type": "gauge",
+                "help": "Distinct global taints registered on this shard.",
+                "samples": [{"labels": {}, "value": snap["global_taints"]}],
+            },
+        }
+
 
 class ShardedTaintMapService:
     """Boots and owns N Taint Map shards on one service node.
@@ -645,11 +715,12 @@ class ShardedTaintMapService:
 
     def stats_snapshot(self) -> dict:
         """Counter totals across every shard (one §V-F aggregate)."""
-        totals: dict = {}
-        for server in self.servers:
-            for key, value in server.stats.snapshot().items():
-                totals[key] = totals.get(key, 0) + value
-        return totals
+        return TaintMapStats.merge(
+            *(server.stats.snapshot() for server in self.servers)
+        )
+
+    def metrics_registries(self) -> list:
+        return [server.metrics for server in self.servers]
 
 
 def _normalize_addresses(address) -> list[Address]:
@@ -694,6 +765,10 @@ class TaintMapClient:
     #: connections are closed rather than pooled.
     MAX_IDLE_PER_SHARD = 8
 
+    #: Telemetry label naming the request transport; the async client
+    #: (:mod:`repro.core.aio_transport`) overrides it.
+    transport_name = "pooled"
+
     def __init__(
         self,
         node,
@@ -725,6 +800,62 @@ class TaintMapClient:
         #: Global ID → local Taint handle.
         self._taint_cache = _LruCache(cache_capacity, self.stats)
         self.requests_sent = 0
+        #: Node telemetry (None for bare test nodes without a registry).
+        self._metrics = getattr(node, "metrics", None)
+        self._rpc_seconds = None
+        self._requests_total = None
+        self._batch_entries = None
+        if self._metrics is not None:
+            self._rpc_seconds = self._metrics.histogram(
+                "dista_taintmap_rpc_seconds",
+                "Client-observed Taint Map RPC latency in seconds.",
+                ("op", "transport"),
+            )
+            self._requests_total = self._metrics.counter(
+                "dista_taintmap_requests_total",
+                "Taint Map requests issued by this node.",
+                ("op", "transport"),
+            )
+            self._batch_entries = self._metrics.histogram(
+                "dista_taintmap_batch_entries",
+                "Entries per batched Taint Map request (per-shard sub-batch).",
+                ("op",),
+                lowest=1.0,
+                buckets=16,
+            )
+            self._metrics.register_collector(self._cache_samples)
+
+    def _cache_samples(self) -> dict:
+        """Scrape-time fold of the client-side cache counters."""
+        snap = self.stats.snapshot()
+        return {
+            "dista_cache_events_total": {
+                "type": "counter",
+                "help": "GID/taint cache events on this node's Taint Map client.",
+                "samples": [
+                    {"labels": {"event": "hit"}, "value": snap["cache_hits"]},
+                    {"labels": {"event": "miss"}, "value": snap["cache_misses"]},
+                    {"labels": {"event": "eviction"}, "value": snap["cache_evictions"]},
+                ],
+            },
+            "dista_taintmap_close_errors_total": {
+                "type": "counter",
+                "help": "Socket errors suppressed while closing Taint Map connections.",
+                "samples": [{"labels": {}, "value": snap["close_errors"]}],
+            },
+        }
+
+    def _observe_rpc(self, op: int, elapsed: float) -> None:
+        if self._rpc_seconds is not None:
+            name = op_name(op)
+            self._rpc_seconds.labels(op=name, transport=self.transport_name).observe(
+                elapsed
+            )
+            self._requests_total.labels(op=name, transport=self.transport_name).inc()
+
+    def _observe_batch(self, op: int, entries: int) -> None:
+        if self._batch_entries is not None:
+            self._batch_entries.labels(op=op_name(op)).observe(entries)
 
     @property
     def shard_count(self) -> int:
@@ -799,12 +930,14 @@ class TaintMapClient:
     # -- request path ----------------------------------------------------- #
 
     def _roundtrip(self, endpoint: TcpEndpoint, op: int, payload: bytes) -> tuple[int, bytes]:
+        started = time.perf_counter()
         _send_frame(endpoint, bytes([op]), payload)
         status = _recv_exact(endpoint, 1)[0]
         (length,) = struct.unpack(">I", _recv_exact(endpoint, 4))
         response = _recv_exact(endpoint, length) if length else b""
         with self.stats._lock:
             self.requests_sent += 1
+        self._observe_rpc(op, time.perf_counter() - started)
         return status, response
 
     def _attempt(self, shard: int, op: int, payload: bytes) -> tuple[int, bytes]:
@@ -952,6 +1085,8 @@ class TaintMapClient:
                 )
                 for shard, entries in by_shard.items()
             ]
+            for entries in by_shard.values():
+                self._observe_batch(OP_REGISTER_MANY, len(entries))
             responses = self._request_by_shard(calls)
             for entries, response in zip(by_shard.values(), responses):
                 new_gids = struct.unpack(f">{len(entries)}I", response)
@@ -1015,6 +1150,8 @@ class TaintMapClient:
                 )
                 for shard, pending in by_shard.items()
             ]
+            for pending in by_shard.values():
+                self._observe_batch(OP_LOOKUP_MANY, len(pending))
             responses = self._request_by_shard(calls)
             for pending, response in zip(by_shard.values(), responses):
                 for gid, serialized in zip(
@@ -1035,3 +1172,7 @@ class TaintMapClient:
 
     def close(self) -> None:
         self._drop_pools()
+        # Detach the cache collector: a detached client must not keep
+        # reporting (or keep itself alive) through the node's registry.
+        if self._metrics is not None:
+            self._metrics.unregister_collector(self._cache_samples)

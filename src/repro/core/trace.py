@@ -1,4 +1,4 @@
-"""Inter-node taint crossing trace.
+"""Inter-node taint crossing trace with causal spans.
 
 DisTA is pitched for debugging and in-house analysis; knowing *that* a
 taint reached a sink is often not enough — you want the path.  This
@@ -6,20 +6,39 @@ module records every tainted boundary crossing the wrappers perform
 (send or receive, per JNI method) into a cluster-wide
 :class:`CrossingTrace`, and renders per-tag timelines.
 
+Crossings are **causal spans**: a tainted send allocates a span id and
+parks it (with its byte count) on the wire channel it wrote to — the
+shared kernel pipe for TCP, the destination address for UDP.  The
+receive that drains those bytes on the other node takes the same span
+id, so one span = one message's journey across the boundary, with
+monotonic timestamps on both ends.  Split reads decrement the pending
+byte budget and keep the span until it is fully consumed; a receive
+with no pending send (uninstrumented peer, coalesced wire traffic)
+falls back to a fresh span rather than mis-attributing.
+
 Enable per cluster::
 
     cluster = Cluster(Mode.DISTA, agent_options={"trace": CrossingTrace()})
 
 The trace only records *tainted* crossings (untainted traffic would
-swamp it), ordered by a global sequence number.
+swamp it), ordered by a global sequence number.  Once ``capacity`` is
+reached further crossings are **counted, never silently lost**: see
+:attr:`CrossingTrace.dropped` and :meth:`CrossingTrace.describe`.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
+import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Optional
+
+#: Per-channel bound on unmatched pending sends (lost datagrams,
+#: uninstrumented receivers); beyond it the oldest correlation is
+#: forgotten so the trace cannot leak on one-way traffic.
+MAX_PENDING_PER_CHANNEL = 1024
 
 
 @dataclass(frozen=True)
@@ -32,13 +51,17 @@ class Crossing:
     method: str
     data_bytes: int
     tags: frozenset
+    #: Causal span id shared by a send and the receive(s) draining it.
+    span: int = 0
+    #: ``time.monotonic()`` at record time (orders both ends of a span).
+    timestamp: float = 0.0
 
     def describe(self) -> str:
         arrow = "->" if self.direction == "send" else "<-"
         tag_names = ",".join(sorted(str(t.tag) for t in self.tags))
         return (
-            f"#{self.sequence:<4d} {self.node:12s} {arrow} {self.method:22s} "
-            f"{self.data_bytes:6d}B  [{tag_names}]"
+            f"#{self.sequence:<4d} s{self.span:<4d} {self.node:12s} {arrow} "
+            f"{self.method:22s} {self.data_bytes:6d}B  [{tag_names}]"
         )
 
 
@@ -49,14 +72,39 @@ class CrossingTrace:
         self._capacity = capacity
         self._lock = threading.Lock()
         self._sequence = itertools.count(1)
+        self._spans = itertools.count(1)
+        #: channel key → FIFO of ``[span_id, bytes_remaining]`` for
+        #: sends whose bytes have not been received yet.
+        self._pending: dict = {}
         self.crossings: list[Crossing] = []
+        #: Crossings discarded after ``capacity`` was reached.  Span
+        #: bookkeeping continues even while dropping, so correlations
+        #: stay correct for whatever the buffer does retain.
+        self.dropped = 0
 
-    def record(self, node: str, direction: str, method: str, data) -> None:
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def record(
+        self, node: str, direction: str, method: str, data, channel=None
+    ) -> None:
         taint = data.overall_taint() if hasattr(data, "overall_taint") else None
         if taint is None or taint.is_empty:
             return
+        data_bytes = len(data)
         with self._lock:
+            if direction == "send":
+                span = next(self._spans)
+                if channel is not None:
+                    queue = self._pending.setdefault(channel, deque())
+                    queue.append([span, data_bytes])
+                    if len(queue) > MAX_PENDING_PER_CHANNEL:
+                        queue.popleft()
+            else:
+                span = self._take_receive_span(channel, data_bytes)
             if len(self.crossings) >= self._capacity:
+                self.dropped += 1
                 return
             self.crossings.append(
                 Crossing(
@@ -64,10 +112,25 @@ class CrossingTrace:
                     node,
                     direction,
                     method,
-                    len(data),
+                    data_bytes,
                     frozenset(taint.tags),
+                    span,
+                    time.monotonic(),
                 )
             )
+
+    def _take_receive_span(self, channel, data_bytes: int) -> int:
+        """Correlate a receive with the oldest pending send on its
+        channel, consuming its byte budget (split reads keep the span
+        alive until the sent bytes are drained)."""
+        queue = self._pending.get(channel) if channel is not None else None
+        if not queue:
+            return next(self._spans)
+        head = queue[0]
+        head[1] -= data_bytes
+        if head[1] <= 0:
+            queue.popleft()
+        return head[0]
 
     # -- queries ---------------------------------------------------------- #
 
@@ -78,6 +141,30 @@ class CrossingTrace:
                 c for c in self.crossings if any(t.tag == tag_value for t in c.tags)
             ]
 
+    def for_span(self, span: int) -> list[Crossing]:
+        """Both ends of one causal span, in sequence order."""
+        with self._lock:
+            return [c for c in self.crossings if c.span == span]
+
+    def span_pairs(self, tag_value=None) -> list[tuple[Crossing, Crossing]]:
+        """Correlated (send, receive) pairs — the end-to-end hops.
+
+        A span whose receive was split across several reads contributes
+        one pair per receive (same send side)."""
+        crossings = (
+            self.for_tag(tag_value) if tag_value is not None else list(self.crossings)
+        )
+        sends: dict[int, Crossing] = {}
+        pairs = []
+        for crossing in crossings:
+            if crossing.direction == "send":
+                sends.setdefault(crossing.span, crossing)
+            else:
+                send = sends.get(crossing.span)
+                if send is not None:
+                    pairs.append((send, crossing))
+        return pairs
+
     def hops(self, tag_value) -> list[str]:
         """The node path a tag travelled, deduplicating repeats."""
         path: list[str] = []
@@ -86,12 +173,48 @@ class CrossingTrace:
                 path.append(crossing.node)
         return path
 
+    def describe(self) -> str:
+        """One-line summary, including the (never silent) drop count."""
+        with self._lock:
+            recorded = len(self.crossings)
+            dropped = self.dropped
+        return (
+            f"CrossingTrace: {recorded} crossing(s) recorded, "
+            f"{dropped} dropped (capacity {self._capacity})"
+        )
+
     def render(self, tag_value=None, title: str = "Taint crossings") -> str:
         crossings = self.for_tag(tag_value) if tag_value is not None else list(self.crossings)
         lines = [f"=== {title} ==="]
         lines.extend(c.describe() for c in crossings)
         lines.append(f"--- {len(crossings)} crossing(s) ---")
+        if self.dropped:
+            lines.append(
+                f"!!! incomplete: {self.dropped} crossing(s) dropped at "
+                f"capacity {self._capacity}"
+            )
         return "\n".join(lines)
+
+    # -- telemetry ---------------------------------------------------------- #
+
+    def telemetry_samples(self) -> dict:
+        """Snapshot fragment for a :class:`~repro.obs.registry.MetricsRegistry`
+        collector (registered by ``Cluster.start`` when tracing is on)."""
+        with self._lock:
+            recorded = len(self.crossings)
+            dropped = self.dropped
+        return {
+            "dista_trace_crossings": {
+                "type": "gauge",
+                "help": "Tainted boundary crossings retained by the trace.",
+                "samples": [{"labels": {}, "value": recorded}],
+            },
+            "dista_trace_dropped_total": {
+                "type": "counter",
+                "help": "Crossings dropped after the trace reached capacity.",
+                "samples": [{"labels": {}, "value": dropped}],
+            },
+        }
 
 
 class NullTrace:
@@ -99,7 +222,9 @@ class NullTrace:
 
     __slots__ = ()
 
-    def record(self, node: str, direction: str, method: str, data) -> None:
+    def record(
+        self, node: str, direction: str, method: str, data, channel=None
+    ) -> None:
         return None
 
 

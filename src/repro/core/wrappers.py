@@ -61,6 +61,75 @@ class DisTARuntime:
         self.trace = trace
         self._lock = threading.Lock()
         self._decoders: dict[int, wire.CellDecoder] = {}
+        #: Wrapper-boundary telemetry (None for bare test nodes).
+        self.metrics = getattr(node, "metrics", None)
+        self._io_calls = None
+        self._io_bytes = None
+        self._io_tainted = None
+        self._crossings = None
+        if self.metrics is not None:
+            self._io_calls = self.metrics.counter(
+                "dista_jni_calls_total",
+                "Wrapped JNI method invocations.",
+                ("method", "direction"),
+            )
+            self._io_bytes = self.metrics.counter(
+                "dista_jni_bytes_total",
+                "Payload bytes through wrapped JNI methods.",
+                ("method", "direction"),
+            )
+            self._io_tainted = self.metrics.counter(
+                "dista_jni_tainted_bytes_total",
+                "Tainted payload bytes through wrapped JNI methods "
+                "(divide by dista_jni_bytes_total for the per-method ratio).",
+                ("method", "direction"),
+            )
+            self._crossings = self.metrics.counter(
+                "dista_crossings_total",
+                "Tainted boundary crossings observed at the wrappers.",
+                ("direction",),
+            )
+            # Pre-declare the transport-side families (the async client
+            # populates them) so /metrics has the same shape under both
+            # transports — zero-valued rather than absent under pooled.
+            flush = self.metrics.counter(
+                "dista_coalesce_flush_total",
+                "Coalescing-window flushes by trigger (size vs timer).",
+                ("reason",),
+            )
+            for reason in ("size", "timer"):
+                flush.labels(reason=reason)
+            self.metrics.histogram(
+                "dista_coalesce_window_entries",
+                "Entries per flushed coalescing window.",
+                (),
+                lowest=1.0,
+                buckets=16,
+            )
+            self.metrics.gauge(
+                "dista_taintmap_inflight_requests",
+                "Requests in flight on the multiplexed Taint Map connections.",
+            )
+
+    def record_io(self, direction: str, method: str, data, channel=None) -> None:
+        """One wrapper-boundary event: telemetry plus the crossing trace.
+
+        ``channel`` names the wire channel (see ``TcpEndpoint.send_channel``)
+        so the trace can correlate this send with its receive into a span.
+        """
+        if self._io_calls is not None:
+            total = len(data)
+            tainted = (
+                data.tainted_byte_count()
+                if hasattr(data, "tainted_byte_count")
+                else 0
+            )
+            self._io_calls.labels(method=method, direction=direction).inc()
+            self._io_bytes.labels(method=method, direction=direction).inc(total)
+            self._io_tainted.labels(method=method, direction=direction).inc(tainted)
+            if tainted:
+                self._crossings.labels(direction=direction).inc()
+        self.trace.record(self.node.name, direction, method, data, channel=channel)
 
     def outgoing(self, data: TBytes) -> TBytes:
         """Apply the configured tracking granularity to outgoing data."""
@@ -112,7 +181,7 @@ class DisTARuntime:
 def make_socket_write0(runtime: DisTARuntime):
     def wrapper(original):
         def socket_write0(fd, data: TBytes) -> None:
-            runtime.trace.record(runtime.node.name, "send", "socketWrite0", data)
+            runtime.record_io("send", "socketWrite0", data, channel=fd.send_channel)
             cells = wire.encode_cells(
                 runtime.outgoing(data), runtime.resolver
             )
@@ -139,8 +208,8 @@ def make_socket_read0(runtime: DisTARuntime):
                     staging.read(0, count).data, runtime.resolver
                 )
                 if decoded:
-                    runtime.trace.record(
-                        runtime.node.name, "receive", "socketRead0", decoded
+                    runtime.record_io(
+                        "receive", "socketRead0", decoded, channel=fd.receive_channel
                     )
                     buf.write(offset, decoded)
                     return len(decoded)
@@ -179,7 +248,12 @@ def _check_envelope_fits(data_length: int) -> None:
 def make_datagram_send(runtime: DisTARuntime):
     def wrapper(original):
         def datagram_send(fd, packet: DatagramPacket) -> None:
-            runtime.trace.record(runtime.node.name, "send", "datagram.send", packet.payload())
+            runtime.record_io(
+                "send",
+                "datagram.send",
+                packet.payload(),
+                channel=("udp", tuple(packet.socket_address())),
+            )
             payload = runtime.outgoing(packet.payload())
             _check_envelope_fits(len(payload))
             envelope = wire.encode_packet(
@@ -209,7 +283,9 @@ def make_datagram_receive0(runtime: DisTARuntime):
             kwargs = {} if timeout is None else {"timeout": timeout}
             original(fd, staging, **kwargs)
             decoded = _decode_incoming_datagram(runtime, staging.payload())
-            runtime.trace.record(runtime.node.name, "receive", "datagram.receive0", decoded)
+            runtime.record_io(
+                "receive", "datagram.receive0", decoded, channel=("udp", tuple(fd.address))
+            )
             packet.fill_from_wire(decoded, staging.address)
 
         return datagram_receive0
@@ -271,7 +347,9 @@ def make_disp_write0(runtime: DisTARuntime):
         def disp_write0(fd, mem, position, count, blocking=True, timeout=None) -> int:
             runtime.node.jni.calls.hit("FileDispatcherImpl#write0")
             data = runtime.outgoing(runtime.native_read(mem, position, count))
-            runtime.trace.record(runtime.node.name, "send", "dispatcher.write0", data)
+            runtime.record_io(
+                "send", "dispatcher.write0", data, channel=fd.send_channel
+            )
             cells = wire.encode_cells(data, runtime.resolver)
             # The simulated kernel's buffers are sized so a full cell
             # write completes; see DESIGN.md (blocking simplification).
@@ -307,8 +385,11 @@ def make_disp_read0(runtime: DisTARuntime):
                         return EOF
                 decoded = decoder.feed(raw, runtime.resolver)
                 if decoded:
-                    runtime.trace.record(
-                        runtime.node.name, "receive", "dispatcher.read0", decoded
+                    runtime.record_io(
+                        "receive",
+                        "dispatcher.read0",
+                        decoded,
+                        channel=fd.receive_channel,
                     )
                     runtime.native_write(mem, position, decoded)
                     return len(decoded)
@@ -325,6 +406,10 @@ def make_dgram_disp_write0(runtime: DisTARuntime):
         def dgram_disp_write0(fd, mem, position, count, destination) -> int:
             runtime.node.jni.calls.hit("DatagramDispatcherImpl#write0")
             data = runtime.outgoing(runtime.native_read(mem, position, count))
+            runtime.record_io(
+                "send", "dgram_dispatcher.write0", data,
+                channel=("udp", tuple(destination)),
+            )
             _check_envelope_fits(count)
             fd.sendto(wire.encode_packet(data, runtime.resolver), destination)
             return count
@@ -349,6 +434,10 @@ def make_dgram_disp_read0(runtime: DisTARuntime):
                     raise
                 return UNAVAILABLE
             decoded = _decode_incoming_datagram(runtime, TBytes(raw))[:count]
+            runtime.record_io(
+                "receive", "dgram_dispatcher.read0", decoded,
+                channel=("udp", tuple(fd.address)),
+            )
             runtime.native_write(mem, position, decoded)
             return len(decoded)
 
@@ -362,6 +451,10 @@ def make_dgram_channel_send0(runtime: DisTARuntime):
         def dgram_channel_send0(fd, mem, position, count, destination) -> int:
             runtime.node.jni.calls.hit("DatagramChannelImpl#send0")
             data = runtime.outgoing(runtime.native_read(mem, position, count))
+            runtime.record_io(
+                "send", "dgram_channel.send0", data,
+                channel=("udp", tuple(destination)),
+            )
             _check_envelope_fits(count)
             fd.sendto(wire.encode_packet(data, runtime.resolver), destination)
             return count
@@ -388,6 +481,10 @@ def make_dgram_channel_receive0(runtime: DisTARuntime):
                     raise
                 return UNAVAILABLE, None
             decoded = _decode_incoming_datagram(runtime, TBytes(raw))[:count]
+            runtime.record_io(
+                "receive", "dgram_channel.receive0", decoded,
+                channel=("udp", tuple(fd.address)),
+            )
             runtime.native_write(mem, position, decoded)
             return len(decoded), source
 

@@ -35,6 +35,10 @@ class WireFormatError(ReproError):
     """Malformed DisTA cell stream / packet envelope on the wire."""
 
 
+class TelemetryError(ReproError):
+    """Invalid metric registration or aggregation (repro.obs)."""
+
+
 class InstrumentationError(ReproError):
     """Agent attach/patch failures (e.g. double instrumentation)."""
 

@@ -1,0 +1,48 @@
+"""Cluster-wide telemetry (registry, /metrics exposition, profiler).
+
+Only the registry is imported eagerly: :mod:`repro.runtime.kernel` and
+:mod:`repro.runtime.node` construct registries at import time, while
+:mod:`repro.obs.http` and :mod:`repro.obs.profiler` sit *above* the
+runtime stack — loading them here would be circular.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    DEFAULT_LOWEST,
+    MetricFamily,
+    MetricsRegistry,
+    bucket_bounds,
+    bucket_index,
+    merge_snapshots,
+    render_exposition,
+    snapshot_quantile,
+    snapshot_total,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DEFAULT_LOWEST",
+    "MetricFamily",
+    "MetricsRegistry",
+    "MetricsServer",
+    "OverheadProfiler",
+    "SystemProfile",
+    "bucket_bounds",
+    "bucket_index",
+    "merge_snapshots",
+    "render_exposition",
+    "snapshot_quantile",
+    "snapshot_total",
+]
+
+
+def __getattr__(name):
+    if name == "MetricsServer":
+        from repro.obs.http import MetricsServer
+
+        return MetricsServer
+    if name in ("OverheadProfiler", "SystemProfile"):
+        from repro.obs import profiler
+
+        return getattr(profiler, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,84 @@
+"""Prometheus-style ``/metrics`` endpoint over the simulated JRE HTTP.
+
+One :class:`MetricsServer` per node serves that node's registry (or, for
+a cluster-wide aggregator, any list of registries) over
+:class:`repro.jre.http.HttpServer` — so scraping happens *in the
+simulation*, through the same socket stack the workloads use:
+
+* ``GET /metrics`` — Prometheus text exposition format 0.0.4,
+* ``GET /metrics.json`` — the merged snapshot as JSON,
+* anything else — 404.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.jre.http import HttpRequest, HttpResponse, HttpServer
+from repro.obs.registry import merge_snapshots, render_exposition
+from repro.taint.values import TBytes
+
+#: The conventional Prometheus exporter port.
+DEFAULT_METRICS_PORT = 9464
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serves one or more registries' metrics from a simulated node."""
+
+    def __init__(self, node, port: int = DEFAULT_METRICS_PORT, registries=None):
+        self._node = node
+        #: ``None`` means "this node's own registry", resolved per scrape
+        #: so late-registered collectors are always included.
+        self._registries = list(registries) if registries is not None else None
+        self._server = HttpServer(node, port, self._handle)
+        self.port = port
+
+    @property
+    def address(self) -> tuple:
+        return (self._node.ip, self.port)
+
+    def start(self) -> "MetricsServer":
+        self._server.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.stop()
+
+    def snapshot(self) -> dict:
+        registries = (
+            self._registries if self._registries is not None else [self._node.metrics]
+        )
+        return merge_snapshots(*(registry.snapshot() for registry in registries))
+
+    def _handle(self, request: HttpRequest) -> HttpResponse:
+        if request.method != "GET":
+            return _error(405, "Method Not Allowed")
+        if request.path == "/metrics":
+            text = render_exposition(self.snapshot())
+            return HttpResponse(
+                200,
+                "OK",
+                {"Content-Type": PROMETHEUS_CONTENT_TYPE},
+                TBytes(text.encode("utf-8")),
+            )
+        if request.path == "/metrics.json":
+            payload = json.dumps(self.snapshot(), sort_keys=True)
+            return HttpResponse(
+                200,
+                "OK",
+                {"Content-Type": "application/json"},
+                TBytes(payload.encode("utf-8")),
+            )
+        return _error(404, "Not Found")
+
+
+def _error(status: int, reason: str) -> HttpResponse:
+    return HttpResponse(
+        status,
+        reason,
+        {"Content-Type": "text/plain; charset=utf-8"},
+        TBytes(f"{status} {reason}\n".encode("utf-8")),
+    )

@@ -1,0 +1,134 @@
+"""Overhead profiler: baseline vs DisTA, per system (the §V-F table).
+
+Runs each system's workload twice — once under :attr:`Mode.BASELINE`
+(uninstrumented) and once under :attr:`Mode.DISTA` with the SIM
+scenario — and reduces both runs' telemetry snapshots into one
+:class:`SystemProfile` row: runtime overhead ratio, crossing and RPC
+counts, RPC p95 latency, tainted wire bytes.
+
+A DisTA run whose telemetry reports **zero crossings** is a broken run,
+not a fast one — the profiler flags it (``crossings_ok``) and the CI
+benchmark fails on it, so an instrumentation regression cannot
+masquerade as an overhead win.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import TelemetryError
+from repro.obs.registry import snapshot_quantile, snapshot_total
+from repro.runtime.modes import Mode
+from repro.systems.common import SIM
+
+#: The default §V-F subset: three systems keeps the CI benchmark fast.
+DEFAULT_SYSTEMS = ("ZooKeeper", "MapReduce/Yarn", "ActiveMQ")
+
+
+@dataclass
+class SystemProfile:
+    """One row of the overhead table."""
+
+    system: str
+    scenario: str
+    baseline_seconds: float
+    dista_seconds: float
+    overhead_ratio: float
+    crossings: int
+    taintmap_rpcs: int
+    rpc_p95_seconds: float
+    tainted_bytes: int
+    wire_bytes: int
+    global_taints: int
+    #: False when the DisTA run's telemetry reported zero crossings.
+    crossings_ok: bool = True
+    extras: dict = field(default_factory=dict)
+
+
+class OverheadProfiler:
+    """Runs baseline-vs-DisTA pairs and collects :class:`SystemProfile` rows."""
+
+    def __init__(self, systems=None, scenario: str = SIM, repeats: int = 1):
+        if repeats < 1:
+            raise TelemetryError("repeats must be >= 1")
+        self.systems = tuple(systems) if systems is not None else DEFAULT_SYSTEMS
+        self.scenario = scenario
+        self.repeats = repeats
+        self.profiles: list[SystemProfile] = []
+
+    def run(self) -> list[SystemProfile]:
+        from repro.systems import ALL_SYSTEMS
+
+        self.profiles = []
+        for name in self.systems:
+            module = ALL_SYSTEMS[name]
+            baseline = min(
+                module.run_workload(Mode.BASELINE, None).duration
+                for _ in range(self.repeats)
+            )
+            dista = min(
+                (module.run_workload(Mode.DISTA, self.scenario) for _ in range(self.repeats)),
+                key=lambda result: result.duration,
+            )
+            self.profiles.append(self._profile(name, baseline, dista))
+        return self.profiles
+
+    def _profile(self, name: str, baseline_seconds: float, dista) -> SystemProfile:
+        telemetry = dista.telemetry
+        crossings = int(snapshot_total(telemetry, "dista_crossings_total"))
+        rpcs = int(snapshot_total(telemetry, "dista_taintmap_requests_total"))
+        p95 = snapshot_quantile(telemetry, "dista_taintmap_rpc_seconds", 0.95)
+        tainted = int(snapshot_total(telemetry, "dista_jni_tainted_bytes_total"))
+        return SystemProfile(
+            system=name,
+            scenario=self.scenario,
+            baseline_seconds=baseline_seconds,
+            dista_seconds=dista.duration,
+            overhead_ratio=(
+                dista.duration / baseline_seconds if baseline_seconds > 0 else 0.0
+            ),
+            crossings=crossings,
+            taintmap_rpcs=rpcs,
+            rpc_p95_seconds=p95 if p95 is not None else 0.0,
+            tainted_bytes=tainted,
+            wire_bytes=dista.wire_bytes,
+            global_taints=dista.global_taints,
+            crossings_ok=crossings > 0,
+            extras={},
+        )
+
+    # -- reporting ---------------------------------------------------------- #
+
+    def broken_systems(self) -> list[str]:
+        """Systems whose DisTA run reported zero crossings (regression)."""
+        return [p.system for p in self.profiles if not p.crossings_ok]
+
+    def as_dict(self) -> dict:
+        return {
+            "benchmark": "overhead_profile",
+            "scenario": self.scenario,
+            "repeats": self.repeats,
+            "systems": [asdict(profile) for profile in self.profiles],
+        }
+
+    def write(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def render(self) -> str:
+        lines = [
+            f"{'system':18s} {'baseline':>10s} {'dista':>10s} {'overhead':>9s} "
+            f"{'crossings':>9s} {'rpcs':>6s} {'rpc p95':>10s}"
+        ]
+        for p in self.profiles:
+            lines.append(
+                f"{p.system:18s} {p.baseline_seconds:9.4f}s {p.dista_seconds:9.4f}s "
+                f"{p.overhead_ratio:8.2f}x {p.crossings:9d} {p.taintmap_rpcs:6d} "
+                f"{p.rpc_p95_seconds * 1e6:8.0f}us"
+            )
+        broken = self.broken_systems()
+        if broken:
+            lines.append(f"!!! zero crossings under DisTA: {', '.join(broken)}")
+        return "\n".join(lines)

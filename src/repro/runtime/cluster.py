@@ -118,6 +118,11 @@ class Cluster:
             self._start_taint_map()
         for node in self.nodes.values():
             self._attach_agent(node)
+        trace = self.agent_options.get("trace")
+        if trace is not None and hasattr(trace, "telemetry_samples"):
+            # The trace is cluster-wide, so its gauges live on the kernel
+            # registry (one fragment, not one per node).
+            self.kernel.metrics.register_collector(trace.telemetry_samples)
         self._started = True
         return self
 
@@ -197,3 +202,37 @@ class Cluster:
         """Total bytes the kernel carried (for the 5× overhead check)."""
         exclude = tuple(self.taint_map_addresses) if exclude_taint_map else ()
         return self.kernel.stats.total(exclude)
+
+    # -- telemetry ---------------------------------------------------------- #
+
+    def metrics_registries(self) -> list:
+        """Every MetricsRegistry in the cluster: nodes, kernel, shards."""
+        registries = [node.metrics for node in self.nodes.values()]
+        registries.append(self.kernel.metrics)
+        if self.taint_map_service is not None:
+            registries.extend(self.taint_map_service.metrics_registries())
+        return registries
+
+    def telemetry_snapshot(self) -> dict:
+        """One merged snapshot across every registry in the cluster."""
+        from repro.obs.registry import merge_snapshots
+
+        return merge_snapshots(
+            *(registry.snapshot() for registry in self.metrics_registries())
+        )
+
+    def start_metrics_server(
+        self, node_name: str, port: int = 9464, cluster_wide: bool = False
+    ):
+        """Serve ``/metrics`` from ``node_name`` (started, caller stops it).
+
+        With ``cluster_wide=True`` the endpoint aggregates every registry
+        in the cluster; otherwise it exposes only that node's registry.
+        """
+        from repro.obs.http import MetricsServer
+
+        node = self.nodes[node_name]
+        registries = self.metrics_registries() if cluster_wide else None
+        server = MetricsServer(node, port=port, registries=registries)
+        server.start()
+        return server

@@ -23,6 +23,7 @@ from repro.errors import (
     PipeClosed,
     SimTimeout,
 )
+from repro.obs.registry import MetricsRegistry
 from repro.runtime.pipes import DEFAULT_TIMEOUT, BytePipe, DatagramBox
 
 Address = tuple[str, int]
@@ -34,18 +35,47 @@ MAX_DATAGRAM = 65507
 class NetStats:
     """Byte counters grouped by the passive (server-side) address."""
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._lock = threading.Lock()
         self.tcp_bytes: dict[Address, int] = {}
         self.udp_bytes: dict[Address, int] = {}
+        if metrics is None:
+            metrics = MetricsRegistry()
+        bytes_family = metrics.counter(
+            "sim_kernel_bytes_total",
+            "Bytes the simulated kernel carried, by protocol.",
+            ("proto",),
+        )
+        self._tcp_bytes_child = bytes_family.labels(proto="tcp")
+        self._udp_bytes_child = bytes_family.labels(proto="udp")
+        reads_family = metrics.counter(
+            "sim_kernel_reads_total",
+            "TCP pipe reads by completeness (full/partial/eof).",
+            ("kind",),
+        )
+        self._reads = {
+            kind: reads_family.labels(kind=kind) for kind in ("full", "partial", "eof")
+        }
 
     def record_tcp(self, server: Address, count: int) -> None:
         with self._lock:
             self.tcp_bytes[server] = self.tcp_bytes.get(server, 0) + count
+        self._tcp_bytes_child.inc(count)
 
     def record_udp(self, destination: Address, count: int) -> None:
         with self._lock:
             self.udp_bytes[destination] = self.udp_bytes.get(destination, 0) + count
+        self._udp_bytes_child.inc(count)
+
+    def record_read(self, requested: int, chunk: bytes) -> None:
+        """Classify one TCP read: EOF, partial fill, or full fill."""
+        if not chunk:
+            kind = "eof"
+        elif len(chunk) < requested:
+            kind = "partial"
+        else:
+            kind = "full"
+        self._reads[kind].inc()
 
     def total_tcp(self, exclude: tuple[Address, ...] = ()) -> int:
         with self._lock:
@@ -97,18 +127,40 @@ class TcpEndpoint:
 
     def recv(self, max_bytes: int, timeout: float = DEFAULT_TIMEOUT) -> bytes:
         """``NET_READ``: blocking partial read; ``b""`` is EOF."""
-        return self._rx.read(max_bytes, timeout)
+        chunk = self._rx.read(max_bytes, timeout)
+        self._kernel.stats.record_read(max_bytes, chunk)
+        return chunk
 
     # -- non-blocking variants (for the NIO selector layer) --------------- #
 
     def recv_nonblocking(self, max_bytes: int) -> Optional[bytes]:
         """Returns ``None`` when no data is ready, ``b""`` at EOF."""
         if self._rx.available() == 0:
-            return b"" if self._rx.at_eof() else None
+            if self._rx.at_eof():
+                self._kernel.stats.record_read(max_bytes, b"")
+                return b""
+            return None
         try:
-            return self._rx.read(max_bytes, timeout=0.001)
+            chunk = self._rx.read(max_bytes, timeout=0.001)
         except SimTimeout:
             return None
+        self._kernel.stats.record_read(max_bytes, chunk)
+        return chunk
+
+    # -- span correlation keys --------------------------------------------- #
+    #
+    # Both TcpEndpoint ends of one connection share the same BytePipe
+    # objects (the sender's _tx IS the receiver's _rx), so the pipe's
+    # identity names the wire channel on both nodes — the key
+    # CrossingTrace uses to correlate a tainted send with its receive.
+
+    @property
+    def send_channel(self) -> tuple:
+        return ("tcp", id(self._tx))
+
+    @property
+    def receive_channel(self) -> tuple:
+        return ("tcp", id(self._rx))
 
     def send_nonblocking(self, data: bytes) -> int:
         """Returns 0 when the send buffer is full."""
@@ -231,7 +283,9 @@ class SimKernel:
         self._listeners: dict[Address, TcpListener] = {}
         self._udp: dict[Address, UdpEndpoint] = {}
         self._next_ephemeral = itertools.count(49152)
-        self.stats = NetStats()
+        #: Kernel-level telemetry (wire bytes, read completeness).
+        self.metrics = MetricsRegistry({"node": f"{name}-kernel"})
+        self.stats = NetStats(self.metrics)
 
     # -- node / address management ----------------------------------------- #
 

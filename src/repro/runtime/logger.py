@@ -35,10 +35,21 @@ class NodeLogger:
         self.records: list[LogRecord] = []
 
     def _format(self, fmt: str, args: tuple) -> str:
-        message = fmt
-        for arg in args:
-            message = message.replace("{}", str(plain(arg)), 1)
-        return message
+        # One left-to-right pass over the *format string's* anchors:
+        # sequential str.replace would rescan substituted text, so an
+        # argument containing "{}" corrupts later anchors.
+        parts = fmt.split("{}")
+        if len(parts) == 1:
+            return fmt
+        values = iter(args)
+        out = [parts[0]]
+        for part in parts[1:]:
+            try:
+                out.append(str(plain(next(values))))
+            except StopIteration:
+                out.append("{}")  # slf4j leaves unmatched anchors as-is
+            out.append(part)
+        return "".join(out)
 
     def _log(self, level: str, fmt: str, args: tuple) -> None:
         message = self._format(fmt, args)

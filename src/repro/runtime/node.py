@@ -13,6 +13,7 @@ import threading
 from typing import Callable, Optional
 
 from repro.errors import ReproError
+from repro.obs.registry import MetricsRegistry
 from repro.runtime.fs import NodeFiles, SimFileSystem
 from repro.runtime.kernel import SimKernel
 from repro.runtime.logger import NodeLogger
@@ -40,6 +41,8 @@ class SimNode:
         self.kernel = kernel
         self.mode = mode
         self.local_id = LocalId(ip, pid)
+        #: Per-node telemetry sink (scraped via repro.obs.http).
+        self.metrics = MetricsRegistry({"node": name})
         self.tree = TaintTree(self.local_id)
         self.registry = SourceSinkRegistry(self.tree, node_name=name)
         self.log = NodeLogger(self.registry, name)

@@ -60,6 +60,9 @@ class WorkloadResult:
     cross_node_tags: frozenset = field(default_factory=frozenset)
     #: node name → ip, for classifying observations by origin.
     node_ips: dict = field(default_factory=dict)
+    #: Merged cluster telemetry snapshot (repro.obs format), captured
+    #: before shutdown.  Query with snapshot_total / snapshot_quantile.
+    telemetry: dict = field(default_factory=dict)
     #: System-specific payload (election winner, job result, …).
     extras: dict = field(default_factory=dict)
 
@@ -130,6 +133,7 @@ def run_system_workload(
         )
         taints = cluster.global_taint_count()
         wire = cluster.wire_bytes(exclude_taint_map=True)
+        telemetry = cluster.telemetry_snapshot()
     return WorkloadResult(
         system=system,
         mode=mode,
@@ -142,5 +146,6 @@ def run_system_workload(
         wire_bytes=wire,
         cross_node_tags=cross,
         node_ips=node_ips,
+        telemetry=telemetry,
         extras=extras,
     )

@@ -172,6 +172,14 @@ class LabelRuns:
         """Whether any byte carries a (possibly empty) taint handle."""
         return bool(self._starts)
 
+    def tainted_byte_count(self) -> int:
+        """Bytes carrying a non-empty taint — O(runs), not O(bytes)."""
+        return sum(
+            end - start
+            for start, end, label in zip(self._starts, self._ends, self._labels)
+            if label is not None and not getattr(label, "is_empty", False)
+        )
+
     def unique_labels(self) -> list:
         """Distinct run labels in first-appearance order (identity dedup)."""
         seen: set = set()
@@ -382,6 +390,12 @@ class TBytes:
         if self.labels is not None:
             return self.labels
         return LabelRuns(len(self.data))
+
+    def tainted_byte_count(self) -> int:
+        """How many of these bytes carry a non-empty taint."""
+        if self.labels is None:
+            return 0
+        return self.labels.tainted_byte_count()
 
     def effective_labels(self) -> list:
         """Labels as a concrete per-byte list (compatibility accessor)."""

@@ -203,3 +203,23 @@ class TestForeignTaintRegistration:
         assert gid_mine != gid_foreign
         resolved = c2.taint_for(gid_foreign)
         assert {t.tag for t in resolved.tags} == {"theirs"}
+
+
+class TestStatsMerge:
+    def test_merge_sums_keywise(self):
+        from repro.core.taintmap import TaintMapStats
+
+        a, b = TaintMapStats(), TaintMapStats()
+        a.bump("register_requests", 3)
+        a.bump("global_taints", 2)
+        b.bump("register_requests", 4)
+        b.bump("cache_hits", 5)
+        merged = TaintMapStats.merge(a.snapshot(), b.snapshot())
+        assert merged["register_requests"] == 7
+        assert merged["global_taints"] == 2
+        assert merged["cache_hits"] == 5
+
+    def test_merge_of_nothing_is_empty(self):
+        from repro.core.taintmap import TaintMapStats
+
+        assert TaintMapStats.merge() == {}

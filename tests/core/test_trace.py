@@ -116,6 +116,38 @@ class TestRendering:
             trace.record("n", "send", "m", data)
         assert len(trace.crossings) == 2
 
+    def test_drops_are_counted_never_silent(self):
+        trace = CrossingTrace(capacity=2)
+        from repro.taint import LocalId, TaintTree
+
+        tree = TaintTree(LocalId("1.1.1.1", 1))
+        data = TBytes.tainted(b"x", tree.taint_for_tag("t"))
+        for _ in range(5):
+            trace.record("n", "send", "m", data)
+        assert trace.dropped == 3
+        assert "3 dropped" in trace.describe()
+        assert "capacity 2" in trace.describe()
+        rendered = trace.render()
+        assert "incomplete" in rendered and "3 crossing(s) dropped" in rendered
+
+    def test_no_drops_renders_clean(self):
+        trace = CrossingTrace()
+        assert trace.dropped == 0
+        assert "0 dropped" in trace.describe()
+        assert "incomplete" not in trace.render()
+
+    def test_telemetry_samples_fragment(self):
+        trace = CrossingTrace(capacity=1)
+        from repro.taint import LocalId, TaintTree
+
+        tree = TaintTree(LocalId("1.1.1.1", 1))
+        data = TBytes.tainted(b"x", tree.taint_for_tag("t"))
+        trace.record("n", "send", "m", data)
+        trace.record("n", "send", "m", data)
+        fragment = trace.telemetry_samples()
+        assert fragment["dista_trace_crossings"]["samples"][0]["value"] == 1
+        assert fragment["dista_trace_dropped_total"]["samples"][0]["value"] == 1
+
     def test_null_trace_is_silent(self):
         NullTrace().record("n", "send", "m", TBytes(b"x"))  # no-op, no error
 

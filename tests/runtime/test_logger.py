@@ -1,0 +1,40 @@
+"""NodeLogger formatting semantics (slf4j `{}` anchors)."""
+
+from repro.runtime.logger import NodeLogger
+from repro.taint.sources import SourceSinkRegistry
+from repro.taint.tags import LocalId
+from repro.taint.tree import TaintTree
+
+
+def make_logger() -> NodeLogger:
+    tree = TaintTree(LocalId("10.0.0.1", 1))
+    return NodeLogger(SourceSinkRegistry(tree, node_name="n1"), "n1")
+
+
+class TestFormat:
+    def test_basic_substitution(self):
+        log = make_logger()
+        log.info("leader is {} on {}", 1, "n2")
+        assert log.messages() == ["leader is 1 on n2"]
+
+    def test_argument_containing_anchor_is_not_rescanned(self):
+        # Sequential replace would substitute "c" into the "{}" carried
+        # by the first argument, producing "acb and {}".
+        log = make_logger()
+        log.info("{} and {}", "a{}b", "c")
+        assert log.messages() == ["a{}b and c"]
+
+    def test_unmatched_anchors_stay_literal(self):
+        log = make_logger()
+        log.info("{} then {}", "only")
+        assert log.messages() == ["only then {}"]
+
+    def test_extra_arguments_ignored(self):
+        log = make_logger()
+        log.info("just {}", "one", "two")
+        assert log.messages() == ["just one"]
+
+    def test_no_anchors_passthrough(self):
+        log = make_logger()
+        log.info("static message")
+        assert log.messages() == ["static message"]
