@@ -26,24 +26,39 @@ from repro.core.aio_transport import AsyncTaintMapClient
 from repro.core.taintmap import TaintMapClient
 from repro.errors import InstrumentationError
 
-#: Recognized Taint Map transports: ``pooled`` (per-shard connection
-#: pools, thread-per-request — the default) and ``async`` (one
-#: multiplexed connection per shard + cross-message coalescing,
-#: :mod:`repro.core.aio_transport`).
+#: Recognized Taint Map transports: ``async`` (one multiplexed
+#: connection per shard + adaptive cross-message coalescing,
+#: :mod:`repro.core.aio_transport` — the default) and ``pooled``
+#: (per-shard connection pools, thread-per-request — the classic
+#: opt-out via ``DISTA_TAINTMAP_TRANSPORT=pooled``).
 TRANSPORTS = ("pooled", "async")
 
+#: The transport used when neither an explicit argument nor the
+#: environment picks one.
+DEFAULT_TRANSPORT = "async"
+
 #: Environment override for the transport; lets CI run the whole suite
-#: on the async transport without touching any test code.
+#: on either transport without touching any test code.
 TRANSPORT_ENV = "DISTA_TAINTMAP_TRANSPORT"
 
 #: Environment override for the coalescing window (microseconds).
+#: Pinning a window also disables adaptive tuning unless
+#: ``DISTA_COALESCE_ADAPTIVE`` explicitly re-enables it.
 COALESCE_WINDOW_ENV = "DISTA_COALESCE_WINDOW_US"
+
+#: Environment override for adaptive coalescing ("on"/"off").
+COALESCE_ADAPTIVE_ENV = "DISTA_COALESCE_ADAPTIVE"
+
+#: Environment override for the per-request deadline (seconds);
+#: ``0`` disables the deadline.
+DEADLINE_ENV = "DISTA_TAINTMAP_DEADLINE_S"
 
 
 def resolve_transport(transport: Optional[str] = None) -> str:
     """The effective transport: explicit argument, else the
-    ``DISTA_TAINTMAP_TRANSPORT`` environment variable, else pooled."""
-    choice = transport or os.environ.get(TRANSPORT_ENV) or "pooled"
+    ``DISTA_TAINTMAP_TRANSPORT`` environment variable, else
+    :data:`DEFAULT_TRANSPORT` (async)."""
+    choice = transport or os.environ.get(TRANSPORT_ENV) or DEFAULT_TRANSPORT
     if choice not in TRANSPORTS:
         raise InstrumentationError(
             f"unknown taint map transport {choice!r}; expected one of {TRANSPORTS}"
@@ -57,6 +72,29 @@ def resolve_coalesce_window(window_us: Optional[float] = None) -> Optional[float
     if window_us is not None:
         return float(window_us)
     from_env = os.environ.get(COALESCE_WINDOW_ENV)
+    return float(from_env) if from_env else None
+
+
+def resolve_coalesce_adaptive(adaptive: Optional[bool] = None) -> Optional[bool]:
+    """Effective adaptive-coalescing override, or ``None`` to defer to
+    the transport's policy (adaptive unless a window is pinned)."""
+    if adaptive is not None:
+        return bool(adaptive)
+    from_env = os.environ.get(COALESCE_ADAPTIVE_ENV)
+    if not from_env:
+        return None
+    from repro.core.config import parse_switch
+
+    return parse_switch(from_env, COALESCE_ADAPTIVE_ENV)
+
+
+def resolve_request_deadline(deadline_s: Optional[float] = None) -> Optional[float]:
+    """Effective per-request deadline (s): explicit argument, else
+    ``DISTA_TAINTMAP_DEADLINE_S``, else ``None`` for the transport
+    default.  A non-positive value disables the deadline."""
+    if deadline_s is not None:
+        return float(deadline_s)
+    from_env = os.environ.get(DEADLINE_ENV)
     return float(from_env) if from_env else None
 
 
@@ -163,6 +201,10 @@ class DisTAAgent:
         trace=None,
         transport: Optional[str] = None,
         coalesce_window_us: Optional[float] = None,
+        coalesce_adaptive: Optional[bool] = None,
+        request_deadline_s: Optional[float] = None,
+        max_pending: Optional[int] = None,
+        backpressure: Optional[str] = None,
     ):
         #: One ``(ip, port)`` or a sequence of per-shard addresses —
         #: passed straight to :class:`TaintMapClient`, which routes by
@@ -182,18 +224,43 @@ class DisTAAgent:
         #: Optional :class:`~repro.core.trace.CrossingTrace` shared by
         #: every node this agent attaches to.
         self.trace = trace
-        #: Taint Map transport: "pooled" (default) or "async"; ``None``
+        #: Taint Map transport: "async" (default) or "pooled"; ``None``
         #: defers to ``DISTA_TAINTMAP_TRANSPORT`` at attach time.
         self.transport = transport
         #: Coalescing window (µs) for the async transport; ``None``
-        #: defers to ``DISTA_COALESCE_WINDOW_US``/the transport default.
+        #: defers to ``DISTA_COALESCE_WINDOW_US``/the transport default
+        #: (adaptive).  Pinning a window selects the static behaviour.
         self.coalesce_window_us = coalesce_window_us
+        #: Adaptive-coalescing override; ``None`` defers to
+        #: ``DISTA_COALESCE_ADAPTIVE``, then to the transport policy.
+        self.coalesce_adaptive = coalesce_adaptive
+        #: Per-request deadline (s) for the async transport; ``None``
+        #: defers to ``DISTA_TAINTMAP_DEADLINE_S``/the transport
+        #: default; ``0`` disables the deadline.
+        self.request_deadline_s = request_deadline_s
+        #: Per-shard pending-window high-water mark for the async
+        #: transport's backpressure.
+        self.max_pending = max_pending
+        #: Backpressure policy past the mark: "block" or "shed".
+        self.backpressure = backpressure
 
     def _make_client(self, node) -> tuple[TaintMapClient, str]:
         transport = resolve_transport(self.transport)
         if transport == "async":
+            options = {}
             window = resolve_coalesce_window(self.coalesce_window_us)
-            options = {} if window is None else {"coalesce_window_us": window}
+            if window is not None:
+                options["coalesce_window_us"] = window
+            adaptive = resolve_coalesce_adaptive(self.coalesce_adaptive)
+            if adaptive is not None:
+                options["coalesce_adaptive"] = adaptive
+            deadline = resolve_request_deadline(self.request_deadline_s)
+            if deadline is not None:
+                options["request_deadline_s"] = deadline
+            if self.max_pending is not None:
+                options["max_pending"] = self.max_pending
+            if self.backpressure is not None:
+                options["backpressure"] = self.backpressure
             client = AsyncTaintMapClient(
                 node,
                 self.taint_map_address,

@@ -4,7 +4,8 @@ The pooled :class:`~repro.core.taintmap.TaintMapClient` burns one
 blocking thread-and-connection per in-flight request — exactly the
 per-request overhead the Taint Rabbit line of work attributes to slow
 generic paths.  This module decouples the traced execution from the
-tracking traffic instead:
+tracking traffic instead, and is the **default transport** (opt out
+with ``DISTA_TAINTMAP_TRANSPORT=pooled``):
 
 * **One long-lived connection per shard.**  The client upgrades each
   connection with :data:`~repro.core.taintmap.OP_MUX_HELLO`; after the
@@ -17,20 +18,39 @@ tracking traffic instead:
 
 * **A background event loop.**  Each client owns one asyncio loop on a
   daemon thread.  Sync callers (the JNI wrappers) submit work with
-  ``run_coroutine_threadsafe`` and block only on their own future; the
-  loop itself never blocks on the simulated kernel (endpoint I/O runs
-  on the loop's executor, frame arrival is pushed in by a per-connection
-  reader thread).
+  ``run_coroutine_threadsafe`` and block only on their own future (up
+  to a configurable ``request_deadline_s`` — a wedged shard fails the
+  request with :class:`~repro.errors.TaintMapDeadlineError` instead of
+  hanging the wrapper thread); the loop itself never blocks on the
+  simulated kernel (endpoint I/O runs on the loop's executor, frame
+  arrival is pushed in by a per-connection reader thread).
 
 * **Cross-message coalescing.**  ``gid_for``/``gids_for``/``taint_for``/
   ``taints_for`` misses from concurrent wrappers accumulate in a
   per-shard pending window, flushed when the window reaches
-  ``max_batch`` entries or when a ``coalesce_window_us`` timer fires —
-  so *k* small messages in flight cost one ``OP_REGISTER_MANY`` /
+  ``max_batch`` entries or when a coalescing-window timer fires — so
+  *k* small messages in flight cost one ``OP_REGISTER_MANY`` /
   ``OP_LOOKUP_MANY`` round-trip per shard per window instead of *k*.
   Identical entries submitted by different messages share one wire
   entry and one future; this is safe because registration is idempotent
-  (same taint ⇒ same GID) and lookup is read-only.
+  (same taint ⇒ same GID) and lookup is read-only.  Windows size-flush
+  **mid-insertion** and flushes chunk at the 16-bit protocol batch
+  ceiling (:data:`~repro.core.taintmap.PROTOCOL_MAX_BATCH`), so one
+  oversized call can never build an unencodable frame.
+
+* **Adaptive windows.**  By default the coalescing window is tuned
+  online per shard by an AIMD controller
+  (:class:`AdaptiveWindowController`) driven by the transport's own
+  telemetry signals — window occupancy and in-flight depth: wider under
+  concurrency (more coalescing per round-trip), collapsing to 0 when
+  idle (no added latency).  Pinning ``coalesce_window_us`` explicitly
+  selects the classic static window.
+
+* **Backpressure.**  Each shard's pending window (queued + in-flight
+  entries) is bounded by ``max_pending``; past the high-water mark new
+  entries either **block** until the shard drains (default) or are
+  **shed** with :class:`~repro.errors.TaintMapBackpressureError`, both
+  counted in ``dista_coalesce_backpressure_total``.
 
 * **Failover with in-flight futures.**  Replica rotation composes per
   shard exactly as in the pooled client: a connection that dies fails
@@ -46,7 +66,8 @@ import itertools
 import struct
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
+from itertools import islice
 from typing import Optional, Sequence, Union
 
 from repro.core.taintmap import (
@@ -55,29 +76,74 @@ from repro.core.taintmap import (
     OP_MUX_HELLO,
     OP_REGISTER,
     OP_REGISTER_MANY,
+    PROTOCOL_MAX_BATCH,
     STATUS_OK,
     STATUS_UNKNOWN_GID,
     TRANSPORT_ERRORS,
     TaintMapClient,
+    _pack_batch_lookup,
     _pack_batch_register,
     _recv_exact,
     _send_frame,
     _split_batch_lookup_response,
     _split_batch_register,
 )
-from repro.errors import PipeClosed, TaintMapError
+from repro.errors import (
+    PipeClosed,
+    TaintMapBackpressureError,
+    TaintMapDeadlineError,
+    TaintMapError,
+    TaintMapTransportError,
+)
 from repro.runtime.kernel import Address, TcpEndpoint
 
-#: Default coalescing window (µs).  Long enough that concurrent wrapper
-#: calls on one node land in the same flush, short enough to be
-#: invisible next to a LAN round-trip.
+#: Default coalescing window (µs) — the adaptive controller's starting
+#: point, and the static window when adaptivity is disabled.  Long
+#: enough that concurrent wrapper calls on one node land in the same
+#: flush, short enough to be invisible next to a LAN round-trip.
 DEFAULT_WINDOW_US = 200.0
 
 #: Entries that force an immediate flush regardless of the timer.
 DEFAULT_MAX_BATCH = 512
 
+#: Per-shard pending-entry high-water mark (queued in windows plus
+#: handed to in-flight flushes) before backpressure engages.
+DEFAULT_MAX_PENDING = 8192
+
+#: Default wall-clock deadline for one ``submit``/``submit_many`` (s).
+#: Generous next to any healthy round-trip; bounds how long a wrapper
+#: thread can hang on a wedged shard.
+DEFAULT_DEADLINE_S = 30.0
+
+#: AIMD parameters for :class:`AdaptiveWindowController`.
+ADAPTIVE_CEILING_US = 5000.0
+ADAPTIVE_STEP_US = 50.0
+ADAPTIVE_DECAY = 0.5
+ADAPTIVE_RELAX = 0.75
+#: Windows decayed below this collapse to exactly 0 (idle: no delay).
+ADAPTIVE_FLOOR_US = 1.0
+
+#: Mask keeping correlation ids within their 4-byte wire field; the
+#: counter itself is unbounded (``itertools.count``) and would
+#: eventually overflow ``>I`` without it.
+_CORR_MASK = 0xFFFFFFFF
+
 _REGISTER = 0
 _LOOKUP = 1
+
+_BACKPRESSURE_POLICIES = ("block", "shed")
+
+
+def _fail_future(future: "asyncio.Future", exc: Exception) -> None:
+    """Fail a future whose consumer may already be gone (cancelled by a
+    deadline, or torn down by ``close()``): immediately mark the
+    exception retrieved so the event loop doesn't log ``exception was
+    never retrieved`` from the future's finalizer.  A consumer that is
+    still awaiting gets the exception exactly as with a plain
+    ``set_exception``."""
+    if not future.done():
+        future.set_exception(exc)
+        future.exception()
 
 
 def mux_frame(corr: int, op: int, payload: bytes) -> bytes:
@@ -89,6 +155,94 @@ def mux_frame(corr: int, op: int, payload: bytes) -> bytes:
         + struct.pack(">I", len(payload))
         + payload
     )
+
+
+class AdaptiveWindowController:
+    """AIMD tuner for one shard's coalescing window.
+
+    Fed at every flush with the transport's own telemetry signals — the
+    flushed window's occupancy (``dista_coalesce_window_entries``) and
+    the in-flight request depth (``dista_taintmap_inflight_requests``) —
+    it steers ``window_us`` between 0 and ``ceiling_us``.  The key
+    observation: concurrent arrivals coalesce *naturally* while a
+    previous flush is in flight (they queue into the next window), so
+    added timer delay only earns its latency cost when traffic is
+    fragmenting into tiny round-trips anyway:
+
+    * **Additive increase** (``+step_us``, capped at ``ceiling_us``)
+      under genuine window pressure: a size- or backpressure-triggered
+      flush (the window filled to its cap), or a *lone-entry* timer
+      flush while ≥2 requests are already in flight — per-entry
+      round-trips despite concurrency means the window is too narrow
+      to aggregate the stream.
+    * **Gentle relaxation** (``×relax``) when a timer flush carries
+      several entries: natural batching is already working, so the
+      delay eases toward the smallest window that keeps it working.
+    * **Multiplicative decrease** (``×decay``) when idle: a lone-entry
+      timer flush with nothing else in flight is pure added latency —
+      the window halves, collapsing to exactly 0 below ``floor_us``,
+      which restores the undelayed single-request path.
+    """
+
+    __slots__ = (
+        "window_us",
+        "ceiling_us",
+        "step_us",
+        "decay",
+        "relax",
+        "floor_us",
+    )
+
+    def __init__(
+        self,
+        initial_us: float = DEFAULT_WINDOW_US,
+        ceiling_us: float = ADAPTIVE_CEILING_US,
+        step_us: float = ADAPTIVE_STEP_US,
+        decay: float = ADAPTIVE_DECAY,
+        relax: float = ADAPTIVE_RELAX,
+        floor_us: float = ADAPTIVE_FLOOR_US,
+    ):
+        self.window_us = min(max(float(initial_us), 0.0), float(ceiling_us))
+        self.ceiling_us = float(ceiling_us)
+        self.step_us = float(step_us)
+        self.decay = float(decay)
+        self.relax = float(relax)
+        self.floor_us = float(floor_us)
+
+    def on_flush(self, reason: str, entries: int, inflight: float) -> float:
+        """Observe one flushed window; returns the adjusted window."""
+        if reason != "timer" or (entries <= 1 and inflight >= 2):
+            self.window_us = min(self.window_us + self.step_us, self.ceiling_us)
+        elif entries >= 2:
+            self.window_us *= self.relax
+            if self.window_us < self.floor_us:
+                self.window_us = 0.0
+        else:
+            self.window_us *= self.decay
+            if self.window_us < self.floor_us:
+                self.window_us = 0.0
+        return self.window_us
+
+
+class _InflightCounter:
+    """Loop-confined in-flight counter: the gauge-child stand-in on
+    nodes without a metrics registry (same ``inc``/``dec``/``value``
+    surface), so the adaptive controller always has its signal."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
 
 
 class _MuxConnection:
@@ -124,8 +278,13 @@ class _MuxConnection:
     async def request(self, op: int, payload: bytes) -> tuple[int, bytes]:
         """Send one frame, await its correlated response (any order)."""
         if self._broken is not None:
-            raise self._broken
-        corr = next(self._corr)
+            # A fresh exception per caller: re-raising the one cached
+            # instance would cross-contaminate tracebacks between
+            # unrelated requests (and mutate the original's context).
+            raise TaintMapTransportError(
+                f"taint map mux connection is broken: {self._broken}"
+            ) from self._broken
+        corr = next(self._corr) & _CORR_MASK
         future = self._loop.create_future()
         self._pending[corr] = future
         if self._inflight is not None:
@@ -182,8 +341,7 @@ class _MuxConnection:
         if pending and self._inflight is not None:
             self._inflight.dec(len(pending))
         for future in pending:
-            if not future.done():
-                future.set_exception(exc)
+            _fail_future(future, exc)
 
     def close(self) -> None:
         self._endpoint.close()
@@ -275,6 +433,13 @@ class _ShardChannel:
             raise last_error  # single replica: surface the transport error
         raise TaintMapError(f"all taint map replicas unreachable: {last_error}")
 
+    def fail_pending(self, exc: Exception) -> None:
+        """Shutdown hook: fail every request future still correlated on
+        this channel's connection (callers are about to be torn down)."""
+        connection = self._connection
+        if connection is not None:
+            connection._fail_pending(exc)
+
     def close(self) -> None:
         connection, self._connection = self._connection, None
         if connection is not None:
@@ -298,28 +463,78 @@ class AsyncTaintMapTransport:
     def __init__(
         self,
         client: TaintMapClient,
-        coalesce_window_us: float = DEFAULT_WINDOW_US,
+        coalesce_window_us: Optional[float] = None,
         max_batch: int = DEFAULT_MAX_BATCH,
+        coalesce_adaptive: Optional[bool] = None,
+        request_deadline_s: Optional[float] = DEFAULT_DEADLINE_S,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        backpressure: str = "block",
     ):
         if max_batch < 1:
             raise TaintMapError(f"max_batch must be >= 1, got {max_batch}")
+        if max_pending < 1:
+            raise TaintMapError(f"max_pending must be >= 1, got {max_pending}")
+        if backpressure not in _BACKPRESSURE_POLICIES:
+            raise TaintMapError(
+                f"unknown backpressure policy {backpressure!r}; "
+                f"expected one of {_BACKPRESSURE_POLICIES}"
+            )
         self.client = client
-        self.coalesce_window_us = max(float(coalesce_window_us), 0.0)
-        self.max_batch = max_batch
+        #: Adaptive by default; pinning an explicit window selects the
+        #: classic static behaviour unless ``coalesce_adaptive=True``
+        #: asks for tuning from that starting point.
+        if coalesce_adaptive is None:
+            coalesce_adaptive = coalesce_window_us is None
+        self.coalesce_adaptive = bool(coalesce_adaptive)
+        self.coalesce_window_us = (
+            DEFAULT_WINDOW_US
+            if coalesce_window_us is None
+            else max(float(coalesce_window_us), 0.0)
+        )
+        #: A flush frame's entry count is wire-encoded in 16 bits;
+        #: larger thresholds would build unencodable windows.
+        self.max_batch = min(max_batch, PROTOCOL_MAX_BATCH)
+        self.request_deadline_s = (
+            None
+            if request_deadline_s is None or request_deadline_s <= 0
+            else float(request_deadline_s)
+        )
+        self.max_pending = max_pending
+        self.backpressure = backpressure
+        shard_count = len(client._shard_replicas)
+        self._controllers: Optional[list[AdaptiveWindowController]] = (
+            [
+                AdaptiveWindowController(self.coalesce_window_us)
+                for _ in range(shard_count)
+            ]
+            if self.coalesce_adaptive
+            else None
+        )
+        #: Per-shard pending entries: queued in windows + handed to
+        #: in-flight flushes.  Drained (and waiters woken) as flushes
+        #: complete.
+        self._pending_counts = [0] * shard_count
+        self._drain_waiters: list[deque] = [deque() for _ in range(shard_count)]
+        #: Entries owned by in-flight ``_flush`` tasks, so ``close()``
+        #: can fail their futures too (they are in no window anymore).
+        self._inflight_flushes: dict[int, OrderedDict] = {}
+        self._flush_ids = itertools.count(1)
         # Coalescing/in-flight telemetry on the owning node's registry
         # (None for bare test nodes).  Families and their reason
         # children are pre-declared so /metrics always exposes them.
         self._flush_reason = None
         self._window_entries = None
-        self._inflight_child = None
+        self._backpressure_total = None
+        self._window_gauge = None
+        self._inflight_child = _InflightCounter()
         metrics = getattr(client, "_metrics", None)
         if metrics is not None:
             self._flush_reason = metrics.counter(
                 "dista_coalesce_flush_total",
-                "Coalescing-window flushes by trigger (size vs timer).",
+                "Coalescing-window flushes by trigger (size/timer/backpressure).",
                 ("reason",),
             )
-            for reason in ("size", "timer"):
+            for reason in ("size", "timer", "backpressure"):
                 self._flush_reason.labels(reason=reason)
             self._window_entries = metrics.histogram(
                 "dista_coalesce_window_entries",
@@ -327,6 +542,19 @@ class AsyncTaintMapTransport:
                 (),
                 lowest=1.0,
                 buckets=16,
+            )
+            self._backpressure_total = metrics.counter(
+                "dista_coalesce_backpressure_total",
+                "Entries gated at a shard's pending-window high-water mark.",
+                ("action",),
+            )
+            for action in ("block", "shed"):
+                self._backpressure_total.labels(action=action)
+            self._window_gauge = metrics.gauge(
+                "dista_coalesce_window_us",
+                "Current coalescing window per shard in microseconds "
+                "(driven by the AIMD controller when adaptive).",
+                ("shard",),
             )
             self._inflight_child = metrics.gauge(
                 "dista_taintmap_inflight_requests",
@@ -368,10 +596,13 @@ class AsyncTaintMapTransport:
             thread, self._thread = self._thread, None
             channels, self._channels = self._channels, []
             windows, self._windows = self._windows, []
+            inflight_flushes = self._inflight_flushes
+            self._inflight_flushes = {}
+            waiters, self._drain_waiters = self._drain_waiters, []
         if loop is None:
             return
 
-        def shutdown() -> None:
+        async def shutdown() -> None:
             closed = TaintMapError("async taint map transport is closed")
             for register_window, lookup_window in windows:
                 for window in (register_window, lookup_window):
@@ -379,21 +610,46 @@ class AsyncTaintMapTransport:
                         window.timer.cancel()
                         window.timer = None
                     for future in window.entries.values():
-                        if not future.done():
-                            future.set_exception(closed)
+                        _fail_future(future, closed)
                     window.entries.clear()
+            # Entries already handed to an in-flight _flush task are in
+            # no window anymore — without failing them here, their sync
+            # submitters would block in submit().result() forever.
+            for entries in inflight_flushes.values():
+                for future in entries.values():
+                    _fail_future(future, closed)
+            for shard_waiters in waiters:
+                while shard_waiters:
+                    _fail_future(shard_waiters.popleft(), closed)
             for channel in channels:
+                # TaintMapError is not a TRANSPORT_ERROR, so awakened
+                # roundtrips propagate it instead of rotating replicas.
+                channel.fail_pending(closed)
                 channel.close()
+            # Let the awakened _dispatch/_flush tasks run to completion
+            # (their futures are already failed) so every
+            # run_coroutine_threadsafe caller unblocks before the loop
+            # stops processing callbacks.
+            current = asyncio.current_task()
+            tasks = [task for task in asyncio.all_tasks() if task is not current]
+            if tasks:
+                await asyncio.wait(tasks, timeout=5)
             loop.stop()
 
         try:
-            loop.call_soon_threadsafe(shutdown)
+            asyncio.run_coroutine_threadsafe(shutdown(), loop)
         except RuntimeError:
             return
         if thread is not None:
             thread.join(timeout=10)
-        if not loop.is_running():
+        try:
+            # Close the loop even when the join timed out: a wedged
+            # executor job must not leak the loop object.  A loop still
+            # running raises RuntimeError; nothing more can be done
+            # short of killing daemon threads.
             loop.close()
+        except RuntimeError:
+            pass
 
     def _connect(self, address: Address) -> TcpEndpoint:
         """Blocking connect + OP_MUX_HELLO upgrade (runs on executor)."""
@@ -418,9 +674,10 @@ class AsyncTaintMapTransport:
 
     def submit(self, shard: int, op: int, payload: bytes) -> bytes:
         loop = self._ensure_loop()
-        return asyncio.run_coroutine_threadsafe(
+        future = asyncio.run_coroutine_threadsafe(
             self._dispatch(shard, op, payload), loop
-        ).result()
+        )
+        return self._result_within_deadline(future)
 
     def submit_many(self, calls: Sequence[tuple[int, int, bytes]]) -> list[bytes]:
         loop = self._ensure_loop()
@@ -430,7 +687,26 @@ class AsyncTaintMapTransport:
                 *(self._dispatch(shard, op, payload) for shard, op, payload in calls)
             )
 
-        return asyncio.run_coroutine_threadsafe(run_all(), loop).result()
+        return self._result_within_deadline(
+            asyncio.run_coroutine_threadsafe(run_all(), loop)
+        )
+
+    def _result_within_deadline(self, future):
+        """Block the sync caller on its future, bounded by the deadline:
+        a wedged shard (or stalled loop) fails the request with a
+        timeout error instead of hanging the wrapper thread forever."""
+        deadline = self.request_deadline_s
+        if deadline is None:
+            return future.result()
+        try:
+            return future.result(deadline)
+        except TimeoutError:
+            if future.done():
+                raise  # the request itself failed with a timeout-type error
+            future.cancel()  # window futures are shielded; peers unaffected
+            raise TaintMapDeadlineError(
+                f"taint map request exceeded its {deadline}s deadline"
+            ) from None
 
     # -- op dispatch (loop thread) ------------------------------------------- #
 
@@ -470,32 +746,87 @@ class AsyncTaintMapTransport:
 
     # -- coalescing windows (loop thread) ------------------------------------- #
 
+    def window_us_for(self, shard: int) -> float:
+        """The shard's current coalescing window (adaptive or static)."""
+        if self._controllers is not None:
+            return self._controllers[shard].window_us
+        return self.coalesce_window_us
+
     async def _coalesce(self, shard: int, kind: int, keys: Sequence) -> list:
         """Enqueue ``keys`` into the shard's pending window and await
-        their results.  All of one call's keys enter the window
-        atomically (the loop is single-threaded), preserving the
-        one-round-trip-per-shard property of a single batched call even
-        with a zero-length window."""
+        their results.  The window size-flushes **mid-insertion**, so
+        one oversized call never builds a window beyond ``max_batch``
+        (and hence never beyond the 16-bit protocol frame ceiling),
+        while a small call's keys still share one flush even with a
+        zero-length window."""
         window = self._windows[shard][kind]
         futures = []
         for key in keys:
             future = window.entries.get(key)
+            if future is None and self._pending_counts[shard] >= self.max_pending:
+                await self._admit(shard, kind)
+                # Re-check after blocking: a concurrent caller may have
+                # queued the same key while this one waited.
+                future = window.entries.get(key)
             if future is None:
                 future = self.loop.create_future()
                 window.entries[key] = future
+                self._pending_counts[shard] += 1
+                if len(window.entries) >= self.max_batch:
+                    self._flush_now(shard, kind, "size")
             futures.append(future)
-        if len(window.entries) >= self.max_batch:
-            self._flush_now(shard, kind, "size")
-        elif window.timer is None:
-            delay = self.coalesce_window_us / 1e6
+        if window.entries and window.timer is None:
+            delay = self.window_us_for(shard) / 1e6
             window.timer = self.loop.call_later(
                 delay, self._flush_now, shard, kind, "timer"
             )
-        results = await asyncio.gather(*futures, return_exceptions=True)
+        # Shield the shared window futures: a deadline-cancelled caller
+        # must not cancel entries other callers are awaiting.
+        results = await asyncio.gather(
+            *(asyncio.shield(future) for future in futures),
+            return_exceptions=True,
+        )
         for result in results:
             if isinstance(result, BaseException):
                 raise result
         return list(results)
+
+    async def _admit(self, shard: int, kind: int) -> None:
+        """Backpressure gate for one new entry at the high-water mark:
+        shed immediately, or block until in-flight flushes drain."""
+        while self._pending_counts[shard] >= self.max_pending:
+            if self.backpressure == "shed":
+                if self._backpressure_total is not None:
+                    self._backpressure_total.labels(action="shed").inc()
+                raise TaintMapBackpressureError(
+                    f"shard {shard} pending window at its high-water mark "
+                    f"({self.max_pending} entries); shedding request"
+                )
+            # Before parking, start draining the shard: flush both of
+            # its parked windows now rather than waiting out their
+            # timers (a long window at the mark is pure queueing).
+            for parked_kind in (_REGISTER, _LOOKUP):
+                if self._windows[shard][parked_kind].entries:
+                    self._flush_now(shard, parked_kind, "backpressure")
+            if self._backpressure_total is not None:
+                self._backpressure_total.labels(action="block").inc()
+            waiter = self.loop.create_future()
+            self._drain_waiters[shard].append(waiter)
+            try:
+                await waiter
+            finally:
+                if not waiter.done():
+                    waiter.cancel()
+
+    def _drain(self, shard: int, count: int) -> None:
+        """A flush completed: release its entries' pending budget and
+        wake blocked admitters (each re-checks the mark)."""
+        self._pending_counts[shard] -= count
+        waiters = self._drain_waiters[shard]
+        while waiters:
+            waiter = waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
 
     def _flush_now(self, shard: int, kind: int, reason: str = "size") -> None:
         window = self._windows[shard][kind]
@@ -505,52 +836,76 @@ class AsyncTaintMapTransport:
         if not window.entries:
             return
         entries, window.entries = window.entries, OrderedDict()
+        if self._controllers is not None:
+            adjusted = self._controllers[shard].on_flush(
+                reason, len(entries), self._inflight_child.value
+            )
+            if self._window_gauge is not None:
+                self._window_gauge.labels(shard=str(shard)).set(adjusted)
         if self._flush_reason is not None:
             self._flush_reason.labels(reason=reason).inc()
             self._window_entries.observe(len(entries))
-        self.loop.create_task(self._flush(shard, kind, entries))
+        flush_id = next(self._flush_ids)
+        self._inflight_flushes[flush_id] = entries
+        self.loop.create_task(self._flush(shard, kind, entries, flush_id))
 
-    async def _flush(self, shard: int, kind: int, entries: OrderedDict) -> None:
-        """One wire round-trip for an accumulated window; resolves every
-        entry future (out of order relative to other flushes)."""
-        keys = list(entries)
+    async def _flush(
+        self, shard: int, kind: int, entries: OrderedDict, flush_id: int
+    ) -> None:
+        """The wire round-trip(s) for an accumulated window; resolves
+        every entry future (out of order relative to other flushes) and
+        pops entries from ``entries`` as they settle, so shutdown can
+        fail exactly the still-pending remainder."""
+        drained = len(entries)
         try:
             if kind == _REGISTER:
-                status, response = await self._channels[shard].roundtrip(
-                    OP_REGISTER_MANY, _pack_batch_register(keys)
-                )
-                self._check_status(status)
-                gids = struct.unpack(f">{len(keys)}I", response)
-                for key, gid in zip(keys, gids):
-                    future = entries[key]
-                    if not future.done():
-                        future.set_result(gid)
-                return
+                await self._flush_register(shard, entries)
+            else:
+                await self._flush_lookup(shard, entries)
+        except Exception as exc:
+            for future in entries.values():
+                _fail_future(future, exc)
+        finally:
+            self._inflight_flushes.pop(flush_id, None)
+            self._drain(shard, drained)
+
+    async def _flush_register(self, shard: int, entries: OrderedDict) -> None:
+        # Chunk at the protocol ceiling: max_batch is clamped below it,
+        # but a window must never be *able* to build an unencodable
+        # frame whatever path filled it.
+        while entries:
+            keys = list(islice(entries, PROTOCOL_MAX_BATCH))
             status, response = await self._channels[shard].roundtrip(
-                OP_LOOKUP_MANY, struct.pack(f">H{len(keys)}I", len(keys), *keys)
+                OP_REGISTER_MANY, _pack_batch_register(keys)
+            )
+            self._check_status(status)
+            gids = struct.unpack(f">{len(keys)}I", response)
+            for key, gid in zip(keys, gids):
+                future = entries.pop(key)
+                if not future.done():
+                    future.set_result(gid)
+
+    async def _flush_lookup(self, shard: int, entries: OrderedDict) -> None:
+        while entries:
+            keys = list(islice(entries, PROTOCOL_MAX_BATCH))
+            status, response = await self._channels[shard].roundtrip(
+                OP_LOOKUP_MANY, _pack_batch_lookup(keys)
             )
             if status == STATUS_UNKNOWN_GID and len(response) == 4:
                 # The server names the offending GID: fail that entry
-                # alone and re-flush the remainder (one extra
-                # round-trip) instead of failing the whole window.
+                # alone and retry the remainder (one extra round-trip)
+                # instead of failing the whole window.
                 (bad,) = struct.unpack(">I", response)
                 future = entries.pop(bad, None)
                 if future is not None:
-                    if not future.done():
-                        future.set_exception(TaintMapError("unknown Global ID"))
-                    if entries:
-                        await self._flush(shard, kind, entries)
-                    return
+                    _fail_future(future, TaintMapError("unknown Global ID"))
+                    continue
             self._check_status(status)
             serialized = _split_batch_lookup_response(response, len(keys))
             for key, value in zip(keys, serialized):
-                future = entries[key]
+                future = entries.pop(key)
                 if not future.done():
                     future.set_result(value)
-        except Exception as exc:
-            for future in entries.values():
-                if not future.done():
-                    future.set_exception(exc)
 
 
 class AsyncTaintMapClient(TaintMapClient):
@@ -570,12 +925,22 @@ class AsyncTaintMapClient(TaintMapClient):
         address: Union[Address, Sequence[Address]],
         cache_enabled: bool = True,
         cache_capacity: Optional[int] = None,
-        coalesce_window_us: float = DEFAULT_WINDOW_US,
+        coalesce_window_us: Optional[float] = None,
         max_batch: int = DEFAULT_MAX_BATCH,
+        coalesce_adaptive: Optional[bool] = None,
+        request_deadline_s: Optional[float] = DEFAULT_DEADLINE_S,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        backpressure: str = "block",
     ):
         super().__init__(node, address, cache_enabled, cache_capacity)
         self.transport = AsyncTaintMapTransport(
-            self, coalesce_window_us, max_batch
+            self,
+            coalesce_window_us,
+            max_batch,
+            coalesce_adaptive=coalesce_adaptive,
+            request_deadline_s=request_deadline_s,
+            max_pending=max_pending,
+            backpressure=backpressure,
         )
 
     def _request(self, op: int, payload: bytes, shard: int = 0) -> bytes:

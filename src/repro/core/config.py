@@ -11,6 +11,28 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+#: Accepted spellings for boolean launch extras / env switches.
+_SWITCH_VALUES = {
+    "on": True,
+    "true": True,
+    "1": True,
+    "yes": True,
+    "off": False,
+    "false": False,
+    "0": False,
+    "no": False,
+}
+
+
+def parse_switch(value: str, option: str = "option") -> bool:
+    """Parse an on/off launch-extra or environment switch value."""
+    try:
+        return _SWITCH_VALUES[value.strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"malformed {option} value {value!r} (expected on/off)"
+        ) from None
+
 
 @dataclass
 class TaintSpec:

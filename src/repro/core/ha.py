@@ -167,6 +167,13 @@ class AsyncFailoverTaintMapClient(_ActiveAddressMixin, AsyncTaintMapClient):
     in-flight future with a transport error, and each affected request
     retries on the standby (registration and lookup are idempotent, so
     the retry is safe).
+
+    Deadline errors (:class:`~repro.errors.TaintMapDeadlineError`) are
+    raised at the sync ``submit`` bridge, *outside* the per-replica
+    retry loop: a request that times out is surfaced to the caller
+    rather than replayed against the standby — by then the caller has
+    already waited the full deadline, and the flush that carried it
+    keeps draining (or failing over) in the background.
     """
 
     def __init__(

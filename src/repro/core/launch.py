@@ -173,7 +173,7 @@ def launch_cluster(
     and the two spec files' contents, returning a ready
     :class:`~repro.runtime.cluster.Cluster` (not yet started).
     """
-    from repro.core.config import AgentOptions, TaintSpec
+    from repro.core.config import AgentOptions, TaintSpec, parse_switch
     from repro.runtime.cluster import Cluster
     from repro.runtime.modes import Mode
 
@@ -185,10 +185,23 @@ def launch_cluster(
         agent_options["byte_granularity"] = False
     if "gidCacheCapacity" in options.extras:
         agent_options["cache_capacity"] = int(options.extras["gidCacheCapacity"])
-    if options.extras.get("taintMapAsync") == "on":
-        agent_options["transport"] = "async"
+    if "taintMapAsync" in options.extras:
+        # Async is the default; taintMapAsync=off opts back into pooled.
+        async_on = parse_switch(options.extras["taintMapAsync"], "taintMapAsync")
+        agent_options["transport"] = "async" if async_on else "pooled"
     if "coalesceWindowUs" in options.extras:
         agent_options["coalesce_window_us"] = float(options.extras["coalesceWindowUs"])
+    if "coalesceAdaptive" in options.extras:
+        agent_options["coalesce_adaptive"] = parse_switch(
+            options.extras["coalesceAdaptive"], "coalesceAdaptive"
+        )
+    if "taintMapDeadlineS" in options.extras:
+        # 0 disables the per-request deadline entirely.
+        agent_options["request_deadline_s"] = float(options.extras["taintMapDeadlineS"])
+    if "coalesceMaxPending" in options.extras:
+        agent_options["max_pending"] = int(options.extras["coalesceMaxPending"])
+    if "coalesceBackpressure" in options.extras:
+        agent_options["backpressure"] = options.extras["coalesceBackpressure"]
     taint_map_shards = int(options.extras.get("taintMapShards", 1))
     cluster = Cluster(
         mode,

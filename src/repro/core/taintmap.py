@@ -93,7 +93,16 @@ MAX_SHARDS = 1 << GID_SHARD_BITS
 
 #: Transport-level failures (vs protocol-level STATUS_* errors).  HA
 #: clients fail over on these; semantic errors must never fail over.
+#: :class:`~repro.errors.TaintMapTransportError` is covered through its
+#: ``ConnectionError`` base.
 TRANSPORT_ERRORS = (ConnectionError, EOFError, OSError, TimeoutError)
+
+#: Hard protocol ceiling on entries per ``OP_REGISTER_MANY`` /
+#: ``OP_LOOKUP_MANY`` frame: both batch payloads wire-encode their entry
+#: count as an unsigned 16-bit integer (``>H``).  Larger logical batches
+#: must be chunked into multiple frames — each frame byte-identical to
+#: the classic protocol — never packed into one oversized frame.
+PROTOCOL_MAX_BATCH = 0xFFFF
 
 
 def make_gid(shard: int, seq: int) -> int:
@@ -257,9 +266,36 @@ def _recv_exact(endpoint: TcpEndpoint, n: int) -> bytes:
 
 def _pack_batch_register(entries: Sequence[bytes]) -> bytes:
     """``OP_REGISTER_MANY`` payload: count, then length-prefixed taints."""
+    if len(entries) > PROTOCOL_MAX_BATCH:
+        # A clear error instead of an opaque struct.error: callers are
+        # expected to chunk at the protocol limit before packing.
+        raise TaintMapError(
+            f"batch of {len(entries)} entries exceeds the "
+            f"{PROTOCOL_MAX_BATCH}-entry protocol limit (16-bit count)"
+        )
     return struct.pack(">H", len(entries)) + b"".join(
         struct.pack(">I", len(entry)) + entry for entry in entries
     )
+
+
+def _pack_batch_lookup(gids: Sequence[int]) -> bytes:
+    """``OP_LOOKUP_MANY`` payload: count, then the 4-byte GIDs."""
+    if len(gids) > PROTOCOL_MAX_BATCH:
+        raise TaintMapError(
+            f"batch of {len(gids)} GIDs exceeds the "
+            f"{PROTOCOL_MAX_BATCH}-entry protocol limit (16-bit count)"
+        )
+    return struct.pack(f">H{len(gids)}I", len(gids), *gids)
+
+
+def _protocol_chunks(items: Sequence) -> list:
+    """Split a logical batch at the 16-bit wire-count ceiling."""
+    if len(items) <= PROTOCOL_MAX_BATCH:
+        return [items]
+    return [
+        items[start : start + PROTOCOL_MAX_BATCH]
+        for start in range(0, len(items), PROTOCOL_MAX_BATCH)
+    ]
 
 
 def _split_batch_register(payload: bytes) -> list[bytes]:
@@ -1075,22 +1111,27 @@ class TaintMapClient:
                 by_shard.setdefault(self._shard_for_taint(taint), []).append(
                     (taint, positions)
                 )
-            calls = [
-                (
-                    shard,
-                    OP_REGISTER_MANY,
-                    _pack_batch_register(
-                        [serialize_tags(taint.tags) for taint, _ in entries]
-                    ),
-                )
-                for shard, entries in by_shard.items()
-            ]
-            for entries in by_shard.values():
-                self._observe_batch(OP_REGISTER_MANY, len(entries))
+            # A sub-batch beyond the 16-bit wire count is chunked into
+            # several frames (each entry count fits ``>H``); the chunks
+            # still fire concurrently with every other call.
+            calls, chunks = [], []
+            for shard, entries in by_shard.items():
+                for chunk in _protocol_chunks(entries):
+                    calls.append(
+                        (
+                            shard,
+                            OP_REGISTER_MANY,
+                            _pack_batch_register(
+                                [serialize_tags(taint.tags) for taint, _ in chunk]
+                            ),
+                        )
+                    )
+                    chunks.append(chunk)
+                    self._observe_batch(OP_REGISTER_MANY, len(chunk))
             responses = self._request_by_shard(calls)
-            for entries, response in zip(by_shard.values(), responses):
-                new_gids = struct.unpack(f">{len(entries)}I", response)
-                for (taint, positions), gid in zip(entries, new_gids):
+            for chunk, response in zip(chunks, responses):
+                new_gids = struct.unpack(f">{len(chunk)}I", response)
+                for (taint, positions), gid in zip(chunk, new_gids):
                     self._record_registered(taint, gid)
                     for i in positions:
                         gids[i] = gid
@@ -1142,20 +1183,16 @@ class TaintMapClient:
             by_shard: dict[int, list[int]] = {}
             for gid in misses:
                 by_shard.setdefault(self._shard_for_gid(gid), []).append(gid)
-            calls = [
-                (
-                    shard,
-                    OP_LOOKUP_MANY,
-                    struct.pack(f">H{len(pending)}I", len(pending), *pending),
-                )
-                for shard, pending in by_shard.items()
-            ]
-            for pending in by_shard.values():
-                self._observe_batch(OP_LOOKUP_MANY, len(pending))
+            calls, chunks = [], []
+            for shard, pending in by_shard.items():
+                for chunk in _protocol_chunks(pending):
+                    calls.append((shard, OP_LOOKUP_MANY, _pack_batch_lookup(chunk)))
+                    chunks.append(chunk)
+                    self._observe_batch(OP_LOOKUP_MANY, len(chunk))
             responses = self._request_by_shard(calls)
-            for pending, response in zip(by_shard.values(), responses):
+            for chunk, response in zip(chunks, responses):
                 for gid, serialized in zip(
-                    pending, _split_batch_lookup_response(response, len(pending))
+                    chunk, _split_batch_lookup_response(response, len(chunk))
                 ):
                     taint = self._record_resolved(gid, serialized)
                     for i in misses[gid]:

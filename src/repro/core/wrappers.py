@@ -94,10 +94,10 @@ class DisTARuntime:
             # transports — zero-valued rather than absent under pooled.
             flush = self.metrics.counter(
                 "dista_coalesce_flush_total",
-                "Coalescing-window flushes by trigger (size vs timer).",
+                "Coalescing-window flushes by trigger (size/timer/backpressure).",
                 ("reason",),
             )
-            for reason in ("size", "timer"):
+            for reason in ("size", "timer", "backpressure"):
                 flush.labels(reason=reason)
             self.metrics.histogram(
                 "dista_coalesce_window_entries",
@@ -105,6 +105,19 @@ class DisTARuntime:
                 (),
                 lowest=1.0,
                 buckets=16,
+            )
+            backpressure = self.metrics.counter(
+                "dista_coalesce_backpressure_total",
+                "Entries gated at a shard's pending-window high-water mark.",
+                ("action",),
+            )
+            for action in ("block", "shed"):
+                backpressure.labels(action=action)
+            self.metrics.gauge(
+                "dista_coalesce_window_us",
+                "Current coalescing window per shard in microseconds "
+                "(driven by the AIMD controller when adaptive).",
+                ("shard",),
             )
             self.metrics.gauge(
                 "dista_taintmap_inflight_requests",

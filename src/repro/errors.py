@@ -31,6 +31,31 @@ class TaintMapError(ReproError):
     """Taint Map protocol violation or unavailable Taint Map service."""
 
 
+class TaintMapTransportError(TaintMapError, ConnectionError):
+    """A Taint Map connection died under a request.
+
+    Inherits ``ConnectionError`` so HA failover (which rotates replicas
+    on ``TRANSPORT_ERRORS``) treats it as a transport failure, never as
+    a semantic protocol error.  Raised as a *fresh* instance per failed
+    request — a broken multiplexed connection must not re-raise one
+    cached exception object across unrelated callers.
+    """
+
+
+class TaintMapDeadlineError(TaintMapError, TimeoutError):
+    """A Taint Map request missed its configured deadline.
+
+    Raised to the submitting wrapper thread when a wedged shard (or a
+    stalled event loop) fails to produce a response in time, instead of
+    blocking the traced execution forever.
+    """
+
+
+class TaintMapBackpressureError(TaintMapError):
+    """A shard's pending coalescing window hit its high-water mark and
+    the transport's backpressure policy is ``"shed"``."""
+
+
 class WireFormatError(ReproError):
     """Malformed DisTA cell stream / packet envelope on the wire."""
 

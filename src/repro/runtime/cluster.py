@@ -39,19 +39,28 @@ class Cluster:
         taint_map_shards: int = 1,
         taint_map_transport: Optional[str] = None,
         coalesce_window_us: Optional[float] = None,
+        coalesce_adaptive: Optional[bool] = None,
+        request_deadline_s: Optional[float] = None,
     ):
         self.mode = mode
         self.name = name
         #: Extra DisTAAgent keyword options (ablation benchmarks only).
         self.agent_options = dict(agent_options or {})
-        #: Taint Map transport: "pooled" (default) or "async"; ``None``
+        #: Taint Map transport: "async" (default) or "pooled"; ``None``
         #: defers to the ``DISTA_TAINTMAP_TRANSPORT`` environment
         #: variable, so CI can flip a whole suite without code changes.
         if taint_map_transport is not None:
             self.agent_options.setdefault("transport", taint_map_transport)
-        #: Async-transport coalescing window in microseconds.
+        #: Async-transport coalescing window in microseconds (pinning a
+        #: window disables adaptive tuning unless overridden).
         if coalesce_window_us is not None:
             self.agent_options.setdefault("coalesce_window_us", coalesce_window_us)
+        #: Async-transport adaptive-coalescing override.
+        if coalesce_adaptive is not None:
+            self.agent_options.setdefault("coalesce_adaptive", coalesce_adaptive)
+        #: Async-transport per-request deadline (s); 0 disables it.
+        if request_deadline_s is not None:
+            self.agent_options.setdefault("request_deadline_s", request_deadline_s)
         #: Number of Taint Map shards (shard i at TAINT_MAP_PORT + i).
         #: The default single shard is byte-identical to the unsharded
         #: deployment.

@@ -457,11 +457,11 @@ class TestCloseErrorSuppression:
 class TestTransportSelection:
     def test_resolve_transport_validates(self, monkeypatch):
         monkeypatch.delenv("DISTA_TAINTMAP_TRANSPORT", raising=False)
-        assert resolve_transport() == "pooled"
-        assert resolve_transport("async") == "async"
-        monkeypatch.setenv("DISTA_TAINTMAP_TRANSPORT", "async")
-        assert resolve_transport() == "async"
-        assert resolve_transport("pooled") == "pooled"  # explicit wins
+        assert resolve_transport() == "async"  # async is the default
+        assert resolve_transport("pooled") == "pooled"
+        monkeypatch.setenv("DISTA_TAINTMAP_TRANSPORT", "pooled")
+        assert resolve_transport() == "pooled"  # env opts out
+        assert resolve_transport("async") == "async"  # explicit wins
         with pytest.raises(InstrumentationError, match="unknown taint map transport"):
             resolve_transport("carrier-pigeon")
 
@@ -482,8 +482,17 @@ class TestTransportSelection:
             assert isinstance(node.taintmap, AsyncTaintMapClient)
             assert node.taintmap.transport.coalesce_window_us == 0.0
 
-    def test_default_stays_pooled(self, monkeypatch):
+    def test_default_is_async(self, monkeypatch):
         monkeypatch.delenv("DISTA_TAINTMAP_TRANSPORT", raising=False)
+        with Cluster(Mode.DISTA) as cluster:
+            node = cluster.add_node("n1")
+            assert isinstance(node.taintmap, AsyncTaintMapClient)
+            # Promotion default: adaptive coalescing on, deadline armed.
+            assert node.taintmap.transport.coalesce_adaptive
+            assert node.taintmap.transport.request_deadline_s is not None
+
+    def test_env_var_opts_out_to_pooled(self, monkeypatch):
+        monkeypatch.setenv("DISTA_TAINTMAP_TRANSPORT", "pooled")
         with Cluster(Mode.DISTA) as cluster:
             node = cluster.add_node("n1")
             assert isinstance(node.taintmap, TaintMapClient)

@@ -18,6 +18,8 @@ TRANSPORTS = ("pooled", "async")
 REQUIRED_FAMILIES = (
     "dista_taintmap_rpc_seconds",
     "dista_coalesce_flush_total",
+    "dista_coalesce_backpressure_total",
+    "dista_coalesce_window_us",
     "dista_jni_tainted_bytes_total",
     "dista_cache_events_total",
 )
