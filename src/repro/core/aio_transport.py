@@ -62,6 +62,7 @@ with ``DISTA_TAINTMAP_TRANSPORT=pooled``):
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import itertools
 import struct
 import threading
@@ -285,6 +286,10 @@ class _MuxConnection:
                 f"taint map mux connection is broken: {self._broken}"
             ) from self._broken
         corr = next(self._corr) & _CORR_MASK
+        # After a 32-bit wrap a fresh id can collide with one still in
+        # flight; overwriting its future would leave that caller hanging.
+        while corr in self._pending:
+            corr = next(self._corr) & _CORR_MASK
         future = self._loop.create_future()
         self._pending[corr] = future
         if self._inflight is not None:
@@ -374,6 +379,10 @@ class _ShardChannel:
         self._connect_lock = asyncio.Lock()
 
     async def _connected(self) -> _MuxConnection:
+        # A flush racing close() must not re-dial the endpoint the
+        # shutdown just tore down (TaintMapError: no replica rotation).
+        if self._transport._closed:
+            raise TaintMapError("async taint map transport is closed")
         if self._connection is not None and not self._connection.broken:
             return self._connection
         async with self._connect_lock:
@@ -591,14 +600,20 @@ class AsyncTaintMapTransport:
 
     def close(self) -> None:
         with self._lifecycle_lock:
+            if self._closed:
+                return
             self._closed = True
-            loop, self.loop = self.loop, None
+            loop = self.loop
             thread, self._thread = self._thread, None
-            channels, self._channels = self._channels, []
-            windows, self._windows = self._windows, []
-            inflight_flushes = self._inflight_flushes
-            self._inflight_flushes = {}
-            waiters, self._drain_waiters = self._drain_waiters, []
+            # The per-shard lists (and self.loop) stay in place: in-flight
+            # _flush/_dispatch tasks still index them, and swapping in
+            # empty lists would turn their teardown paths (_drain,
+            # _coalesce) into IndexErrors instead of clean closed errors.
+            # Only their *contents* are failed and cleared below.
+            channels = self._channels
+            windows = self._windows
+            waiters = self._drain_waiters
+            inflight_flushes, self._inflight_flushes = self._inflight_flushes, {}
         if loop is None:
             return
 
@@ -700,7 +715,9 @@ class AsyncTaintMapTransport:
             return future.result()
         try:
             return future.result(deadline)
-        except TimeoutError:
+        # Both classes: future.result raises concurrent.futures.TimeoutError,
+        # which is only an alias of the builtin from 3.11 on.
+        except (TimeoutError, concurrent.futures.TimeoutError):
             if future.done():
                 raise  # the request itself failed with a timeout-type error
             future.cancel()  # window futures are shielded; peers unaffected
@@ -759,14 +776,19 @@ class AsyncTaintMapTransport:
         (and hence never beyond the 16-bit protocol frame ceiling),
         while a small call's keys still share one flush even with a
         zero-length window."""
+        if self._closed:
+            raise TaintMapError("async taint map transport is closed")
         window = self._windows[shard][kind]
         futures = []
         for key in keys:
             future = window.entries.get(key)
             if future is None and self._pending_counts[shard] >= self.max_pending:
                 await self._admit(shard, kind)
-                # Re-check after blocking: a concurrent caller may have
-                # queued the same key while this one waited.
+                # Re-check after blocking: close() may have torn the
+                # windows down (entries queued now would never resolve),
+                # and a concurrent caller may have queued the same key.
+                if self._closed:
+                    raise TaintMapError("async taint map transport is closed")
                 future = window.entries.get(key)
             if future is None:
                 future = self.loop.create_future()

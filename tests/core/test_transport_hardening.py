@@ -166,6 +166,10 @@ class TestShutdownWithInflightFlush:
         thread.join(timeout=8)
         assert not thread.is_alive(), "submitter still blocked after close()"
         assert errors and isinstance(errors[0], TaintMapError)
+        # The per-shard lists survive close(): a straggling in-flight
+        # flush draining afterwards must not die with IndexError.
+        client.transport._drain(0, 0)
+        client.close()  # idempotent
         server.stop()
 
 
@@ -257,6 +261,32 @@ class TestCorrelationIdWrap:
         ]
         assert len(set(gids)) == 5
         assert all(gid > 0 for gid in gids)
+        client.close()
+
+    def test_wrapped_corr_id_skips_still_pending_ids(self, single):
+        """A wrapped id that collides with a still-pending request must
+        be skipped at allocation — overwriting the pending future would
+        leave its caller hanging until the deadline."""
+        _, _, server, node = single
+        client = AsyncTaintMapClient(node, server.address)
+        assert client.gid_for(node.tree.taint_for_tag("collide0")) > 0
+        transport = client.transport
+        connection = transport._channels[0]._connection
+
+        planted = threading.Event()
+
+        def plant():
+            connection._pending[1] = transport.loop.create_future()
+            planted.set()
+
+        transport.loop.call_soon_threadsafe(plant)
+        assert planted.wait(5)
+        # The next allocation computes (2**32 + 1) & 0xFFFFFFFF == 1 —
+        # exactly the planted in-flight id.
+        connection._corr = itertools.count(2**32 + 1)
+        assert client.gid_for(node.tree.taint_for_tag("collide1")) > 0
+        assert 1 in connection._pending, "pending future was overwritten"
+        assert not connection._pending[1].done()
         client.close()
 
 
