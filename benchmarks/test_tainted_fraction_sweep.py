@@ -1,0 +1,70 @@
+"""Tainted-fraction overhead sweep: the zero-taint fast-path curve (ISSUE 6).
+
+Runs the :class:`~repro.obs.profiler.TaintedFractionSweep` over the SIM
+systems at 0% → 100% tainted traffic and writes the curve to
+``BENCH_PR6.json`` at the repository root.
+
+As with the PR 4 profile, the acceptance gate is the telemetry contract,
+not a timing bound (CI timing is noisy):
+
+* the **0%-tainted leg** must take the zero-taint fast path — nonzero
+  ``dista_fastpath_total{path="fast"}``, zero slow-path hits, zero Taint
+  Map RPCs and zero tainted crossings — so a specialization regression
+  cannot masquerade as noise;
+* the **100%-tainted leg** must still observe crossings and Taint Map
+  RPCs (the fast path must not swallow real taint);
+* per system, the 0% leg must be cheaper than the 100% leg (ordering,
+  the robust slice of "monotone degradation").
+"""
+
+from pathlib import Path
+
+from repro.obs.profiler import DEFAULT_SYSTEMS, TaintedFractionSweep
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
+
+
+def test_tainted_fraction_sweep_sim_systems():
+    sweep = TaintedFractionSweep(systems=DEFAULT_SYSTEMS, repeats=2)
+    points = sweep.run()
+    sweep.write(_RESULTS_PATH)
+    print()
+    print(sweep.render())
+
+    assert len(points) == len(DEFAULT_SYSTEMS) * len(sweep.fractions)
+    assert sweep.broken_points() == []
+
+    by_system: dict = {}
+    for point in points:
+        by_system.setdefault(point.system, {})[point.tainted_fraction] = point
+
+    for system, curve in by_system.items():
+        zero, full = curve[0.0], curve[1.0]
+        # 0%: pure fast path, no Taint Map involvement at all.
+        assert zero.fastpath_fast > 0, f"{system}@0%: no fast-path hits"
+        assert zero.fastpath_slow == 0, f"{system}@0%: slow path taken"
+        assert zero.taintmap_rpcs == 0, f"{system}@0%: Taint Map RPCs issued"
+        assert zero.crossings == 0, f"{system}@0%: tainted crossings"
+        assert zero.tainted_bytes == 0, f"{system}@0%: tainted bytes"
+        # Wire amplification is unchanged: frames are byte-identical
+        # between paths, so the 5x cell overhead still applies at 0%.
+        assert zero.wire_bytes > 0
+        # 100%: the specialization must not swallow real taint.
+        assert full.crossings > 0, f"{system}@100%: zero crossings"
+        assert full.taintmap_rpcs > 0, f"{system}@100%: zero Taint Map RPCs"
+        assert full.tainted_bytes > 0, f"{system}@100%: zero tainted bytes"
+        assert full.fastpath_slow > 0, f"{system}@100%: slow path never taken"
+        # Intermediate fractions sit strictly between the endpoints in
+        # tainted volume (the knob actually turns).
+        for fraction in (0.25, 0.5, 0.75):
+            mid = curve[fraction]
+            assert 0 < mid.tainted_bytes < full.tainted_bytes, (
+                f"{system}@{fraction}: tainted_bytes {mid.tainted_bytes} not "
+                f"between 0 and {full.tainted_bytes}"
+            )
+        # Endpoint ordering on time: untainted traffic must be cheaper
+        # than fully tainted traffic.
+        assert zero.dista_seconds < full.dista_seconds, (
+            f"{system}: 0% leg ({zero.dista_seconds:.4f}s) not cheaper than "
+            f"100% leg ({full.dista_seconds:.4f}s)"
+        )

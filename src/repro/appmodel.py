@@ -43,6 +43,15 @@ def app_process(value) -> object:
         labels = value.labels
     elif isinstance(value, TStr):
         labels = value.labels
+    if labels is None or not labels.has_labels():
+        # Taint-state specialization (cf. The Taint Rabbit): when the
+        # shadow is all-empty the "rewritten" loop dispatches to the
+        # same plain-value loop the uninstrumented build runs, so the
+        # per-byte label merge only costs where labels actually exist.
+        acc = 0
+        for b in raw:
+            acc = (acc + b) & 0xFFFFF
+        return TInt(acc)
     acc = 0
     taint = None
     last = None

@@ -40,6 +40,9 @@ class TaintSpec:
 
     sources: list[str] = field(default_factory=list)
     sinks: list[str] = field(default_factory=list)
+    #: Fraction of configured source firings that actually taint — the
+    #: tainted-traffic knob of the overhead sweep (1.0 = paper default).
+    source_fraction: float = 1.0
 
     @staticmethod
     def parse_spec_text(text: str) -> list[str]:
@@ -58,6 +61,8 @@ class TaintSpec:
     def apply(self, cluster) -> None:
         cluster.configure_sources(self.sources)
         cluster.configure_sinks(self.sinks)
+        if self.source_fraction != 1.0:
+            cluster.configure_source_fraction(self.source_fraction)
 
 
 @dataclass

@@ -127,20 +127,35 @@ class ShardRouter:
 
     VNODES = 64
 
+    #: Ring points are a pure function of the shard count, and every
+    #: client/agent attach builds a router — memoize so the 64-vnode
+    #: SHA-256 ring is hashed once per shard count, not once per client.
+    _RING_CACHE: dict = {}
+    _RING_LOCK = threading.Lock()
+
     def __init__(self, shard_count: int):
         if not 1 <= shard_count <= MAX_SHARDS:
             raise TaintMapError(
                 f"shard count {shard_count} outside 1..{MAX_SHARDS}"
             )
         self.shard_count = shard_count
-        points = []
-        for shard in range(shard_count):
-            for vnode in range(self.VNODES):
-                digest = hashlib.sha256(f"shard:{shard}:{vnode}".encode()).digest()
-                points.append((int.from_bytes(digest[:8], "big"), shard))
-        points.sort()
-        self._hashes = [h for h, _ in points]
-        self._shards = [s for _, s in points]
+        with self._RING_LOCK:
+            cached = self._RING_CACHE.get(shard_count)
+            if cached is None:
+                points = []
+                for shard in range(shard_count):
+                    for vnode in range(self.VNODES):
+                        digest = hashlib.sha256(
+                            f"shard:{shard}:{vnode}".encode()
+                        ).digest()
+                        points.append((int.from_bytes(digest[:8], "big"), shard))
+                points.sort()
+                cached = (
+                    tuple(h for h, _ in points),
+                    tuple(s for _, s in points),
+                )
+                self._RING_CACHE[shard_count] = cached
+        self._hashes, self._shards = cached
 
     def shard_for_key(self, key: bytes) -> int:
         """Owning shard of a canonical :func:`taint_key`."""

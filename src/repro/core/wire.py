@@ -180,10 +180,19 @@ def encode_cells(
     length = len(data)
     if length == 0:
         return b""
+    labels = _coerce_runs(length, data.labels)
+    if labels is None or not labels.has_labels():
+        # Zero-taint fast path: every GID is 0, so the frame is just the
+        # data column scattered into a zeroed cell grid — no per-byte
+        # GID array, no resolver call, no Taint Map round-trip.  The
+        # result is byte-identical to the general path below.
+        out = np.zeros((length, CELL_WIDTH), dtype=np.uint8)
+        out[:, 0] = np.frombuffer(data.data, dtype=np.uint8)
+        return out.tobytes()
     out = np.empty((length, CELL_WIDTH), dtype=np.uint8)
     out[:, 0] = np.frombuffer(data.data, dtype=np.uint8)
     out[:, 1:] = (
-        _gid_array(length, data.labels, gid_for, gids_for)
+        _gid_array(length, labels, gid_for, gids_for)
         .view(np.uint8)
         .reshape(length, GID_WIDTH)
     )
@@ -199,7 +208,11 @@ class CellDecoder:
     """
 
     def __init__(self) -> None:
-        self._residue = b""
+        #: Partial-cell bytes pending completion.  A mutable buffer so a
+        #: feed with residue appends in amortized O(1) and trims in
+        #: place, instead of re-copying ``residue + wire`` into a fresh
+        #: bytes object on every call while a partial cell is pending.
+        self._buffer = bytearray()
 
     def feed(
         self,
@@ -211,27 +224,44 @@ class CellDecoder:
 
         ``taint_for`` may be a :class:`LabelResolver`."""
         taint_for, taints_for = _taint_resolvers(taint_for, taints_for)
-        stream = self._residue + wire if self._residue else wire
+        buffered = bool(self._buffer)
+        if buffered:
+            self._buffer += wire
+            stream: Union[bytes, bytearray] = self._buffer
+        else:
+            stream = wire
         cells = len(stream) // CELL_WIDTH
-        self._residue = stream[cells * CELL_WIDTH :]
         if cells == 0:
+            if not buffered:
+                self._buffer += wire
             return TBytes.empty()
         body = np.frombuffer(stream, dtype=_CELL_DTYPE, count=cells)
         data = body["data"].tobytes()
+        # All-zero GID columns mean an untainted payload: _label_runs
+        # returns None and no taint resolution happens (the decode-side
+        # zero-taint fast path).
         labels = _label_runs(body["gid"], taint_for, taints_for)
+        consumed = cells * CELL_WIDTH
+        # Release the numpy view before resizing: a bytearray refuses to
+        # shrink while a buffer export is live.
+        del body
+        if buffered:
+            del self._buffer[:consumed]
+        elif consumed < len(wire):
+            self._buffer += wire[consumed:]
         if labels is None:
             return TBytes.raw(data)
         return TBytes(data, labels)
 
     @property
     def residue_len(self) -> int:
-        return len(self._residue)
+        return len(self._buffer)
 
     def check_clean_eof(self) -> None:
         """EOF with a partial cell buffered means a truncated stream."""
-        if self._residue:
+        if self._buffer:
             raise WireFormatError(
-                f"stream ended inside a cell ({len(self._residue)} residual bytes)"
+                f"stream ended inside a cell ({len(self._buffer)} residual bytes)"
             )
 
 
@@ -252,14 +282,15 @@ def encode_packet(
 
     ``gid_for`` may be a :class:`LabelResolver`."""
     gid_for, gids_for = _gid_resolvers(gid_for, gids_for)
-    gids = _gid_array(len(data), data.labels, gid_for, gids_for)
-    return (
-        PACKET_MAGIC
-        + bytes([PACKET_VERSION])
-        + struct.pack(">I", len(data))
-        + data.data
-        + gids.tobytes()
-    )
+    length = len(data)
+    header = PACKET_MAGIC + bytes([PACKET_VERSION]) + struct.pack(">I", length)
+    labels = _coerce_runs(length, data.labels)
+    if labels is None or not labels.has_labels():
+        # Zero-taint fast path: the GID trailer is all zeroes — emit it
+        # directly, byte-identical to the general path below.
+        return header + data.data + bytes(length * GID_WIDTH)
+    gids = _gid_array(length, labels, gid_for, gids_for)
+    return header + data.data + gids.tobytes()
 
 
 def is_enveloped(raw: bytes) -> bool:

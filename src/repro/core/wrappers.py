@@ -23,6 +23,7 @@ enlarged buffer and split the result back into data and taints.
 from __future__ import annotations
 
 import threading
+import weakref
 from typing import Optional
 
 from repro.core import wire
@@ -61,12 +62,16 @@ class DisTARuntime:
         self.trace = trace
         self._lock = threading.Lock()
         self._decoders: dict[int, wire.CellDecoder] = {}
+        #: (method, direction) -> bound metric children; record_io runs
+        #: on every crossing, so the labels() lookups are done once.
+        self._io_children: dict = {}
         #: Wrapper-boundary telemetry (None for bare test nodes).
         self.metrics = getattr(node, "metrics", None)
         self._io_calls = None
         self._io_bytes = None
         self._io_tainted = None
         self._crossings = None
+        self._fastpath = None
         if self.metrics is not None:
             self._io_calls = self.metrics.counter(
                 "dista_jni_calls_total",
@@ -88,6 +93,14 @@ class DisTARuntime:
                 "dista_crossings_total",
                 "Tainted boundary crossings observed at the wrappers.",
                 ("direction",),
+            )
+            self._fastpath = self.metrics.counter(
+                "dista_fastpath_total",
+                "Crossings by taint-state-specialized codec path: fast = "
+                "zero-taint short circuit (no GID array, no resolver "
+                "call, no Taint Map round-trip), slow = shadow codec "
+                "engaged.",
+                ("site", "path"),
             )
             # Pre-declare the transport-side families (the async client
             # populates them) so /metrics has the same shape under both
@@ -137,16 +150,37 @@ class DisTARuntime:
                 if hasattr(data, "tainted_byte_count")
                 else 0
             )
-            self._io_calls.labels(method=method, direction=direction).inc()
-            self._io_bytes.labels(method=method, direction=direction).inc(total)
-            self._io_tainted.labels(method=method, direction=direction).inc(tainted)
+            children = self._io_children.get((method, direction))
+            if children is None:
+                children = (
+                    self._io_calls.labels(method=method, direction=direction),
+                    self._io_bytes.labels(method=method, direction=direction),
+                    self._io_tainted.labels(method=method, direction=direction),
+                    self._crossings.labels(direction=direction),
+                    self._fastpath.labels(site=method, path="fast"),
+                    self._fastpath.labels(site=method, path="slow"),
+                )
+                self._io_children[(method, direction)] = children
+            calls, io_bytes, io_tainted, crossings, fast, slow = children
+            calls.inc()
+            io_bytes.inc(total)
+            io_tainted.inc(tainted)
             if tainted:
-                self._crossings.labels(direction=direction).inc()
+                crossings.inc()
+            # Which codec path this crossing's payload dispatches to:
+            # the predicate mirrors the one in the wire codecs.
+            labels = getattr(data, "labels", None)
+            if labels is None or not labels.has_labels():
+                fast.inc()
+            else:
+                slow.inc()
         self.trace.record(self.node.name, direction, method, data, channel=channel)
 
     def outgoing(self, data: TBytes) -> TBytes:
         """Apply the configured tracking granularity to outgoing data."""
-        if self.byte_granularity:
+        # Zero-taint fast path: untainted data is identical under both
+        # granularities, so skip the overall-taint fold entirely.
+        if self.byte_granularity or data.labels is None:
             return data
         overall = data.overall_taint()
         if overall is None:
@@ -159,10 +193,39 @@ class DisTARuntime:
         key = id(fd)
         with self._lock:
             decoder = self._decoders.get(key)
-            if decoder is None:
-                decoder = wire.CellDecoder()
-                self._decoders[key] = decoder
-            return decoder
+            if decoder is not None:
+                return decoder
+            decoder = wire.CellDecoder()
+            self._decoders[key] = decoder
+        # Outside the lock: registration may fire the eviction callback
+        # immediately when the fd is already closed.
+        self._register_eviction(fd, key, decoder)
+        return decoder
+
+    def _evict_decoder(self, key: int, decoder: wire.CellDecoder) -> None:
+        with self._lock:
+            if self._decoders.get(key) is decoder:
+                del self._decoders[key]
+
+    def _register_eviction(self, fd, key: int, decoder: wire.CellDecoder) -> None:
+        """Evict the per-fd decoder when ``fd`` closes or is collected.
+
+        ``_decoders`` is keyed by ``id(fd)`` and CPython recycles ids: a
+        decoder left behind by a dead fd would hand its stale residue to
+        an unrelated future connection (the same bug class as the PR 1
+        ``_gid_cache`` collision).  The identity check in
+        ``_evict_decoder`` keeps a late finalizer from evicting a
+        successor fd's decoder after an id is reused.
+        """
+        add_callback = getattr(fd, "add_close_callback", None)
+        if add_callback is not None:
+            add_callback(lambda: self._evict_decoder(key, decoder))
+        try:
+            weakref.finalize(fd, self._evict_decoder, key, decoder)
+        except TypeError:
+            # Not weak-referenceable: close-callback eviction (if any)
+            # still applies; bare test doubles keep the old behaviour.
+            pass
 
     # -- native-memory shadow ------------------------------------------------ #
 
@@ -176,14 +239,26 @@ class DisTARuntime:
     def native_read(self, mem: NativeMemory, position: int, count: int) -> TBytes:
         """Bytes + shadow labels from native memory."""
         shadow = self.node.jni.native_shadow.get(mem.address)
-        labels = None if shadow is None else shadow.slice(position, position + count)
-        return TBytes(mem.read(position, count), labels)
+        if shadow is None or not shadow.has_labels():
+            # Zero-taint fast path: clean memory yields untainted bytes
+            # without slicing an empty shadow.
+            return TBytes.raw(mem.read(position, count))
+        return TBytes(mem.read(position, count), shadow.slice(position, position + count))
 
     def native_write(self, mem: NativeMemory, position: int, data: TBytes) -> None:
         """Bytes into native memory, labels into its shadow."""
         mem.write(position, data.data)
+        labels = data.labels
+        if labels is None or not labels.has_labels():
+            # Zero-taint fast path: an untainted write into never-tainted
+            # memory must not materialize a shadow via shadow_for; only
+            # scrub the range when labelled bytes already live there.
+            shadow = self.node.jni.native_shadow.get(mem.address)
+            if shadow is not None and shadow.has_labels():
+                shadow[position : position + len(data)] = LabelRuns(len(data))
+            return
         shadow = self.shadow_for(mem)
-        shadow[position : position + len(data)] = data.label_runs()
+        shadow[position : position + len(data)] = labels
 
 
 # --------------------------------------------------------------------- #
@@ -330,8 +405,18 @@ def make_direct_put(runtime: DisTARuntime):
     def wrapper(original):
         def direct_put(mem: NativeMemory, position: int, src: TBytes) -> None:
             original(mem, position, src)
+            labels = src.labels
+            if labels is None or not labels.has_labels():
+                # Zero-taint fast path: don't materialize a shadow for a
+                # clean put; scrub only if labelled bytes already exist.
+                shadow = runtime.node.jni.native_shadow.get(mem.address)
+                if shadow is not None and shadow.has_labels():
+                    shadow[position : position + len(src)] = LabelRuns(len(src))
+                return
+            # Splice the run representation directly — O(runs), not the
+            # O(bytes) per-byte list effective_labels() would build.
             shadow = runtime.shadow_for(mem)
-            shadow[position : position + len(src)] = src.effective_labels()
+            shadow[position : position + len(src)] = labels
 
         return direct_put
 
@@ -345,10 +430,14 @@ def make_direct_get(runtime: DisTARuntime):
         ) -> None:
             original(mem, position, dst, dst_offset, length)
             shadow = runtime.node.jni.native_shadow.get(mem.address)
-            if shadow is not None:
-                dst._ensure_labels()[dst_offset : dst_offset + length] = shadow[
-                    position : position + length
-                ]
+            if shadow is None:
+                return
+            piece = shadow[position : position + length]
+            if not piece.has_labels() and dst.labels is None:
+                # Zero-taint fast path: nothing to transfer, nothing to
+                # scrub — keep the destination's shadow unmaterialized.
+                return
+            dst._ensure_labels()[dst_offset : dst_offset + length] = piece
 
         return direct_get
 

@@ -26,7 +26,9 @@ __all__ = [
     "MetricsRegistry",
     "MetricsServer",
     "OverheadProfiler",
+    "SweepPoint",
     "SystemProfile",
+    "TaintedFractionSweep",
     "bucket_bounds",
     "bucket_index",
     "merge_snapshots",
@@ -41,7 +43,7 @@ def __getattr__(name):
         from repro.obs.http import MetricsServer
 
         return MetricsServer
-    if name in ("OverheadProfiler", "SystemProfile"):
+    if name in ("OverheadProfiler", "SystemProfile", "TaintedFractionSweep", "SweepPoint"):
         from repro.obs import profiler
 
         return getattr(profiler, name)

@@ -25,6 +25,9 @@ from repro.systems.common import SIM
 #: The default §V-F subset: three systems keeps the CI benchmark fast.
 DEFAULT_SYSTEMS = ("ZooKeeper", "MapReduce/Yarn", "ActiveMQ")
 
+#: Tainted-traffic fractions the sweep visits, 0% → 100%.
+DEFAULT_SWEEP_FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
 
 @dataclass
 class SystemProfile:
@@ -44,6 +47,138 @@ class SystemProfile:
     #: False when the DisTA run's telemetry reported zero crossings.
     crossings_ok: bool = True
     extras: dict = field(default_factory=dict)
+
+
+@dataclass
+class SweepPoint:
+    """One (system, tainted fraction) cell of the sweep."""
+
+    system: str
+    tainted_fraction: float
+    baseline_seconds: float
+    dista_seconds: float
+    overhead_ratio: float
+    crossings: int
+    taintmap_rpcs: int
+    fastpath_fast: int
+    fastpath_slow: int
+    tainted_bytes: int
+    wire_bytes: int
+    global_taints: int
+    #: Fast-path contract check.  At 0% tainted: fast-path hits observed,
+    #: zero Taint Map RPCs, zero crossings.  Above 0%: crossings observed.
+    fastpath_ok: bool = True
+
+
+class TaintedFractionSweep:
+    """0% → 100% tainted-traffic sweep of DisTA-mode overhead.
+
+    One BASELINE timing per system, reused across the curve; then the
+    DisTA SIM workload at each ``source_fraction``, recording the
+    zero-taint fast-path hit counts (``dista_fastpath_total``) next to
+    the overhead ratio.  The 0% leg doubles as the fast-path canary: it
+    must take only fast paths and issue zero Taint Map RPCs, so a
+    specialization regression cannot masquerade as noise.
+    """
+
+    def __init__(self, systems=None, fractions=DEFAULT_SWEEP_FRACTIONS, repeats: int = 1):
+        if repeats < 1:
+            raise TelemetryError("repeats must be >= 1")
+        self.systems = tuple(systems) if systems is not None else DEFAULT_SYSTEMS
+        self.fractions = tuple(fractions)
+        self.repeats = repeats
+        self.points: list[SweepPoint] = []
+
+    def run(self) -> list[SweepPoint]:
+        from repro.systems import ALL_SYSTEMS
+
+        self.points = []
+        for name in self.systems:
+            module = ALL_SYSTEMS[name]
+            baseline = min(
+                module.run_workload(Mode.BASELINE, None).duration
+                for _ in range(self.repeats)
+            )
+            for fraction in self.fractions:
+                dista = min(
+                    (
+                        module.run_workload(Mode.DISTA, SIM, source_fraction=fraction)
+                        for _ in range(self.repeats)
+                    ),
+                    key=lambda result: result.duration,
+                )
+                self.points.append(self._point(name, fraction, baseline, dista))
+        return self.points
+
+    def _point(
+        self, name: str, fraction: float, baseline_seconds: float, dista
+    ) -> SweepPoint:
+        telemetry = dista.telemetry
+        crossings = int(snapshot_total(telemetry, "dista_crossings_total"))
+        rpcs = int(snapshot_total(telemetry, "dista_taintmap_requests_total"))
+        fast = int(snapshot_total(telemetry, "dista_fastpath_total", {"path": "fast"}))
+        slow = int(snapshot_total(telemetry, "dista_fastpath_total", {"path": "slow"}))
+        tainted = int(snapshot_total(telemetry, "dista_jni_tainted_bytes_total"))
+        if fraction == 0.0:
+            ok = fast > 0 and rpcs == 0 and crossings == 0
+        else:
+            ok = crossings > 0
+        return SweepPoint(
+            system=name,
+            tainted_fraction=fraction,
+            baseline_seconds=baseline_seconds,
+            dista_seconds=dista.duration,
+            overhead_ratio=(
+                dista.duration / baseline_seconds if baseline_seconds > 0 else 0.0
+            ),
+            crossings=crossings,
+            taintmap_rpcs=rpcs,
+            fastpath_fast=fast,
+            fastpath_slow=slow,
+            tainted_bytes=tainted,
+            wire_bytes=dista.wire_bytes,
+            global_taints=dista.global_taints,
+            fastpath_ok=ok,
+        )
+
+    # -- reporting ---------------------------------------------------------- #
+
+    def broken_points(self) -> list[SweepPoint]:
+        """Points violating the fast-path contract (see ``fastpath_ok``)."""
+        return [p for p in self.points if not p.fastpath_ok]
+
+    def as_dict(self) -> dict:
+        return {
+            "benchmark": "tainted_fraction_sweep",
+            "scenario": SIM,
+            "repeats": self.repeats,
+            "fractions": list(self.fractions),
+            "points": [asdict(point) for point in self.points],
+        }
+
+    def write(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def render(self) -> str:
+        lines = [
+            f"{'system':18s} {'frac':>5s} {'baseline':>10s} {'dista':>10s} "
+            f"{'overhead':>9s} {'fast':>6s} {'slow':>6s} {'rpcs':>6s} {'cross':>6s}"
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.system:18s} {p.tainted_fraction:5.2f} {p.baseline_seconds:9.4f}s "
+                f"{p.dista_seconds:9.4f}s {p.overhead_ratio:8.2f}x {p.fastpath_fast:6d} "
+                f"{p.fastpath_slow:6d} {p.taintmap_rpcs:6d} {p.crossings:6d}"
+            )
+        broken = self.broken_points()
+        if broken:
+            lines.append(
+                "!!! fast-path contract violated: "
+                + ", ".join(f"{p.system}@{p.tainted_fraction:.2f}" for p in broken)
+            )
+        return "\n".join(lines)
 
 
 class OverheadProfiler:

@@ -72,6 +72,7 @@ class Cluster:
         self._pids = itertools.count(1000)
         self._default_sources: list[str] = []
         self._default_sinks: list[str] = []
+        self._default_source_fraction = 1.0
         #: The sharded service (all shards); ``taint_map_server`` below
         #: stays the shard-0 server for single-shard compatibility.
         self.taint_map_service = None
@@ -91,6 +92,7 @@ class Cluster:
             node.registry.add_source(pattern)
         for pattern in self._default_sinks:
             node.registry.add_sink(pattern)
+        node.registry.source_fraction = self._default_source_fraction
         self.nodes[name] = node
         if self._started:
             self._attach_agent(node)
@@ -112,6 +114,14 @@ class Cluster:
         for node in self.nodes.values():
             for pattern in patterns:
                 node.registry.add_sink(pattern)
+
+    def configure_source_fraction(self, fraction: float) -> None:
+        """Fraction of source firings that taint (the sweep knob)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ReproError(f"source fraction {fraction} outside [0, 1]")
+        self._default_source_fraction = float(fraction)
+        for node in self.nodes.values():
+            node.registry.source_fraction = float(fraction)
 
     # -- lifecycle ------------------------------------------------------------ #
 

@@ -109,6 +109,7 @@ class TcpEndpoint:
         self._rx = rx
         self._tx = tx
         self._closed = False
+        self._close_callbacks: list = []
 
     # -- blocking system calls ------------------------------------------- #
 
@@ -179,12 +180,27 @@ class TcpEndpoint:
 
     # -- lifecycle --------------------------------------------------------- #
 
+    def add_close_callback(self, callback) -> None:
+        """Run ``callback`` once when this endpoint closes.
+
+        Fires immediately if the endpoint is already closed.  The agent
+        runtime uses this to evict per-fd decoder state the moment a
+        connection dies, so a recycled ``id(fd)`` can never inherit it.
+        """
+        if self._closed:
+            callback()
+            return
+        self._close_callbacks.append(callback)
+
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
         self._tx.close_write()
         self._rx.close_read()
+        callbacks, self._close_callbacks = self._close_callbacks, []
+        for callback in callbacks:
+            callback()
 
     def shutdown_output(self) -> None:
         self._tx.close_write()

@@ -72,9 +72,17 @@ class WorkloadResult:
         return any(tag.local_id.ip != node_ip for tag in observation.tags)
 
 
-def sim_spec() -> TaintSpec:
-    """The uniform SIM scenario of Table IV: file reads → LOG.info."""
-    return TaintSpec(sources=[FILE_READ_DESCRIPTOR], sinks=[LOG_INFO_DESCRIPTOR])
+def sim_spec(source_fraction: float = 1.0) -> TaintSpec:
+    """The uniform SIM scenario of Table IV: file reads → LOG.info.
+
+    ``source_fraction`` gates what fraction of the file-read sources
+    actually taint — the knob the tainted-fraction overhead sweep turns.
+    """
+    return TaintSpec(
+        sources=[FILE_READ_DESCRIPTOR],
+        sinks=[LOG_INFO_DESCRIPTOR],
+        source_fraction=source_fraction,
+    )
 
 
 def seed_data_files(fs, prefix: str, count: int, size: int) -> None:

@@ -43,8 +43,8 @@ def sdt_spec() -> TaintSpec:
     return TaintSpec(sources=[TABLE_NAME_DESCRIPTOR], sinks=[RESULT_DESCRIPTOR])
 
 
-def sim_spec() -> TaintSpec:
-    return common.sim_spec()
+def sim_spec(source_fraction: float = 1.0) -> TaintSpec:
+    return common.sim_spec(source_fraction)
 
 
 def _boot_zookeeper(cluster: Cluster, nodes: list, timeout: float = 30.0):
@@ -123,10 +123,12 @@ def deploy_and_get(cluster: Cluster) -> dict:
             peer.shutdown()
 
 
-def run_workload(mode: Mode, scenario: str | None = None) -> WorkloadResult:
+def run_workload(
+    mode: Mode, scenario: str | None = None, source_fraction: float = 1.0
+) -> WorkloadResult:
     spec = None
     if scenario == SDT:
         spec = sdt_spec()
     elif scenario == SIM:
-        spec = sim_spec()
+        spec = sim_spec(source_fraction)
     return run_system_workload("HBase+ZooKeeper", mode, scenario, spec, deploy_and_get)

@@ -44,8 +44,8 @@ def sdt_spec() -> TaintSpec:
     return TaintSpec(sources=[APP_ID_DESCRIPTOR], sinks=[GET_REPORT_DESCRIPTOR])
 
 
-def sim_spec() -> TaintSpec:
-    return common.sim_spec()
+def sim_spec(source_fraction: float = 1.0) -> TaintSpec:
+    return common.sim_spec(source_fraction)
 
 
 def deploy_and_run_pi(cluster: Cluster, maps: int = 4, samples: int = 2000) -> dict:
@@ -96,10 +96,12 @@ def deploy_and_run_pi(cluster: Cluster, maps: int = 4, samples: int = 2000) -> d
         executor.stop()
 
 
-def run_workload(mode: Mode, scenario: str | None = None) -> WorkloadResult:
+def run_workload(
+    mode: Mode, scenario: str | None = None, source_fraction: float = 1.0
+) -> WorkloadResult:
     spec = None
     if scenario == SDT:
         spec = sdt_spec()
     elif scenario == SIM:
-        spec = sim_spec()
+        spec = sim_spec(source_fraction)
     return run_system_workload("MapReduce/Yarn", mode, scenario, spec, deploy_and_run_pi)

@@ -40,8 +40,8 @@ def sdt_spec() -> TaintSpec:
     return TaintSpec(sources=[MESSAGE_INIT_DESCRIPTOR], sinks=[CONSUME_MESSAGE_DESCRIPTOR])
 
 
-def sim_spec() -> TaintSpec:
-    return common.sim_spec()
+def sim_spec(source_fraction: float = 1.0) -> TaintSpec:
+    return common.sim_spec(source_fraction)
 
 
 def deploy_and_distribute(cluster: Cluster, message_length: int = MESSAGE_LENGTH) -> dict:
@@ -88,10 +88,12 @@ def deploy_and_distribute(cluster: Cluster, message_length: int = MESSAGE_LENGTH
         group.shutdown_gracefully()
 
 
-def run_workload(mode: Mode, scenario: str | None = None) -> WorkloadResult:
+def run_workload(
+    mode: Mode, scenario: str | None = None, source_fraction: float = 1.0
+) -> WorkloadResult:
     spec = None
     if scenario == SDT:
         spec = sdt_spec()
     elif scenario == SIM:
-        spec = sim_spec()
+        spec = sim_spec(source_fraction)
     return run_system_workload("RocketMQ", mode, scenario, spec, deploy_and_distribute)

@@ -46,8 +46,8 @@ def sdt_spec() -> TaintSpec:
     return TaintSpec(sources=[VOTE_INIT_DESCRIPTOR], sinks=[CHECK_LEADER_DESCRIPTOR])
 
 
-def sim_spec() -> TaintSpec:
-    return common.sim_spec()
+def sim_spec(source_fraction: float = 1.0) -> TaintSpec:
+    return common.sim_spec(source_fraction)
 
 
 #: Leader→learner synchronization port (ZooKeeper's quorum port 2888).
@@ -144,11 +144,13 @@ def deploy_and_elect(cluster: Cluster, timeout: float = 30.0) -> dict:
     }
 
 
-def run_workload(mode: Mode, scenario: str | None = None) -> WorkloadResult:
+def run_workload(
+    mode: Mode, scenario: str | None = None, source_fraction: float = 1.0
+) -> WorkloadResult:
     """One Table-VI cell for ZooKeeper."""
     spec = None
     if scenario == SDT:
         spec = sdt_spec()
     elif scenario == SIM:
-        spec = sim_spec()
+        spec = sim_spec(source_fraction)
     return run_system_workload("ZooKeeper", mode, scenario, spec, deploy_and_elect)

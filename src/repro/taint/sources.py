@@ -59,12 +59,17 @@ class SourceSinkRegistry:
     node_name: str
     source_patterns: list = field(default_factory=list)
     sink_patterns: list = field(default_factory=list)
+    #: Fraction of matching source firings that actually taint their
+    #: value (the tainted-traffic knob of the overhead sweep).  1.0 is
+    #: the paper's behaviour: every firing taints.
+    source_fraction: float = 1.0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
         self.source_events: list[SourceEvent] = []
         self.observations: list[SinkObservation] = []
         self._auto_counter = 0
+        self._sample_counter = 0
 
     # -- configuration -------------------------------------------------- #
 
@@ -88,9 +93,21 @@ class SourceSinkRegistry:
         Each firing generates a fresh tag (paper Fig. 11: three reads of
         the same source point yield three distinct taints) unless the
         caller supplies an explicit ``tag_value``.
+
+        ``source_fraction`` < 1.0 gates firings deterministically
+        (Bresenham-style): of the first ``n`` matching calls, exactly
+        ``floor(n * fraction)`` taint their value — 0.0 never fires,
+        1.0 always does, and reruns are reproducible.
         """
         if not self.is_source(descriptor):
             return value
+        fraction = self.source_fraction
+        if fraction < 1.0:
+            with self._lock:
+                self._sample_counter += 1
+                sample = self._sample_counter
+            if int(sample * fraction) == int((sample - 1) * fraction):
+                return value
         with self._lock:
             self._auto_counter += 1
             counter = self._auto_counter

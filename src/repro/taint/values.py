@@ -16,10 +16,11 @@ Labels are ``Taint | None`` where ``None`` denotes the empty taint; this
 lets untainted values exist without a taint tree in scope.  Shadows are
 stored run-length encoded (:class:`LabelRuns`): real messages taint long
 byte runs with a single taint, so slice/concat/union on the hot
-send/receive paths cost O(runs) rather than O(bytes).  Whether label
-runs are materialized at all is decided by :mod:`repro.taint.policy`:
-under the *Original* baseline every constructor takes the no-shadow fast
-path, reproducing the zero-cost uninstrumented configuration.
+send/receive paths cost O(runs) rather than O(bytes).  An all-empty
+shadow is never materialized: untainted values keep ``labels is None``
+through slice/concat/splice (the zero-taint invariant), which is both
+the *Original*-baseline representation and the O(1) "any taint?"
+summary every crossing's fast path dispatches on.
 
 Implicit (control-flow) taint propagation is deliberately absent: the
 paper inherits Phosphor's explicit-flow-only semantics (§VI).
@@ -171,6 +172,19 @@ class LabelRuns:
     def has_labels(self) -> bool:
         """Whether any byte carries a (possibly empty) taint handle."""
         return bool(self._starts)
+
+    def any_tainted(self) -> bool:
+        """O(1) "any taint?" summary in the common case.
+
+        Runs never store ``None`` labels, so a shadow with no runs is
+        untainted without scanning; the loop only exists for the rare
+        empty-:class:`Taint` handle and terminates on the first real
+        label.
+        """
+        return any(
+            label is not None and not getattr(label, "is_empty", False)
+            for label in self._labels
+        )
 
     def tainted_byte_count(self) -> int:
         """Bytes carrying a non-empty taint — O(runs), not O(bytes)."""
@@ -345,8 +359,12 @@ class TBytes:
     def __init__(self, data: bytes, labels: LabelArray = None):
         self.data = bytes(data)
         runs = _as_runs(labels, len(self.data))
-        if runs is None and shadows_enabled():
-            runs = LabelRuns(len(self.data))
+        if runs is not None and not runs.has_labels():
+            # Zero-taint invariant: an all-empty shadow is never
+            # materialized.  Untainted values keep ``labels is None``
+            # through slice/concat/splice so every downstream crossing
+            # can dispatch its fast path on one attribute check.
+            runs = None
         self.labels = runs
 
     # -- constructors -------------------------------------------------- #
@@ -396,6 +414,10 @@ class TBytes:
         if self.labels is None:
             return 0
         return self.labels.tainted_byte_count()
+
+    def any_tainted(self) -> bool:
+        """O(1) taint summary: ``labels is None`` means untainted."""
+        return self.labels is not None and self.labels.any_tainted()
 
     def effective_labels(self) -> list:
         """Labels as a concrete per-byte list (compatibility accessor)."""
@@ -515,11 +537,12 @@ class TByteArray:
         return out
 
     def __init__(self, size_or_data: Union[int, bytes, TBytes] = 0):
+        # Zero-taint invariant (see TBytes): a fresh or untainted buffer
+        # keeps ``labels is None``; the shadow is materialized lazily by
+        # ``_ensure_labels`` the first time labelled data lands in it.
         if isinstance(size_or_data, int):
             self.data = bytearray(size_or_data)
-            self.labels: Optional[LabelRuns] = (
-                LabelRuns(size_or_data) if shadows_enabled() else None
-            )
+            self.labels: Optional[LabelRuns] = None
         elif isinstance(size_or_data, TBytes):
             self.data = bytearray(size_or_data.data)
             self.labels = (
@@ -527,7 +550,7 @@ class TByteArray:
             )
         else:
             self.data = bytearray(size_or_data)
-            self.labels = LabelRuns(len(self.data)) if shadows_enabled() else None
+            self.labels = None
 
     def __len__(self) -> int:
         return len(self.data)
@@ -560,6 +583,10 @@ class TByteArray:
         if self.labels is None:
             return None
         return self.labels.overall()
+
+    def any_tainted(self) -> bool:
+        """O(1) taint summary: ``labels is None`` means untainted."""
+        return self.labels is not None and self.labels.any_tainted()
 
 
 class _TScalar:
@@ -696,8 +723,10 @@ class TStr:
     def __init__(self, value: str, labels: LabelArray = None):
         self.value = value
         runs = _as_runs(labels, len(value))
-        if runs is None and shadows_enabled():
-            runs = LabelRuns(len(value))
+        if runs is not None and not runs.has_labels():
+            # Zero-taint invariant (see TBytes): no empty-shadow
+            # materialization; untainted strings keep ``labels is None``.
+            runs = None
         self.labels = runs
 
     @classmethod
@@ -719,6 +748,10 @@ class TStr:
         if self.labels is None:
             return None
         return self.labels.overall()
+
+    def any_tainted(self) -> bool:
+        """O(1) taint summary: ``labels is None`` means untainted."""
+        return self.labels is not None and self.labels.any_tainted()
 
     def is_tainted(self) -> bool:
         return self.overall_taint() is not None

@@ -123,3 +123,58 @@ class TestCallCounter:
         assert c.count("socketRead0") == 2
         assert c.snapshot() == {"socketRead0": 2, "socketWrite0": 1}
         assert c.count("unknown") == 0
+
+
+class TestSourceFraction:
+    """The tainted-traffic knob of the overhead sweep: deterministic
+    Bresenham gating of source firings."""
+
+    def _fired(self, tree, fraction, n=20):
+        reg = SourceSinkRegistry(
+            tree, node_name="node1", source_fraction=fraction
+        )
+        reg.add_source("Read#*")
+        fired = 0
+        for i in range(n):
+            value = reg.source("Read#data", i)
+            if isinstance(value, TInt):
+                fired += 1
+        return fired
+
+    def test_zero_fraction_never_fires(self, tree):
+        assert self._fired(tree, 0.0) == 0
+
+    def test_full_fraction_always_fires(self, tree):
+        assert self._fired(tree, 1.0) == 20
+
+    def test_half_fraction_fires_exactly_half(self, tree):
+        assert self._fired(tree, 0.5) == 10
+
+    def test_fraction_is_exact_floor_of_n(self, tree):
+        # floor(n * f) of the first n candidates fire, for any f.
+        for fraction in (0.25, 0.3, 0.75, 0.9):
+            assert self._fired(tree, fraction) == int(20 * fraction)
+
+    def test_gated_firings_are_deterministic(self, tree):
+        reg = SourceSinkRegistry(
+            tree, node_name="node1", source_fraction=0.5
+        )
+        reg.add_source("Read#*")
+        pattern = [isinstance(reg.source("Read#data", i), TInt) for i in range(8)]
+        reg2 = SourceSinkRegistry(
+            TaintTree(LocalId("10.0.0.2", 1)), node_name="node2", source_fraction=0.5
+        )
+        reg2.add_source("Read#*")
+        pattern2 = [isinstance(reg2.source("Read#data", i), TInt) for i in range(8)]
+        assert pattern == pattern2
+
+    def test_cluster_rejects_out_of_range_fraction(self):
+        from repro.errors import ReproError
+        from repro.runtime.cluster import Cluster
+        from repro.runtime.modes import Mode
+
+        cluster = Cluster(Mode.DISTA)
+        with pytest.raises(ReproError):
+            cluster.configure_source_fraction(1.5)
+        with pytest.raises(ReproError):
+            cluster.configure_source_fraction(-0.1)

@@ -223,7 +223,38 @@ class TestPolicyFastPath:
             assert s.labels is None
             assert TInt(1).taint is None
 
-    def test_instrumented_mode_materializes_empty_shadows(self):
+    def test_instrumented_mode_keeps_untainted_labels_none(self):
+        """Zero-taint invariant: an all-empty shadow is never
+        materialized, even under instrumentation — ``labels is None`` is
+        the O(1) summary the fast paths dispatch on."""
         with POLICY.shadows(True):
             b = TBytes(b"abcd")
-            assert b.labels == [None, None, None, None]
+            assert b.labels is None
+            assert not b.any_tainted()
+            # The invariant survives slice, concat and explicit
+            # empty-shadow construction.
+            assert (b + b).labels is None
+            assert b[1:3].labels is None
+            assert TBytes(b"abcd", [None, None, None, None]).labels is None
+            assert TStr("hi").labels is None
+            assert TByteArray(4).labels is None
+
+    def test_untainted_splice_keeps_labels_none(self, ta):
+        with POLICY.shadows(True):
+            buf = TByteArray(8)
+            buf.write(2, TBytes(b"abc"))
+            assert buf.labels is None
+            # Tainting then fully overwriting drops back to an empty
+            # shadow, and reads of it normalize to None.
+            buf.write(0, TBytes.tainted(b"xxxxxxxx", ta))
+            buf.write(0, TBytes(b"--------"))
+            assert buf.read(0, 8).labels is None
+
+    def test_any_tainted_summary(self, ta):
+        with POLICY.shadows(True):
+            assert not TBytes(b"clean").any_tainted()
+            assert TBytes.tainted(b"hot", ta).any_tainted()
+            mixed = TBytes(b"..") + TBytes.tainted(b"t", ta)
+            assert mixed.any_tainted()
+            assert not mixed[0:2].any_tainted()
+            assert mixed[2:].any_tainted()
