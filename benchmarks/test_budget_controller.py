@@ -1,0 +1,96 @@
+"""Budgeted-tracking benchmark: the coverage-per-budget curve (ISSUE 7).
+
+Runs the :class:`~repro.obs.profiler.BudgetSweep` over the SIM systems
+at overhead budgets 1.02 / 1.05 / 1.10 / unlimited and writes the curve
+to ``BENCH_PR7.json`` at the repository root.
+
+As with the earlier profiles the acceptance gate is the telemetry
+contract, not a wall-clock bound (CI timing is noisy):
+
+* **convergence canary** — every budgeted leg must end with its worst
+  per-node steady-state controller estimate at or below the ceiling
+  (within the measurement slack) while still tracking a *nonzero* flow
+  set: a controller that converges by tracking nothing has not
+  converged, it has capitulated;
+* **the unlimited leg is a no-op** — no controller telemetry at all
+  (no ratio gauges, zero sheds), and full coverage by construction;
+* **coverage is non-decreasing in budget** — a looser ceiling never
+  buys *less* tracking.  Ties are expected: a reactive controller
+  cannot retroactively untaint flows admitted before its first tick,
+  so systems whose sources all fire at startup show equal tainted
+  volume at every budget.
+"""
+
+from pathlib import Path
+
+from repro.obs.profiler import (
+    BUDGET_CANARY_SLACK,
+    DEFAULT_SWEEP_BUDGETS,
+    DEFAULT_SYSTEMS,
+    BudgetSweep,
+)
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
+
+#: Run-to-run tolerance on the byte-coverage monotonicity check: flow
+#: admission is deterministic, but retry traffic under heavy shedding
+#: can wiggle tainted-byte totals by a few percent.
+COVERAGE_TOLERANCE = 0.05
+
+
+def test_budget_controller_sweep_sim_systems():
+    sweep = BudgetSweep(systems=DEFAULT_SYSTEMS, repeats=1)
+    points = sweep.run()
+    sweep.write(_RESULTS_PATH)
+    print()
+    print(sweep.render())
+
+    assert len(points) == len(DEFAULT_SYSTEMS) * len(sweep.budgets)
+    assert sweep.broken_points() == []
+
+    by_system: dict = {}
+    for point in points:
+        by_system.setdefault(point.system, {})[point.budget] = point
+
+    ceilings = sorted(b for b in DEFAULT_SWEEP_BUDGETS if b is not None)
+    for system, curve in by_system.items():
+        unlimited = curve[None]
+        # Unlimited: differentially identical to pre-budget behaviour —
+        # the controller is never built, so no budget telemetry exists.
+        assert unlimited.sheds == 0, f"{system}@unlimited: controller shed"
+        assert unlimited.controller_ratio == 0.0
+        assert unlimited.smoothed_ratio == 0.0
+        assert unlimited.coverage == 1.0
+        assert unlimited.coverage_sampling == 1.0
+        assert unlimited.coverage_methods == 1.0
+        assert unlimited.crossings > 0, f"{system}@unlimited: no crossings"
+        assert unlimited.tainted_bytes > 0, f"{system}@unlimited: no taint"
+
+        for budget in ceilings:
+            point = curve[budget]
+            # The convergence canary, spelled out (broken_points()
+            # already enforces it; assert here so a regression names
+            # the system and ceiling).
+            assert point.tainted_bytes > 0, f"{system}@{budget}: tracked nothing"
+            assert point.crossings > 0, f"{system}@{budget}: no crossings"
+            assert point.controller_ratio <= budget + BUDGET_CANARY_SLACK, (
+                f"{system}@{budget}: steady overhead {point.controller_ratio:.3f} "
+                f"breaches ceiling {budget} (+{BUDGET_CANARY_SLACK} slack)"
+            )
+            # Coverage can only be spent down from the unlimited leg.
+            assert point.coverage <= 1.0 + COVERAGE_TOLERANCE
+
+        # Monotonicity: a looser budget never buys less coverage.
+        ordered = [curve[budget] for budget in ceilings] + [unlimited]
+        for tighter, looser in zip(ordered, ordered[1:]):
+            assert looser.coverage >= tighter.coverage - COVERAGE_TOLERANCE, (
+                f"{system}: coverage fell from {tighter.coverage:.3f} "
+                f"(budget {tighter.budget}) to {looser.coverage:.3f} "
+                f"(budget {looser.budget})"
+            )
+
+    # At least one system must actually exercise the actuators — a
+    # sweep where no controller ever sheds is not testing control.
+    assert any(
+        curve[budget].sheds > 0 for curve in by_system.values() for budget in ceilings
+    ), "no budgeted leg ever shed coverage"

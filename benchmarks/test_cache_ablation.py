@@ -12,6 +12,12 @@ Sweep: cache disabled / 1k / 64k / unbounded, working set of 4096
 labels, 3 passes.  An unbounded (or working-set-sized) cache pays the
 registration traffic once; a 1k cache thrashes; no cache pays it every
 pass.  Results land in ``BENCH_PR3_CACHE.json`` at the repository root.
+
+PR 7 made the bounded policy **segmented** (SLRU): new entries sit on
+probation and only a re-reference promotes them into the protected
+segment.  The second measurement here is the scan-resistance point that
+policy buys: a warmed hot set must survive a one-pass cold scan of
+twice the cache capacity (plain LRU would evict it wholesale).
 """
 
 import json
@@ -68,8 +74,56 @@ def _measure(label: str, capacity) -> dict:
         service.stop()
 
 
+#: Scan-resistance point: hot set (fits protected segment), cold scan.
+SCAN_CAPACITY = 1024
+SCAN_HOT = 512
+SCAN_COLD = 2 * SCAN_CAPACITY
+
+
+def _measure_scan_resistance() -> dict:
+    """Warm a hot set into the protected segment, blast a cold one-pass
+    scan past it, then re-touch the hot set and count re-registrations."""
+    kernel = SimKernel("cache-bench-scan")
+    kernel.register_node(TAINT_MAP_IP)
+    fs = SimFileSystem()
+    service = ShardedTaintMapService(kernel, TAINT_MAP_IP, TAINT_MAP_PORT, 1).start()
+    node = SimNode("n", kernel.register_node("10.0.0.1"), 1, kernel, fs, Mode.DISTA)
+    client = TaintMapClient(node, service.addresses, cache_capacity=SCAN_CAPACITY)
+    try:
+        hot = [node.tree.taint_for_tag(f"hot-{i}") for i in range(SCAN_HOT)]
+        cold = [node.tree.taint_for_tag(f"cold-{i}") for i in range(SCAN_COLD)]
+        # Two warm passes: the second one's hits promote the hot set
+        # out of probation into the protected segment.
+        for _ in range(2):
+            for start in range(0, SCAN_HOT, BATCH):
+                client.gids_for(hot[start : start + BATCH])
+        # One-pass cold scan of 2x capacity: on plain LRU this evicts
+        # everything; on SLRU it only churns the probation segment.
+        for start in range(0, SCAN_COLD, BATCH):
+            client.gids_for(cold[start : start + BATCH])
+        server = service.servers[0]
+        registered_before_retouch = server.stats.register_entries
+        for start in range(0, SCAN_HOT, BATCH):
+            client.gids_for(hot[start : start + BATCH])
+        survived = SCAN_HOT - (
+            server.stats.register_entries - registered_before_retouch
+        )
+        return {
+            "capacity": SCAN_CAPACITY,
+            "hot_set": SCAN_HOT,
+            "cold_scan": SCAN_COLD,
+            "hot_survived_scan": survived,
+            "hot_survival_rate": survived / SCAN_HOT,
+            "cache_evictions": client.stats.snapshot()["cache_evictions"],
+        }
+    finally:
+        client.close()
+        service.stop()
+
+
 def test_cache_capacity_vs_reregistration_traffic():
     results = {label: _measure(label, cap) for label, cap in CAPACITIES.items()}
+    scan = _measure_scan_resistance()
 
     report = {
         "bench": "cache_ablation",
@@ -79,8 +133,13 @@ def test_cache_capacity_vs_reregistration_traffic():
         ),
         "capacities": {k: ("off" if v == 0 else v) for k, v in CAPACITIES.items()},
         "results": results,
+        "scan_resistance": scan,
     }
     _RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    # Segmented LRU: the protected hot set survives a one-pass cold
+    # scan of 2x capacity (plain LRU would re-register all of it).
+    assert scan["hot_survival_rate"] >= 0.9, scan
 
     # No cache: every pass re-registers the full working set.
     assert results["disabled"]["register_entries"] == PASSES * WORKING_SET

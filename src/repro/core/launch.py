@@ -202,6 +202,16 @@ def launch_cluster(
         agent_options["max_pending"] = int(options.extras["coalesceMaxPending"])
     if "coalesceBackpressure" in options.extras:
         agent_options["backpressure"] = options.extras["coalesceBackpressure"]
+    if "overheadBudget" in options.extras:
+        # overheadBudget=1.05 caps tracking overhead at 5% over baseline;
+        # "unlimited"/"off" keeps full, unbudgeted tracking.
+        from repro.core.agent import parse_overhead_budget
+
+        agent_options["overhead_budget"] = parse_overhead_budget(
+            options.extras["overheadBudget"]
+        )
+    if "taintSampleEvery" in options.extras:
+        agent_options["sample_every"] = int(options.extras["taintSampleEvery"])
     taint_map_shards = int(options.extras.get("taintMapShards", 1))
     cluster = Cluster(
         mode,

@@ -391,13 +391,27 @@ class TaintMapStats:
         return totals
 
 
+#: Fraction of a bounded cache's capacity given to the probation
+#: segment; the rest is the protected segment.
+_PROBATION_FRACTION = 0.2
+
+
 class _LruCache:
-    """Thread-safe mapping with optional LRU capacity.
+    """Thread-safe mapping: unbounded, or bounded **segmented LRU**.
 
     ``capacity=None`` (the default) never evicts — preserving Fig. 9's
     "does not need to request a Global ID again" guarantee exactly.  A
     bounded cache trades that for bounded memory on long-lived nodes;
     evicted entries simply re-register/re-look-up on next use.
+
+    The bounded policy is segmented (SLRU) rather than plain LRU for
+    scan resistance: a GID burst from someone else's snapshot transfer
+    is a one-pass key scan that plain LRU lets flush the whole cache.
+    New entries land in a small **probation** segment
+    (:data:`_PROBATION_FRACTION` of capacity); only a hit while on
+    probation promotes to **protected**.  Scanned-once keys march
+    through probation and fall out without ever touching the protected
+    segment, so the re-referenced working set survives the scan.
     """
 
     def __init__(self, capacity: Optional[int], stats: TaintMapStats):
@@ -406,40 +420,82 @@ class _LruCache:
         self._capacity = capacity
         self._stats = stats
         self._lock = threading.Lock()
-        self._data: OrderedDict = OrderedDict()
+        # capacity=None keeps everything in _probation, never evicting.
+        self._probation: OrderedDict = OrderedDict()
+        self._protected: OrderedDict = OrderedDict()
+        if capacity is None:
+            self._protected_cap = 0
+        else:
+            probation_cap = max(1, int(capacity * _PROBATION_FRACTION))
+            self._protected_cap = max(0, capacity - probation_cap)
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._data)
+            return len(self._probation) + len(self._protected)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._probation.clear()
+            self._protected.clear()
 
     def get(self, key):
         with self._lock:
-            if key not in self._data:
+            if key in self._protected:
+                self._protected.move_to_end(key)
+                self._stats.bump("cache_hits")
+                return self._protected[key]
+            if key not in self._probation:
                 self._stats.bump("cache_misses")
                 return None
-            if self._capacity is not None:
-                self._data.move_to_end(key)
             self._stats.bump("cache_hits")
-            return self._data[key]
+            if self._capacity is None:
+                return self._probation[key]
+            value = self._probation.pop(key)
+            self._promote(key, value)
+            return value
 
     def put(self, key, value) -> None:
         with self._lock:
-            self._data[key] = value
-            self._evict_over_capacity(key)
+            if key in self._protected:
+                self._protected[key] = value
+                self._protected.move_to_end(key)
+                return
+            self._probation[key] = value
+            if self._capacity is not None:
+                self._probation.move_to_end(key)
+                self._evict_over_capacity()
 
     def setdefault(self, key, value) -> None:
         """Insert without touching hit/miss accounting (secondary fills)."""
         with self._lock:
-            if key not in self._data:
-                self._data[key] = value
-                self._evict_over_capacity(key)
+            if key in self._protected or key in self._probation:
+                return
+            self._probation[key] = value
+            if self._capacity is not None:
+                self._evict_over_capacity()
 
-    def _evict_over_capacity(self, fresh_key) -> None:
-        if self._capacity is None:
+    def _promote(self, key, value) -> None:
+        """Probation hit: move to protected, demoting its LRU entry back
+        to probation MRU if the protected segment is full."""
+        if self._protected_cap == 0:
+            # Degenerate tiny capacity: everything stays on probation.
+            self._probation[key] = value
+            self._probation.move_to_end(key)
             return
-        self._data.move_to_end(fresh_key)
-        while len(self._data) > self._capacity:
-            self._data.popitem(last=False)
+        self._protected[key] = value
+        self._protected.move_to_end(key)
+        while len(self._protected) > self._protected_cap:
+            demoted_key, demoted_value = self._protected.popitem(last=False)
+            self._probation[demoted_key] = demoted_value
+            self._probation.move_to_end(demoted_key)
+        self._evict_over_capacity()
+
+    def _evict_over_capacity(self) -> None:
+        while len(self._probation) + len(self._protected) > self._capacity:
+            if self._probation:
+                self._probation.popitem(last=False)
+            else:
+                self._protected.popitem(last=False)
             self._stats.bump("cache_evictions")
 
 

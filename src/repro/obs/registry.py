@@ -83,6 +83,10 @@ class _CounterChild:
         with self._lock:
             self._value += amount
 
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
     @property
     def value(self) -> float:
         with self._lock:
@@ -109,6 +113,10 @@ class _GaugeChild:
     def dec(self, amount: float = 1.0) -> None:
         with self._lock:
             self._value -= amount
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
 
     @property
     def value(self) -> float:
@@ -139,6 +147,12 @@ class _HistogramChild:
     def snapshot(self) -> tuple[list, float, int]:
         with self._lock:
             return list(self._counts), self._sum, self._count
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (self._buckets + 1)
+            self._sum = 0.0
+            self._count = 0
 
 
 class MetricFamily:
@@ -228,6 +242,13 @@ class MetricFamily:
             else:
                 samples.append({"labels": labels, "value": child.value})
         return {"type": self.kind, "help": self.help, "samples": samples}
+
+    def reset(self) -> None:
+        """Zero every child in place (handles stay valid and cached)."""
+        with self._lock:
+            children = list(self._children.values())
+        for child in children:
+            child.reset()
 
 
 class MetricsRegistry:
@@ -326,6 +347,19 @@ class MetricsRegistry:
     def exposition(self) -> str:
         return render_exposition(self.snapshot())
 
+    def reset(self) -> None:
+        """Zero every registered family in place.
+
+        Handles held by hot paths stay valid (children are reset, not
+        replaced).  Scrape-time collectors are *not* reset — they read
+        external state the registry does not own; use
+        :func:`diff_snapshots` to delta over them instead.
+        """
+        with self._lock:
+            families = list(self._families.values())
+        for family in families:
+            family.reset()
+
 
 # --------------------------------------------------------------------- #
 # Snapshot algebra (merging, quantiles, rendering)
@@ -391,6 +425,64 @@ def merge_snapshots(*snapshots: dict) -> dict:
     return out
 
 
+def diff_snapshots(after: dict, before: dict) -> dict:
+    """The delta ``after - before`` of two snapshots of the same source.
+
+    Counters and histograms subtract per label key (clamped at zero, so
+    an in-between :meth:`MetricsRegistry.reset` degrades to "count from
+    the reset" instead of going negative); gauges keep their ``after``
+    value — an instantaneous reading has no meaningful difference.
+    Series present only in ``after`` pass through unchanged; series only
+    in ``before`` are dropped.  This is how profiling code isolates one
+    run's activity on a registry it shares with setup work or earlier
+    runs (the metric-bleed fix).
+    """
+    out: dict = {}
+    for name, entry in after.items():
+        previous = before.get(name)
+        if previous is None or entry["type"] == GAUGE:
+            out[name] = {
+                "type": entry["type"],
+                "help": entry.get("help", ""),
+                "samples": [dict(s) for s in entry["samples"]],
+            }
+            continue
+        if previous["type"] != entry["type"]:
+            raise TelemetryError(
+                f"cannot diff {name}: {previous['type']} vs {entry['type']}"
+            )
+        by_labels = {_label_key(s["labels"]): s for s in previous["samples"]}
+        samples = []
+        for sample in entry["samples"]:
+            base = by_labels.get(_label_key(sample["labels"]))
+            if base is None:
+                samples.append(dict(sample))
+            elif entry["type"] == HISTOGRAM:
+                if base["le"] != sample["le"]:
+                    raise TelemetryError(f"cannot diff {name}: bucket layouts differ")
+                samples.append(
+                    {
+                        "labels": dict(sample["labels"]),
+                        "le": list(sample["le"]),
+                        "buckets": [
+                            max(0, a - b)
+                            for a, b in zip(sample["buckets"], base["buckets"])
+                        ],
+                        "sum": max(0.0, sample["sum"] - base["sum"]),
+                        "count": max(0, sample["count"] - base["count"]),
+                    }
+                )
+            else:
+                samples.append(
+                    {
+                        "labels": dict(sample["labels"]),
+                        "value": max(0.0, sample["value"] - base["value"]),
+                    }
+                )
+        out[name] = {"type": entry["type"], "help": entry.get("help", ""), "samples": samples}
+    return out
+
+
 def _matches(sample: dict, labels: Optional[dict]) -> bool:
     if not labels:
         return True
@@ -407,6 +499,21 @@ def snapshot_total(snapshot: dict, name: str, labels: Optional[dict] = None) -> 
             sum(s["count"] for s in entry["samples"] if _matches(s, labels))
         )
     return float(sum(s["value"] for s in entry["samples"] if _matches(s, labels)))
+
+
+def snapshot_max(snapshot: dict, name: str, labels: Optional[dict] = None):
+    """Maximum value over matching counter/gauge series, or ``None``.
+
+    The per-series complement of :func:`snapshot_total` for gauges whose
+    per-node series must not be summed (e.g. each node's
+    ``dista_budget_overhead_ratio`` — a cluster's worst-case controller
+    estimate is the max, not the sum, across nodes).
+    """
+    entry = snapshot.get(name)
+    if entry is None or entry["type"] == HISTOGRAM:
+        return None
+    values = [s["value"] for s in entry["samples"] if _matches(s, labels)]
+    return max(values) if values else None
 
 
 def snapshot_quantile(

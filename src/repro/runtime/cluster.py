@@ -41,6 +41,8 @@ class Cluster:
         coalesce_window_us: Optional[float] = None,
         coalesce_adaptive: Optional[bool] = None,
         request_deadline_s: Optional[float] = None,
+        overhead_budget: Optional[float] = None,
+        taint_sample_every: Optional[int] = None,
     ):
         self.mode = mode
         self.name = name
@@ -61,6 +63,11 @@ class Cluster:
         #: Async-transport per-request deadline (s); 0 disables it.
         if request_deadline_s is not None:
             self.agent_options.setdefault("request_deadline_s", request_deadline_s)
+        #: Budgeted tracking: overhead ceiling and flow-sampling period.
+        if overhead_budget is not None:
+            self.agent_options.setdefault("overhead_budget", overhead_budget)
+        if taint_sample_every is not None:
+            self.agent_options.setdefault("sample_every", taint_sample_every)
         #: Number of Taint Map shards (shard i at TAINT_MAP_PORT + i).
         #: The default single shard is byte-identical to the unsharded
         #: deployment.
@@ -73,6 +80,7 @@ class Cluster:
         self._default_sources: list[str] = []
         self._default_sinks: list[str] = []
         self._default_source_fraction = 1.0
+        self._default_sample_every = int(self.agent_options.get("sample_every", 1))
         #: The sharded service (all shards); ``taint_map_server`` below
         #: stays the shard-0 server for single-shard compatibility.
         self.taint_map_service = None
@@ -93,6 +101,7 @@ class Cluster:
         for pattern in self._default_sinks:
             node.registry.add_sink(pattern)
         node.registry.source_fraction = self._default_source_fraction
+        node.registry.sample_every = self._default_sample_every
         self.nodes[name] = node
         if self._started:
             self._attach_agent(node)
@@ -122,6 +131,35 @@ class Cluster:
         self._default_source_fraction = float(fraction)
         for node in self.nodes.values():
             node.registry.source_fraction = float(fraction)
+
+    def configure_sample_every(self, sample_every: int) -> None:
+        """Flow-sampling period: track every k-th flow at registration.
+
+        Applies to existing node registries and becomes the default for
+        nodes added later; with a budget set it is also the controller's
+        coverage floor (agents attach after this runs at spec-apply
+        time, or pick it up via ``agent_options``).
+        """
+        k = int(sample_every)
+        if k < 1:
+            raise ReproError(f"sample_every must be >= 1, got {sample_every}")
+        self._default_sample_every = k
+        self.agent_options["sample_every"] = k
+        for node in self.nodes.values():
+            node.registry.sample_every = k
+
+    def configure_overhead_budget(self, budget) -> None:
+        """Overhead ceiling for budgeted tracking (ratio over baseline).
+
+        Must be called before :meth:`start` — the controller is built at
+        agent-attach time.  Accepts a float >= 1.0 or the string forms
+        understood by ``DISTA_OVERHEAD_BUDGET`` ("unlimited"/"off").
+        """
+        if self._started:
+            raise ReproError("configure_overhead_budget before cluster start")
+        from repro.core.agent import parse_overhead_budget
+
+        self.agent_options["overhead_budget"] = parse_overhead_budget(budget)
 
     # -- lifecycle ------------------------------------------------------------ #
 

@@ -40,8 +40,12 @@ def sdt_spec() -> TaintSpec:
     return TaintSpec(sources=[TEXT_MESSAGE_DESCRIPTOR], sinks=[CONSUMER_RECEIVE_DESCRIPTOR])
 
 
-def sim_spec(source_fraction: float = 1.0) -> TaintSpec:
-    return common.sim_spec(source_fraction)
+def sim_spec(
+    source_fraction: float = 1.0,
+    overhead_budget: float | None = None,
+    sample_every: int | None = None,
+) -> TaintSpec:
+    return common.sim_spec(source_fraction, overhead_budget, sample_every)
 
 
 def deploy_and_distribute(cluster: Cluster, message_length: int = MESSAGE_LENGTH) -> dict:
@@ -78,11 +82,15 @@ def deploy_and_distribute(cluster: Cluster, message_length: int = MESSAGE_LENGTH
 
 
 def run_workload(
-    mode: Mode, scenario: str | None = None, source_fraction: float = 1.0
+    mode: Mode,
+    scenario: str | None = None,
+    source_fraction: float = 1.0,
+    overhead_budget: float | None = None,
+    sample_every: int | None = None,
 ) -> WorkloadResult:
     spec = None
     if scenario == SDT:
         spec = sdt_spec()
     elif scenario == SIM:
-        spec = sim_spec(source_fraction)
+        spec = sim_spec(source_fraction, overhead_budget, sample_every)
     return run_system_workload("ActiveMQ", mode, scenario, spec, deploy_and_distribute)

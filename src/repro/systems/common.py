@@ -72,16 +72,25 @@ class WorkloadResult:
         return any(tag.local_id.ip != node_ip for tag in observation.tags)
 
 
-def sim_spec(source_fraction: float = 1.0) -> TaintSpec:
+def sim_spec(
+    source_fraction: float = 1.0,
+    overhead_budget: Optional[float] = None,
+    sample_every: Optional[int] = None,
+) -> TaintSpec:
     """The uniform SIM scenario of Table IV: file reads → LOG.info.
 
     ``source_fraction`` gates what fraction of the file-read sources
     actually taint — the knob the tainted-fraction overhead sweep turns.
+    ``overhead_budget`` / ``sample_every`` are the budgeted-tracking
+    knobs (overhead ceiling and flow-sampling period); both default to
+    off, i.e. full, unbudgeted tracking.
     """
     return TaintSpec(
         sources=[FILE_READ_DESCRIPTOR],
         sinks=[LOG_INFO_DESCRIPTOR],
         source_fraction=source_fraction,
+        overhead_budget=overhead_budget,
+        sample_every=sample_every,
     )
 
 
@@ -122,10 +131,16 @@ def run_system_workload(
     cluster context is up (agents attached, Taint Map booted) — matching
     the paper, which measures workload execution on a running deployment.
     """
+    from repro.obs.registry import diff_snapshots
+
     cluster = Cluster(mode, name=f"{system}-{mode.value}-{scenario or 'plain'}")
     if spec is not None and mode is not Mode.ORIGINAL:
         spec.apply(cluster)
     with cluster:
+        # Telemetry is reported as a delta over the post-attach state so
+        # agent-attachment and service-boot counts from this (or any
+        # shared) cluster never bleed into the workload's numbers.
+        setup_snapshot = cluster.telemetry_snapshot()
         started = time.perf_counter()
         extras = deploy_and_run(cluster)
         duration = time.perf_counter() - started
@@ -141,7 +156,7 @@ def run_system_workload(
         )
         taints = cluster.global_taint_count()
         wire = cluster.wire_bytes(exclude_taint_map=True)
-        telemetry = cluster.telemetry_snapshot()
+        telemetry = diff_snapshots(cluster.telemetry_snapshot(), setup_snapshot)
     return WorkloadResult(
         system=system,
         mode=mode,

@@ -43,8 +43,12 @@ def sdt_spec() -> TaintSpec:
     return TaintSpec(sources=[TABLE_NAME_DESCRIPTOR], sinks=[RESULT_DESCRIPTOR])
 
 
-def sim_spec(source_fraction: float = 1.0) -> TaintSpec:
-    return common.sim_spec(source_fraction)
+def sim_spec(
+    source_fraction: float = 1.0,
+    overhead_budget: float | None = None,
+    sample_every: int | None = None,
+) -> TaintSpec:
+    return common.sim_spec(source_fraction, overhead_budget, sample_every)
 
 
 def _boot_zookeeper(cluster: Cluster, nodes: list, timeout: float = 30.0):
@@ -124,11 +128,15 @@ def deploy_and_get(cluster: Cluster) -> dict:
 
 
 def run_workload(
-    mode: Mode, scenario: str | None = None, source_fraction: float = 1.0
+    mode: Mode,
+    scenario: str | None = None,
+    source_fraction: float = 1.0,
+    overhead_budget: float | None = None,
+    sample_every: int | None = None,
 ) -> WorkloadResult:
     spec = None
     if scenario == SDT:
         spec = sdt_spec()
     elif scenario == SIM:
-        spec = sim_spec(source_fraction)
+        spec = sim_spec(source_fraction, overhead_budget, sample_every)
     return run_system_workload("HBase+ZooKeeper", mode, scenario, spec, deploy_and_get)

@@ -44,8 +44,12 @@ def sdt_spec() -> TaintSpec:
     return TaintSpec(sources=[APP_ID_DESCRIPTOR], sinks=[GET_REPORT_DESCRIPTOR])
 
 
-def sim_spec(source_fraction: float = 1.0) -> TaintSpec:
-    return common.sim_spec(source_fraction)
+def sim_spec(
+    source_fraction: float = 1.0,
+    overhead_budget: float | None = None,
+    sample_every: int | None = None,
+) -> TaintSpec:
+    return common.sim_spec(source_fraction, overhead_budget, sample_every)
 
 
 def deploy_and_run_pi(cluster: Cluster, maps: int = 4, samples: int = 2000) -> dict:
@@ -97,11 +101,15 @@ def deploy_and_run_pi(cluster: Cluster, maps: int = 4, samples: int = 2000) -> d
 
 
 def run_workload(
-    mode: Mode, scenario: str | None = None, source_fraction: float = 1.0
+    mode: Mode,
+    scenario: str | None = None,
+    source_fraction: float = 1.0,
+    overhead_budget: float | None = None,
+    sample_every: int | None = None,
 ) -> WorkloadResult:
     spec = None
     if scenario == SDT:
         spec = sdt_spec()
     elif scenario == SIM:
-        spec = sim_spec(source_fraction)
+        spec = sim_spec(source_fraction, overhead_budget, sample_every)
     return run_system_workload("MapReduce/Yarn", mode, scenario, spec, deploy_and_run_pi)

@@ -46,8 +46,12 @@ def sdt_spec() -> TaintSpec:
     return TaintSpec(sources=[VOTE_INIT_DESCRIPTOR], sinks=[CHECK_LEADER_DESCRIPTOR])
 
 
-def sim_spec(source_fraction: float = 1.0) -> TaintSpec:
-    return common.sim_spec(source_fraction)
+def sim_spec(
+    source_fraction: float = 1.0,
+    overhead_budget: float | None = None,
+    sample_every: int | None = None,
+) -> TaintSpec:
+    return common.sim_spec(source_fraction, overhead_budget, sample_every)
 
 
 #: Leader→learner synchronization port (ZooKeeper's quorum port 2888).
@@ -145,12 +149,16 @@ def deploy_and_elect(cluster: Cluster, timeout: float = 30.0) -> dict:
 
 
 def run_workload(
-    mode: Mode, scenario: str | None = None, source_fraction: float = 1.0
+    mode: Mode,
+    scenario: str | None = None,
+    source_fraction: float = 1.0,
+    overhead_budget: float | None = None,
+    sample_every: int | None = None,
 ) -> WorkloadResult:
     """One Table-VI cell for ZooKeeper."""
     spec = None
     if scenario == SDT:
         spec = sdt_spec()
     elif scenario == SIM:
-        spec = sim_spec(source_fraction)
+        spec = sim_spec(source_fraction, overhead_budget, sample_every)
     return run_system_workload("ZooKeeper", mode, scenario, spec, deploy_and_elect)

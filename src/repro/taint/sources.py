@@ -63,6 +63,16 @@ class SourceSinkRegistry:
     #: value (the tainted-traffic knob of the overhead sweep).  1.0 is
     #: the paper's behaviour: every firing taints.
     source_fraction: float = 1.0
+    #: Budgeted tracking's flow-sampling period: admit (taint) every
+    #: ``k``-th matching source firing, counted deterministically per
+    #: registry.  1 admits every flow (the paper's behaviour); the
+    #: overhead-budget controller (:mod:`repro.taint.budget`) adapts
+    #: this attribute at runtime.  A sampled-out flow's value is
+    #: returned untainted, so it dispatches through the zero-taint fast
+    #: path everywhere downstream — never touching the resolver or the
+    #: Taint Map — and its wire frames are byte-identical to untainted
+    #: traffic.
+    sample_every: int = 1
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -70,6 +80,13 @@ class SourceSinkRegistry:
         self.observations: list[SinkObservation] = []
         self._auto_counter = 0
         self._sample_counter = 0
+        self._flow_counter = 0
+        #: Matching source firings gated out by flow sampling.
+        self.sampled_out = 0
+        #: Matching source firings admitted by flow sampling (only
+        #: counted while ``sample_every`` > 1; with sampling off the
+        #: admission check is skipped entirely).
+        self.admitted = 0
 
     # -- configuration -------------------------------------------------- #
 
@@ -98,9 +115,26 @@ class SourceSinkRegistry:
         (Bresenham-style): of the first ``n`` matching calls, exactly
         ``floor(n * fraction)`` taint their value — 0.0 never fires,
         1.0 always does, and reruns are reproducible.
+
+        ``sample_every`` = k > 1 additionally admits only every k-th
+        matching firing (budgeted tracking's flow sampling).  Admission
+        is a plain per-registry counter — independent of timing, Taint
+        Map transport and thread scheduling — so the same workload
+        admits the identical flow set on every run.
         """
         if not self.is_source(descriptor):
             return value
+        every = self.sample_every
+        if every > 1:
+            with self._lock:
+                self._flow_counter += 1
+                admitted = (self._flow_counter - 1) % every == 0
+                if admitted:
+                    self.admitted += 1
+                else:
+                    self.sampled_out += 1
+            if not admitted:
+                return value
         fraction = self.source_fraction
         if fraction < 1.0:
             with self._lock:

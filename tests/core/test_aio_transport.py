@@ -175,7 +175,7 @@ class TestAsyncClientApi:
             node, server.address, coalesce_window_us=20000.0
         )
         known = client.gid_for(node.tree.taint_for_tag("known"))
-        client._taint_cache._data.clear()  # force a wire lookup
+        client._taint_cache.clear()  # force a wire lookup
 
         results = {}
         barrier = threading.Barrier(2)

@@ -1,0 +1,159 @@
+"""Snapshot algebra: reset, deltas, per-series max (the metric-bleed fix).
+
+A workload's telemetry must describe *that workload*, not whatever the
+registry accumulated during setup or earlier runs on the same process.
+The profiler isolates runs with ``diff_snapshots(after, before)``;
+``MetricsRegistry.reset`` zeroes families in place without invalidating
+hot-path handles; ``snapshot_max`` reads per-node gauges that must never
+be summed (a cluster's worst-case controller ratio is the max across
+nodes, not the total).
+"""
+
+import pytest
+
+from repro.obs.registry import (
+    MetricsRegistry,
+    TelemetryError,
+    diff_snapshots,
+    snapshot_max,
+    snapshot_quantile,
+    snapshot_total,
+)
+
+
+def loaded_registry():
+    registry = MetricsRegistry()
+    counter = registry.counter("requests_total", "", ("route",))
+    counter.labels(route="a").inc(10)
+    counter.labels(route="b").inc(4)
+    registry.gauge("depth", "").set(7)
+    histogram = registry.histogram("latency_us", "")
+    for value in (1.0, 2.0, 500.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestReset:
+    def test_reset_zeroes_but_keeps_handles_valid(self):
+        registry = loaded_registry()
+        handle = registry.counter("requests_total", "", ("route",)).labels(route="a")
+        registry.reset()
+        assert snapshot_total(registry.snapshot(), "requests_total") == 0
+        assert snapshot_total(registry.snapshot(), "latency_us") == 0
+        # The pre-reset child still feeds the same series.
+        handle.inc(3)
+        assert (
+            snapshot_total(registry.snapshot(), "requests_total", {"route": "a"}) == 3
+        )
+
+    def test_reset_leaves_collectors_alone(self):
+        registry = MetricsRegistry()
+        registry.register_collector(
+            lambda: {
+                "external_total": {
+                    "type": "counter",
+                    "help": "",
+                    "samples": [{"labels": {}, "value": 5.0}],
+                }
+            }
+        )
+        registry.reset()
+        # Collectors read external state the registry does not own.
+        assert snapshot_total(registry.snapshot(), "external_total") == 5.0
+
+
+class TestDiffSnapshots:
+    def test_counters_and_histograms_subtract(self):
+        registry = loaded_registry()
+        before = registry.snapshot()
+        registry.counter("requests_total", "", ("route",)).labels(route="a").inc(5)
+        registry.histogram("latency_us", "").observe(3.0)
+        delta = diff_snapshots(registry.snapshot(), before)
+        assert snapshot_total(delta, "requests_total", {"route": "a"}) == 5
+        assert snapshot_total(delta, "requests_total", {"route": "b"}) == 0
+        assert snapshot_total(delta, "latency_us") == 1
+        # The delta histogram's mass is only the new observation — the
+        # 500.0 spike from the *before* window is gone.
+        assert snapshot_quantile(delta, "latency_us", 0.99) < 500.0
+
+    def test_gauges_keep_the_after_value(self):
+        registry = loaded_registry()
+        before = registry.snapshot()
+        registry.gauge("depth", "").set(2)
+        delta = diff_snapshots(registry.snapshot(), before)
+        # An instantaneous reading has no meaningful difference.
+        assert snapshot_total(delta, "depth") == 2
+
+    def test_new_series_pass_through_old_ones_drop(self):
+        registry = MetricsRegistry()
+        registry.counter("old_total", "").inc(9)
+        before = registry.snapshot()
+        after = MetricsRegistry()
+        after.counter("new_total", "").inc(2)
+        delta = diff_snapshots(after.snapshot(), before)
+        assert snapshot_total(delta, "new_total") == 2
+        assert "old_total" not in delta
+
+    def test_reset_between_snapshots_clamps_at_zero(self):
+        registry = loaded_registry()
+        before = registry.snapshot()
+        registry.reset()
+        registry.counter("requests_total", "", ("route",)).labels(route="a").inc(2)
+        delta = diff_snapshots(registry.snapshot(), before)
+        # Clamped at zero rather than going negative: an in-between
+        # reset can hide activity but never corrupt the delta's sign.
+        assert snapshot_total(delta, "requests_total", {"route": "a"}) == 0
+
+    def test_kind_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.gauge("m", "").set(1)
+        b = MetricsRegistry()
+        b.counter("m", "").inc()
+        with pytest.raises(TelemetryError):
+            diff_snapshots(b.snapshot(), a.snapshot())
+
+
+class TestSnapshotMax:
+    def test_max_over_per_node_series(self):
+        merged: dict = {}
+        for node, value in (("n1", 1.0), ("n2", 1.3), ("n3", 1.1)):
+            registry = MetricsRegistry({"node": node})
+            registry.gauge("ratio", "").set(value)
+            for name, entry in registry.snapshot().items():
+                merged.setdefault(name, {"type": entry["type"], "samples": []})[
+                    "samples"
+                ].extend(entry["samples"])
+        assert snapshot_max(merged, "ratio") == 1.3
+        assert snapshot_max(merged, "ratio", {"node": "n2"}) == 1.3
+        assert snapshot_max(merged, "ratio", {"node": "n1"}) == 1.0
+
+    def test_absent_metric_is_none_not_zero(self):
+        # The sweep distinguishes "controller absent" (unlimited leg)
+        # from "controller reporting 0"; snapshot_total cannot.
+        assert snapshot_max({}, "ratio") is None
+
+
+class TestWorkloadTelemetryIsolation:
+    def test_back_to_back_runs_report_identical_activity(self):
+        """The profiler regression: run the same SIM workload twice on
+        one process — the second report must not inherit the first
+        run's counts (or any attach-time setup traffic)."""
+        from repro.obs.registry import snapshot_total as total
+        from repro.runtime.modes import Mode
+        from repro.systems.mapreduce import workload
+
+        results = [workload.run_workload(Mode.DISTA, scenario="SIM") for _ in range(2)]
+        # Split-invariant counters only: call and raw-byte counts vary
+        # run-to-run with TCP read splitting and RPC coalescing (that
+        # is timing, not bleed); the taint-flow totals are conserved.
+        for name in (
+            "dista_jni_tainted_bytes_total",
+            "dista_crossings_total",
+        ):
+            first = total(results[0].telemetry, name)
+            second = total(results[1].telemetry, name)
+            assert first > 0, f"{name}: workload produced no activity"
+            assert first == second, (
+                f"{name}: first run reported {first}, second {second} — "
+                "telemetry bled between runs"
+            )
