@@ -1,0 +1,215 @@
+"""Elastic resharding benchmark (PR 8): live 1→4 scale-out vs a fresh
+4-shard deployment.
+
+The tentpole claim is that the Taint Map can grow online: a cluster
+deployed with one shard scales to four **while serving traffic**, with
+zero failed lookups and zero renumbered GIDs, and afterwards delivers
+(nearly) the throughput of a fleet that was deployed with four shards
+from day one.
+
+Three measured phases, each best-of-``REPEATS`` fresh-registration
+rounds (8 threads through one shared client, per-shard
+``service_time`` modelling shards on their own machines):
+
+* ``one_shard`` — the pre-scale baseline (1 shard, epoch 0);
+* ``fresh_four`` — a 4-shard service deployed that way (epoch 0);
+* ``live_four`` — a 1-shard service scaled to 4 **under churn** (a
+  background thread registers throughout the migration), then measured.
+
+Correctness canaries recorded alongside throughput (and asserted):
+
+* every GID allocated before, during and after the scale-out resolves —
+  ``failed_lookups == 0``;
+* re-registering every pre-scale taint through a cache-free client
+  returns the original GIDs — ``renumbered_gids == 0``.
+
+Results land in ``BENCH_PR8.json``; acceptance is live-scaled
+throughput ≥ 85% of fresh-4-shard.
+"""
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.core.elastic import RingCoordinator
+from repro.core.taintmap import ShardedTaintMapService, TaintMapClient
+from repro.runtime.cluster import TAINT_MAP_IP, TAINT_MAP_PORT
+from repro.runtime.fs import SimFileSystem
+from repro.runtime.kernel import SimKernel
+from repro.runtime.modes import Mode
+from repro.runtime.node import SimNode
+
+SENDER_THREADS = 8
+OPS_PER_THREAD = 40
+#: Per-request shard processing cost (0.5 ms), matching BENCH_PR2.
+SERVICE_TIME = 0.0005
+REPEATS = 3
+#: Taints registered before the scale-out (the state that must migrate).
+PRELOAD = 200
+#: Acceptance bar: live-scaled throughput over fresh-deployed.
+MIN_LIVE_FRACTION = 0.85
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
+
+
+def _boot(shard_count, namespace):
+    kernel = SimKernel(f"elastic-bench-{namespace}")
+    kernel.register_node(TAINT_MAP_IP)
+    fs = SimFileSystem()
+    service = ShardedTaintMapService(
+        kernel, TAINT_MAP_IP, TAINT_MAP_PORT, shard_count, service_time=SERVICE_TIME
+    ).start()
+    node = SimNode("n", kernel.register_node("10.0.0.1"), 1, kernel, fs, Mode.DISTA)
+    return kernel, fs, service, node
+
+
+def _timed_round(client, node, namespace):
+    """8 threads of fresh registrations; returns registrations/second."""
+    taints = [
+        [node.tree.taint_for_tag(f"{namespace}-{t}-{i}") for i in range(OPS_PER_THREAD)]
+        for t in range(SENDER_THREADS)
+    ]
+    barrier = threading.Barrier(SENDER_THREADS + 1)
+
+    def sender(batch):
+        barrier.wait()
+        for taint in batch:
+            client.gid_for(taint)
+
+    threads = [
+        threading.Thread(target=sender, args=(batch,), daemon=True)
+        for batch in taints
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return SENDER_THREADS * OPS_PER_THREAD / elapsed
+
+
+def _steady_throughput(shard_count, namespace):
+    """Best-of-REPEATS on a freshly deployed ``shard_count`` service."""
+    kernel, fs, service, node = _boot(shard_count, namespace)
+    client = TaintMapClient(node, service.addresses)
+    try:
+        return max(
+            _timed_round(client, node, f"{namespace}-r{r}") for r in range(REPEATS)
+        )
+    finally:
+        client.close()
+        service.stop()
+
+
+def _live_scale_out(namespace):
+    """Deploy 1 shard, scale to 4 under churn, measure the scaled fleet.
+
+    Returns (throughput, correctness dict, migration dict).
+    """
+    kernel, fs, service, node = _boot(1, namespace)
+    client = TaintMapClient(node, service.addresses)
+    try:
+        pre_taints = [
+            node.tree.taint_for_tag(f"{namespace}-pre-{i}") for i in range(PRELOAD)
+        ]
+        pre_gids = [client.gid_for(t) for t in pre_taints]
+
+        # Churn keeps registering while the coordinator migrates.
+        churned = []
+        stop = threading.Event()
+
+        def churn():
+            i = 0
+            while not stop.is_set():
+                taint = node.tree.taint_for_tag(f"{namespace}-churn-{i}")
+                churned.append((taint, client.gid_for(taint)))
+                i += 1
+
+        churner = threading.Thread(target=churn, daemon=True)
+        churner.start()
+        migrate_started = time.perf_counter()
+        coordinator = RingCoordinator(service)
+        ring = coordinator.scale_to(4)
+        migrate_elapsed = time.perf_counter() - migrate_started
+        stop.set()
+        churner.join(30)
+        client.adopt_ring(ring)
+
+        throughput = max(
+            _timed_round(client, node, f"{namespace}-post-r{r}")
+            for r in range(REPEATS)
+        )
+
+        # Canary 1: zero failed lookups across everything ever allocated.
+        node2 = SimNode(
+            "n2", kernel.register_node("10.0.0.2"), 2, kernel, fs, Mode.DISTA
+        )
+        checker = TaintMapClient(node2, service.addresses, cache_enabled=False)
+        checker.adopt_ring(ring)
+        all_gids = pre_gids + [gid for _, gid in churned]
+        failed_lookups = sum(1 for gid in all_gids if checker.taint_for(gid) is None)
+
+        # Canary 2: zero renumbered GIDs — migrated dedup state answers
+        # with the original IDs.
+        renumbered = sum(
+            1
+            for taint, gid in zip(pre_taints, pre_gids)
+            if checker.gid_for(taint) != gid
+        )
+        checker.close()
+
+        correctness = {
+            "gids_checked": len(all_gids),
+            "failed_lookups": failed_lookups,
+            "renumbered_gids": renumbered,
+            "churn_registrations_during_migration": len(churned),
+        }
+        migration = {
+            "ring_epoch": ring.epoch,
+            "entries_migrated": coordinator.handoff_entries_sent,
+            "handoff_chunks": coordinator.handoff_chunks_sent,
+            "migration_seconds": migrate_elapsed,
+            "stale_ring_retries": client.stats.snapshot()["stale_ring_retries"],
+        }
+        return throughput, correctness, migration
+    finally:
+        client.close()
+        service.stop()
+
+
+def test_live_scale_out_matches_fresh_deployment():
+    one_shard = _steady_throughput(1, "one")
+    fresh_four = _steady_throughput(4, "fresh4")
+    live_four, correctness, migration = _live_scale_out("live")
+
+    report = {
+        "bench": "elastic_resharding",
+        "workload": (
+            f"{SENDER_THREADS} threads x {OPS_PER_THREAD} fresh registrations, "
+            f"service_time={SERVICE_TIME}s/shard, {PRELOAD} preloaded taints, "
+            f"churn during migration"
+        ),
+        "repeats": REPEATS,
+        "results": {
+            "one_shard_registrations_per_s": one_shard,
+            "fresh_four_registrations_per_s": fresh_four,
+            "live_four_registrations_per_s": live_four,
+            "live_over_fresh": live_four / fresh_four,
+            "live_over_one_shard": live_four / one_shard,
+        },
+        "correctness": correctness,
+        "migration": migration,
+    }
+    _RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    assert correctness["failed_lookups"] == 0, correctness
+    assert correctness["renumbered_gids"] == 0, correctness
+    assert migration["entries_migrated"] > 0
+    fraction = live_four / fresh_four
+    assert fraction >= MIN_LIVE_FRACTION, (
+        f"live-scaled fleet at {fraction:.2%} of fresh 4-shard throughput "
+        f"({live_four:.0f} vs {fresh_four:.0f} registrations/s)"
+    )

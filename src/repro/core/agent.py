@@ -244,6 +244,8 @@ class DisTAAgent:
         backpressure: Optional[str] = None,
         overhead_budget=None,
         sample_every: Optional[int] = None,
+        budget_warm_start=None,
+        cache_admission: Optional[bool] = None,
     ):
         #: One ``(ip, port)`` or a sequence of per-shard addresses —
         #: passed straight to :class:`TaintMapClient`, which routes by
@@ -292,6 +294,16 @@ class DisTAAgent:
         #: controller's floor (maximum coverage); without one it is a
         #: static knob.  ``None`` leaves the registry's value alone.
         self.sample_every = sample_every
+        #: Warm start for the budget controller: a snapshot dict (from
+        #: :meth:`~repro.taint.budget.OverheadBudgetController.snapshot`)
+        #: or its ``"k"``/``"k:method+method"`` string spelling — the
+        #: controller resumes at a previous run's converged operating
+        #: point instead of re-paying the shed transient.  Ignored when
+        #: no budget resolves (there is no controller to warm).
+        self.budget_warm_start = budget_warm_start
+        #: TinyLFU admission for the client's GID/taint caches; ``None``
+        #: keeps the plain-LRU default.
+        self.cache_admission = cache_admission
 
     def _make_client(self, node) -> tuple[TaintMapClient, str]:
         transport = resolve_transport(self.transport)
@@ -310,6 +322,8 @@ class DisTAAgent:
                 options["max_pending"] = self.max_pending
             if self.backpressure is not None:
                 options["backpressure"] = self.backpressure
+            if self.cache_admission is not None:
+                options["cache_admission"] = bool(self.cache_admission)
             client = AsyncTaintMapClient(
                 node,
                 self.taint_map_address,
@@ -318,8 +332,15 @@ class DisTAAgent:
                 **options,
             )
         else:
+            options = {}
+            if self.cache_admission is not None:
+                options["cache_admission"] = bool(self.cache_admission)
             client = TaintMapClient(
-                node, self.taint_map_address, self.cache_enabled, self.cache_capacity
+                node,
+                self.taint_map_address,
+                self.cache_enabled,
+                self.cache_capacity,
+                **options,
             )
         return client, transport
 
@@ -366,7 +387,11 @@ class DisTAAgent:
         if budget is None:
             return
         from repro.obs.profiler import baseline_reference
-        from repro.taint.budget import BudgetConfig, OverheadBudgetController
+        from repro.taint.budget import (
+            BudgetConfig,
+            OverheadBudgetController,
+            parse_budget_warm_start,
+        )
 
         floor = 1
         if registry is not None:
@@ -378,6 +403,12 @@ class DisTAAgent:
             registry=registry,
             metrics=getattr(node, "metrics", None),
         )
+        try:
+            warm = parse_budget_warm_start(self.budget_warm_start)
+        except ValueError as exc:
+            raise InstrumentationError(str(exc)) from exc
+        if warm is not None:
+            controller.restore(warm)
         runtime.attach_budget(controller)
 
     def detach(self, node) -> None:

@@ -79,6 +79,7 @@ from repro.core.taintmap import (
     OP_REGISTER_MANY,
     PROTOCOL_MAX_BATCH,
     STATUS_OK,
+    STATUS_STALE_RING,
     STATUS_UNKNOWN_GID,
     TRANSPORT_ERRORS,
     TaintMapClient,
@@ -88,6 +89,8 @@ from repro.core.taintmap import (
     _send_frame,
     _split_batch_lookup_response,
     _split_batch_register,
+    deserialize_tags,
+    taint_key,
 )
 from repro.errors import (
     PipeClosed,
@@ -584,19 +587,63 @@ class AsyncTaintMapTransport:
                 raise TaintMapError("async taint map transport is closed")
             if self.loop is None:
                 self.loop = asyncio.new_event_loop()
-                shard_count = len(self.client._shard_replicas)
-                self._channels = [
-                    _ShardChannel(self, shard) for shard in range(shard_count)
-                ]
-                self._windows = [
-                    (_PendingWindow(), _PendingWindow())
-                    for _ in range(shard_count)
-                ]
+                # The client's replica list may have grown (ring adopted
+                # before first use); size every per-shard list from it.
+                self._grow_state(len(self.client._shard_replicas))
                 self._thread = threading.Thread(
                     target=self.loop.run_forever, name="taintmap-aio", daemon=True
                 )
                 self._thread.start()
             return self.loop
+
+    def _grow_state(self, shard_count: int) -> None:
+        """Append per-shard state up to ``shard_count`` (never shrinks).
+
+        Must run on the event-loop thread once the loop exists — every
+        list here is loop-confined after start.  Channels dial lazily,
+        so a shard that appears mid-flight costs nothing until its
+        first request opens the mux connection.
+        """
+        while len(self._pending_counts) < shard_count:
+            self._pending_counts.append(0)
+            self._drain_waiters.append(deque())
+            if self._controllers is not None:
+                self._controllers.append(
+                    AdaptiveWindowController(self.coalesce_window_us)
+                )
+        if self.loop is not None:
+            while len(self._channels) < shard_count:
+                self._channels.append(_ShardChannel(self, len(self._channels)))
+                self._windows.append((_PendingWindow(), _PendingWindow()))
+
+    def grow_to(self, shard_count: int) -> None:
+        """Ring adoption hook: make every per-shard structure cover
+        ``shard_count`` shards before the client's router can return a
+        new index.  Safe from any thread; loop-confined state is grown
+        on the loop itself (inline when already running there — the
+        stale-ring re-route path calls this mid-flush)."""
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            loop = self.loop
+            if loop is None:
+                self._grow_state(shard_count)
+                return
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is loop:
+            self._grow_state(shard_count)
+            return
+
+        async def grow() -> None:
+            self._grow_state(shard_count)
+
+        try:
+            asyncio.run_coroutine_threadsafe(grow(), loop).result(10)
+        except RuntimeError:
+            pass  # loop stopped by a concurrent close(): nothing to grow
 
     def close(self) -> None:
         with self._lifecycle_lock:
@@ -758,6 +805,10 @@ class AsyncTaintMapTransport:
     def _check_status(status: int) -> None:
         if status == STATUS_UNKNOWN_GID:
             raise TaintMapError("unknown Global ID")
+        if status == STATUS_STALE_RING:
+            # Register windows re-home via _reroute_register before this
+            # check; any other op seeing it is a protocol violation.
+            raise TaintMapError("taint map rejected request routed on a stale ring")
         if status != STATUS_OK:
             raise TaintMapError(f"taint map rejected request (status {status})")
 
@@ -891,7 +942,9 @@ class AsyncTaintMapTransport:
             self._inflight_flushes.pop(flush_id, None)
             self._drain(shard, drained)
 
-    async def _flush_register(self, shard: int, entries: OrderedDict) -> None:
+    async def _flush_register(
+        self, shard: int, entries: OrderedDict, attempts: int = 0
+    ) -> None:
         # Chunk at the protocol ceiling: max_batch is clamped below it,
         # but a window must never be *able* to build an unencodable
         # frame whatever path filled it.
@@ -900,12 +953,53 @@ class AsyncTaintMapTransport:
             status, response = await self._channels[shard].roundtrip(
                 OP_REGISTER_MANY, _pack_batch_register(keys)
             )
+            if status == STATUS_STALE_RING:
+                await self._reroute_register(shard, entries, response, attempts)
+                return
             self._check_status(status)
             gids = struct.unpack(f">{len(keys)}I", response)
             for key, gid in zip(keys, gids):
                 future = entries.pop(key)
                 if not future.done():
                     future.set_result(gid)
+
+    async def _reroute_register(
+        self, shard: int, entries: OrderedDict, response: bytes, attempts: int
+    ) -> None:
+        """Drain/re-home a register window the server stale-rung.
+
+        The reply's ring is adopted (which grows this transport's
+        per-shard state inline — we are on the loop thread), the
+        window's entries regroup under the new router, and each group
+        replays through the normal flush path on its new shard's
+        channel.  The in-flight futures ride along untouched: submitters
+        blocked in ``submit()`` never observe the epoch flip.
+        """
+        client = self.client
+        error = client._stale_ring_error(shard, response)
+        if error.ring is None or attempts + 1 >= client.RING_RETRY_LIMIT:
+            raise error  # _flush fails the window's remaining futures
+        if attempts > 0:
+            await asyncio.sleep(min(0.001 * (1 << attempts), 0.05))
+        router = client._router
+        regroup: dict[int, OrderedDict] = {}
+        for key, future in entries.items():
+            target = router.shard_for_key(taint_key(frozenset(deserialize_tags(key))))
+            regroup.setdefault(target, OrderedDict())[key] = future
+        entries.clear()
+
+        async def flush_group(target: int, group: OrderedDict) -> None:
+            try:
+                await self._flush_register(target, group, attempts + 1)
+            except Exception as exc:
+                # Fail only this group's remainder: groups re-homed to
+                # healthy shards must still resolve.
+                for future in group.values():
+                    _fail_future(future, exc)
+
+        await asyncio.gather(
+            *(flush_group(target, group) for target, group in regroup.items())
+        )
 
     async def _flush_lookup(self, shard: int, entries: OrderedDict) -> None:
         while entries:
@@ -953,8 +1047,9 @@ class AsyncTaintMapClient(TaintMapClient):
         request_deadline_s: Optional[float] = DEFAULT_DEADLINE_S,
         max_pending: int = DEFAULT_MAX_PENDING,
         backpressure: str = "block",
+        cache_admission: bool = False,
     ):
-        super().__init__(node, address, cache_enabled, cache_capacity)
+        super().__init__(node, address, cache_enabled, cache_capacity, cache_admission)
         self.transport = AsyncTaintMapTransport(
             self,
             coalesce_window_us,
@@ -964,6 +1059,9 @@ class AsyncTaintMapClient(TaintMapClient):
             max_pending=max_pending,
             backpressure=backpressure,
         )
+
+    def _on_shards_grown(self, shard_count: int) -> None:
+        self.transport.grow_to(shard_count)
 
     def _request(self, op: int, payload: bytes, shard: int = 0) -> bytes:
         return self.transport.submit(shard, op, payload)

@@ -1,0 +1,228 @@
+"""Elastic Taint Map: online shard scale-out with live migration.
+
+The sharded Taint Map (``ShardedTaintMapService``) fixes its shard
+count at deployment; this module grows it **while serving traffic**.
+The design leans on two invariants the rest of the stack already
+guarantees:
+
+* **GIDs are self-routing and never rewritten.**  A Global ID carries
+  its allocating shard in its high ``GID_SHARD_BITS`` bits, and old
+  shards never delete state — so every GID ever put on the wire keeps
+  resolving at its home shard through any number of scale-outs.  What
+  migrates is only the *reverse* direction (taint key → GID dedup
+  state), copied to the key's new owner so re-registrations there
+  return the **original** GID instead of allocating a duplicate.
+
+* **Registrations are idempotent and ring-checked.**  Every shard
+  judges each registration under its current ring and answers
+  ``STATUS_STALE_RING`` (+ the encoded new ring) for keys it no longer
+  owns, so a client racing the epoch flip re-routes instead of
+  poisoning the map.  Wire frames stay byte-identical throughout — the
+  control plane runs on new opcodes, the data plane is untouched.
+
+The migration itself is a **two-pass copy**:
+
+1. *Bulk pass* (old ring still live): each old shard's entries that
+   change owner under the new ring stream to their new owners in
+   ``OP_HANDOFF_CHUNK`` frames.  Registrations keep landing on the old
+   shards; nothing blocks.
+2. *Epoch flip*: every old shard atomically adopts the new ring
+   (``OP_RING_UPDATE`` handled under the shard's serial service lock).
+   From this instant old shards stale-ring re-route new keys.
+3. *Delta pass*: entries the old shards allocated while the bulk pass
+   ran (selected by a per-shard sequence watermark) stream the same
+   way.  A key registered on its *new* owner mid-race keeps whichever
+   GID won — adoption uses setdefault semantics, and the loser GID
+   still resolves at its allocating shard, so nothing dangles.
+
+Zero failed lookups, zero renumbered GIDs, no write pause.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Optional, Sequence
+
+from repro.core.taintmap import (
+    OP_HANDOFF_BEGIN,
+    OP_HANDOFF_CHUNK,
+    OP_HANDOFF_END,
+    OP_RING_UPDATE,
+    STATUS_OK,
+    TRANSPORT_ERRORS,
+    ShardedTaintMapService,
+    ShardRing,
+    TaintMapServer,
+    _pack_handoff_chunk,
+    _recv_exact,
+    _send_frame,
+)
+from repro.errors import TaintMapError
+from repro.runtime.kernel import Address, TcpEndpoint
+
+#: Entries per ``OP_HANDOFF_CHUNK`` frame.  Small enough that a chunk
+#: never starves the shard's serial service lock for long (registrations
+#: interleave between chunks), large enough to amortize the frame cost.
+HANDOFF_CHUNK_ENTRIES = 512
+
+
+class _ControlConnection:
+    """One blocking control-plane connection to a shard (sync framing)."""
+
+    def __init__(self, kernel, source_ip: str, address: Address):
+        self._endpoint: TcpEndpoint = kernel.connect(source_ip, address)
+
+    def request(self, op: int, payload: bytes) -> tuple[int, bytes]:
+        _send_frame(self._endpoint, bytes([op]), payload)
+        status = _recv_exact(self._endpoint, 1)[0]
+        (length,) = struct.unpack(">I", _recv_exact(self._endpoint, 4))
+        response = _recv_exact(self._endpoint, length) if length else b""
+        return status, response
+
+    def close(self) -> None:
+        try:
+            self._endpoint.close()
+        except Exception:
+            pass
+
+
+class RingCoordinator:
+    """Drives one scale-out of a :class:`ShardedTaintMapService`.
+
+    The coordinator is deliberately *outside* the data path: it talks to
+    shards over the same wire protocol clients use (new control opcodes)
+    so the choreography works identically when shards live on other
+    machines.  ``standbys`` optionally maps a shard index to replica
+    addresses — handoff delivery fails over to them, so a mid-handoff
+    primary kill does not abort the migration (chunk adoption is
+    idempotent, making redelivery safe).
+    """
+
+    def __init__(
+        self,
+        service: ShardedTaintMapService,
+        standbys: Optional[dict[int, Sequence[Address]]] = None,
+    ):
+        self.service = service
+        self._standbys = {
+            index: [tuple(addr) for addr in addresses]
+            for index, addresses in (standbys or {}).items()
+        }
+        #: Migration telemetry for benchmarks/tests.
+        self.handoff_entries_sent = 0
+        self.handoff_chunks_sent = 0
+
+    # -- delivery --------------------------------------------------------- #
+
+    def _replicas_for(self, ring: ShardRing, shard: int) -> list[Address]:
+        return [ring.addresses[shard]] + list(self._standbys.get(shard, []))
+
+    def _deliver(
+        self, ring: ShardRing, shard: int, frames: Sequence[tuple[int, bytes]]
+    ) -> None:
+        """Send a frame sequence to ``shard``, failing over replica by
+        replica.  On failover the whole sequence replays from the start
+        — BEGIN and CHUNK handling are idempotent by construction."""
+        last_error: Optional[Exception] = None
+        kernel = self.service._kernel
+        for address in self._replicas_for(ring, shard):
+            connection = None
+            try:
+                connection = _ControlConnection(kernel, self.service.ip, address)
+                for op, payload in frames:
+                    status, _ = connection.request(op, payload)
+                    if status != STATUS_OK:
+                        raise TaintMapError(
+                            f"shard {shard} rejected control op {op} "
+                            f"(status {status})"
+                        )
+                return
+            except TRANSPORT_ERRORS as exc:
+                last_error = exc
+                continue
+            finally:
+                if connection is not None:
+                    connection.close()
+        raise TaintMapError(
+            f"handoff delivery to shard {shard} failed on every replica: "
+            f"{last_error}"
+        )
+
+    def _stream_handoff(
+        self, ring: ShardRing, plan: dict[int, list[tuple[int, bytes]]]
+    ) -> None:
+        """One handoff session per target shard: BEGIN, chunked entries,
+        END — delivered with replica failover."""
+        epoch_payload = struct.pack(">I", ring.epoch)
+        for target, entries in plan.items():
+            frames: list[tuple[int, bytes]] = [(OP_HANDOFF_BEGIN, epoch_payload)]
+            for start in range(0, len(entries), HANDOFF_CHUNK_ENTRIES):
+                chunk = entries[start : start + HANDOFF_CHUNK_ENTRIES]
+                frames.append((OP_HANDOFF_CHUNK, _pack_handoff_chunk(chunk)))
+                self.handoff_chunks_sent += 1
+            frames.append((OP_HANDOFF_END, epoch_payload))
+            self._deliver(ring, target, frames)
+            self.handoff_entries_sent += len(entries)
+
+    # -- the scale-out ----------------------------------------------------- #
+
+    def scale_to(
+        self,
+        new_shard_count: int,
+        server_factory: Optional[Callable[..., TaintMapServer]] = None,
+    ) -> ShardRing:
+        """Grow the service to ``new_shard_count`` shards, live.
+
+        Returns the new ring (epoch bumped by one).  Existing clients
+        learn it lazily through ``STATUS_STALE_RING`` replies; callers
+        that can push (``Cluster.scale_taint_map``) should hand the
+        returned ring to every client's ``adopt_ring`` to skip the
+        one-retry discovery hop.
+        """
+        service = self.service
+        old_servers = list(service.servers)
+        old_ring = service.ring
+        if new_shard_count <= len(old_servers):
+            raise TaintMapError(
+                f"scale-out target {new_shard_count} is not larger than the "
+                f"current {len(old_servers)} shard(s)"
+            )
+        new_ring = old_ring.grow(
+            [
+                (service.ip, service.base_port + index)
+                for index in range(len(old_servers), new_shard_count)
+            ]
+        )
+
+        # New shards boot directly on the successor ring and start
+        # serving immediately — any registration reaching them early is
+        # judged under the new ring, which is exactly right.
+        service.add_shards(new_ring, server_factory=server_factory)
+
+        # Bulk pass: copy every entry whose owner changes, while the old
+        # shards keep serving (and allocating) under the old ring.
+        watermarks = [server.next_seq for server in old_servers]
+        for server, watermark in zip(old_servers, watermarks):
+            self._stream_handoff(
+                new_ring, server.handoff_plan(new_ring, max_seq=watermark)
+            )
+
+        # Epoch flip: each old shard atomically adopts the new ring (its
+        # serial request handling makes the flip a clean cut between two
+        # registrations).  From here, stale-routed keys bounce with the
+        # new ring attached.
+        ring_payload = new_ring.encode()
+        for index in range(len(old_servers)):
+            self._deliver(new_ring, index, [(OP_RING_UPDATE, ring_payload)])
+
+        # Delta pass: whatever the old shards allocated during the bulk
+        # copy (sequence numbers at/after the watermark) migrates the
+        # same way.  Post-flip, old shards allocate nothing new for
+        # moved keys, so this drains to empty — no third pass needed.
+        for server, watermark in zip(old_servers, watermarks):
+            self._stream_handoff(
+                new_ring, server.handoff_plan(new_ring, min_seq=watermark)
+            )
+
+        service.adopt_ring(new_ring)
+        return new_ring

@@ -53,8 +53,11 @@ class StandbyTaintMapServer(TaintMapServer):
                 self._by_gid[gid] = serialized
                 # Continue the shard-local sequence after promotion; the
                 # shard index lives in the GID's high bits, not the
-                # per-shard counter.
-                self._next_gid = max(self._next_gid, (gid & GID_SEQ_MASK) + 1)
+                # per-shard counter.  Synced *migrated* entries carry a
+                # foreign shard's GID — their sequence numbers must not
+                # advance this shard's own counter.
+                if taintmap.gid_shard(gid) == self.shard_index:
+                    self._next_gid = max(self._next_gid, (gid & GID_SEQ_MASK) + 1)
             return STATUS_OK, b""
         return super()._handle(op, payload)
 
@@ -75,8 +78,11 @@ class ReplicatedTaintMapServer(TaintMapServer):
         shard_index: int = 0,
         shard_count: int = 1,
         service_time: float = 0.0,
+        ring: Optional[taintmap.ShardRing] = None,
     ):
-        super().__init__(kernel, ip, port, shard_index, shard_count, service_time)
+        super().__init__(
+            kernel, ip, port, shard_index, shard_count, service_time, ring=ring
+        )
         self._standby_address = standby
         self._standby_lock = threading.Lock()
         self._standby_endpoint: Optional[TcpEndpoint] = None
@@ -89,6 +95,15 @@ class ReplicatedTaintMapServer(TaintMapServer):
         if not known:
             self._replicate(gid, serialized)
         return gid
+
+    def _adopt_entry(self, gid: int, serialized: bytes) -> bool:
+        # Migrated entries reach the standby through the same OP_SYNC
+        # stream as fresh allocations, so a post-handoff promotion
+        # resolves and dedups the migrated keys too.
+        adopted = super()._adopt_entry(gid, serialized)
+        if adopted:
+            self._replicate(gid, serialized)
+        return adopted
 
     def _replicate(self, gid: int, serialized: bytes) -> None:
         payload = struct.pack(">I", gid) + serialized
@@ -130,6 +145,14 @@ def _append_standbys(
 
 
 class _ActiveAddressMixin:
+    #: Optional ``standby_factory(shard_index, primary_address) ->
+    #: Optional[Address]`` hook: when a ring adoption appends shards,
+    #: each new shard's replica list is widened with the factory's
+    #: standby (a None return leaves the shard standby-less).  Without
+    #: it, scaled-out shards simply run with one replica until the
+    #: deployment wires a standby in.
+    standby_factory = None
+
     @property
     def active_address(self) -> Address:
         """Shard 0's active replica (the single-shard deployment's one)."""
@@ -138,6 +161,15 @@ class _ActiveAddressMixin:
     def active_address_for(self, shard: int) -> Address:
         return self._shard_replicas[shard][self._active[shard]]
 
+    def _replicas_for_new_shard(self, index: int, address: Address) -> list[Address]:
+        replicas = [address]
+        factory = self.standby_factory
+        if factory is not None:
+            standby = factory(index, address)
+            if standby is not None:
+                replicas.append(tuple(standby))
+        return replicas
+
 
 class FailoverTaintMapClient(_ActiveAddressMixin, TaintMapClient):
     """A client that falls back to the standby when the primary dies.
@@ -145,6 +177,8 @@ class FailoverTaintMapClient(_ActiveAddressMixin, TaintMapClient):
     ``primary`` and ``standby`` are each one address (single-point
     deployment) or a sequence of per-shard addresses (sharded
     deployment; both sequences in shard order and of equal length).
+    ``standby_factory`` names standbys for shards that appear later via
+    ring adoption, so failover keeps composing with elastic scale-out.
     """
 
     def __init__(
@@ -154,9 +188,11 @@ class FailoverTaintMapClient(_ActiveAddressMixin, TaintMapClient):
         standby: Union[Address, Sequence[Address]],
         cache_enabled: bool = True,
         cache_capacity: Optional[int] = None,
+        standby_factory=None,
     ):
         super().__init__(node, primary, cache_enabled, cache_capacity)
         _append_standbys(self, standby)
+        self.standby_factory = standby_factory
 
 
 class AsyncFailoverTaintMapClient(_ActiveAddressMixin, AsyncTaintMapClient):
@@ -183,7 +219,9 @@ class AsyncFailoverTaintMapClient(_ActiveAddressMixin, AsyncTaintMapClient):
         standby: Union[Address, Sequence[Address]],
         cache_enabled: bool = True,
         cache_capacity: Optional[int] = None,
+        standby_factory=None,
         **transport_options,
     ):
         super().__init__(node, primary, cache_enabled, cache_capacity, **transport_options)
         _append_standbys(self, standby)
+        self.standby_factory = standby_factory

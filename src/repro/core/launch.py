@@ -212,12 +212,31 @@ def launch_cluster(
         )
     if "taintSampleEvery" in options.extras:
         agent_options["sample_every"] = int(options.extras["taintSampleEvery"])
-    taint_map_shards = int(options.extras.get("taintMapShards", 1))
+    if "budgetWarmStart" in options.extras:
+        # budgetWarmStart=k or k:method+method — resume the budget
+        # controller at a previous run's converged operating point
+        # ('+' separates methods because extras split on commas).
+        agent_options["budget_warm_start"] = options.extras["budgetWarmStart"]
+    if "gidCacheAdmission" in options.extras:
+        agent_options["cache_admission"] = parse_switch(
+            options.extras["gidCacheAdmission"], "gidCacheAdmission"
+        )
+    # taintMapMinShards is the elastic spelling of the boot-time shard
+    # count; taintMapShards stays as the fixed-fleet alias.
+    taint_map_shards = int(
+        options.extras.get(
+            "taintMapMinShards", options.extras.get("taintMapShards", 1)
+        )
+    )
+    taint_map_max_shards = None
+    if "taintMapMaxShards" in options.extras:
+        taint_map_max_shards = int(options.extras["taintMapMaxShards"])
     cluster = Cluster(
         mode,
         name=name,
         agent_options=agent_options,
         taint_map_shards=taint_map_shards,
+        taint_map_max_shards=taint_map_max_shards,
     )
     if mode is not Mode.ORIGINAL:
         TaintSpec.from_texts(sources_text, sinks_text).apply(cluster)

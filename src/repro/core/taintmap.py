@@ -36,7 +36,7 @@ import time
 from collections import OrderedDict
 from typing import Optional, Sequence, Union
 
-from repro.errors import TaintMapError
+from repro.errors import TaintMapError, TaintMapStaleRingError
 from repro.obs.registry import MetricsRegistry
 from repro.runtime.kernel import Address, SimKernel, TcpEndpoint
 from repro.taint.tags import LocalId, TaintTag
@@ -54,10 +54,25 @@ OP_LOOKUP_MANY = 5
 #: a 4-byte correlation-id prefix in front of the *unchanged* sync frame
 #: bytes, and responses may be delivered out of order.
 OP_MUX_HELLO = 6
+#: Elastic resharding control plane (:mod:`repro.core.elastic`).  A
+#: ``RING_UPDATE`` carries an encoded :class:`ShardRing`; the receiving
+#: shard atomically flips to the new epoch.  ``HANDOFF_BEGIN/CHUNK/END``
+#: stream reverse-lookup/dedup state (``(gid, serialized taint)`` pairs)
+#: from an old shard to the key's new owner — the GID itself is never
+#: rewritten, so migration is invisible on the data-plane wire.
+OP_RING_UPDATE = 7
+OP_HANDOFF_BEGIN = 8
+OP_HANDOFF_CHUNK = 9
+OP_HANDOFF_END = 10
 
 STATUS_OK = 0
 STATUS_UNKNOWN_GID = 1
 STATUS_BAD_REQUEST = 2
+#: The registration was routed with a superseded hash ring.  The reply
+#: payload carries the server's current encoded :class:`ShardRing` (or
+#: is empty when a standalone server has no ring to share); the client
+#: adopts it and re-routes.  Semantic, never a failover trigger.
+STATUS_STALE_RING = 3
 
 #: Human-readable op names for telemetry labels (op 3 is OP_SYNC in
 #: :mod:`repro.core.ha`, which shares this opcode namespace).
@@ -68,6 +83,10 @@ OP_NAMES = {
     OP_REGISTER_MANY: "register_many",
     OP_LOOKUP_MANY: "lookup_many",
     OP_MUX_HELLO: "mux_hello",
+    OP_RING_UPDATE: "ring_update",
+    OP_HANDOFF_BEGIN: "handoff_begin",
+    OP_HANDOFF_CHUNK: "handoff_chunk",
+    OP_HANDOFF_END: "handoff_end",
 }
 
 
@@ -123,38 +142,53 @@ class ShardRouter:
     shard no matter which node first sees it — the property that keeps
     registration idempotent cluster-wide.  Lookups never consult the
     ring: a received GID carries its shard in its high bits.
+
+    Rings are **versioned**: each scale-out bumps the ring ``epoch``,
+    and epochs > 0 salt the vnode labels with the epoch so a scaled ring
+    rebalances keys rather than replaying the day-one layout.  Epoch 0
+    uses the original unsalted labels — a never-scaled deployment routes
+    (and therefore frames) byte-identically to the pre-elastic protocol.
     """
 
     VNODES = 64
 
-    #: Ring points are a pure function of the shard count, and every
-    #: client/agent attach builds a router — memoize so the 64-vnode
-    #: SHA-256 ring is hashed once per shard count, not once per client.
+    #: Ring points are a pure function of (shard count, epoch), and
+    #: every client/agent attach builds a router — memoize so the
+    #: 64-vnode SHA-256 ring is hashed once per distinct ring, not once
+    #: per client.  Keying on the count alone would serve a stale ring
+    #: after a scale-out: a fresh epoch-0 4-shard cluster and a cluster
+    #: scaled 1→4 (epoch 1) share a shard count but not a key layout.
     _RING_CACHE: dict = {}
     _RING_LOCK = threading.Lock()
 
-    def __init__(self, shard_count: int):
+    def __init__(self, shard_count: int, epoch: int = 0):
         if not 1 <= shard_count <= MAX_SHARDS:
             raise TaintMapError(
                 f"shard count {shard_count} outside 1..{MAX_SHARDS}"
             )
+        if epoch < 0:
+            raise TaintMapError(f"ring epoch must be >= 0, got {epoch}")
         self.shard_count = shard_count
+        self.epoch = epoch
         with self._RING_LOCK:
-            cached = self._RING_CACHE.get(shard_count)
+            cached = self._RING_CACHE.get((shard_count, epoch))
             if cached is None:
                 points = []
                 for shard in range(shard_count):
                     for vnode in range(self.VNODES):
-                        digest = hashlib.sha256(
-                            f"shard:{shard}:{vnode}".encode()
-                        ).digest()
+                        label = (
+                            f"shard:{shard}:{vnode}"
+                            if epoch == 0
+                            else f"epoch:{epoch}:shard:{shard}:{vnode}"
+                        )
+                        digest = hashlib.sha256(label.encode()).digest()
                         points.append((int.from_bytes(digest[:8], "big"), shard))
                 points.sort()
                 cached = (
                     tuple(h for h, _ in points),
                     tuple(s for _, s in points),
                 )
-                self._RING_CACHE[shard_count] = cached
+                self._RING_CACHE[(shard_count, epoch)] = cached
         self._hashes, self._shards = cached
 
     def shard_for_key(self, key: bytes) -> int:
@@ -164,6 +198,81 @@ class ShardRouter:
         point = int.from_bytes(hashlib.sha256(key).digest()[:8], "big")
         index = bisect.bisect_right(self._hashes, point) % len(self._hashes)
         return self._shards[index]
+
+
+class ShardRing:
+    """A versioned shard layout: ring epoch plus shard addresses.
+
+    Shard *i*'s address is ``addresses[i]`` — the GID namespace index and
+    the address-list index are the same thing, which is what keeps GID
+    lookups self-routing across scale-outs (a GID allocated under any
+    epoch resolves at ``addresses[gid_shard(gid)]`` forever; scale-out
+    only ever *appends* addresses).  Instances are immutable; adopting a
+    new ring is a pointer swap.
+    """
+
+    __slots__ = ("epoch", "addresses")
+
+    def __init__(self, epoch: int, addresses: Sequence[Address]):
+        if epoch < 0:
+            raise TaintMapError(f"ring epoch must be >= 0, got {epoch}")
+        if not 1 <= len(addresses) <= MAX_SHARDS:
+            raise TaintMapError(
+                f"ring with {len(addresses)} shards outside 1..{MAX_SHARDS}"
+            )
+        self.epoch = epoch
+        self.addresses: tuple[Address, ...] = tuple(
+            (str(ip), int(port)) for ip, port in addresses
+        )
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.addresses)
+
+    def router(self) -> ShardRouter:
+        return ShardRouter(len(self.addresses), self.epoch)
+
+    def grow(self, addresses: Sequence[Address]) -> "ShardRing":
+        """The successor ring: epoch + 1, with ``addresses`` appended."""
+        return ShardRing(self.epoch + 1, self.addresses + tuple(addresses))
+
+    def encode(self) -> bytes:
+        """``epoch:4 | count:2`` then per shard ``ip_len:1 | ip | port:2``."""
+        out = [struct.pack(">IH", self.epoch, len(self.addresses))]
+        for ip, port in self.addresses:
+            raw_ip = ip.encode("ascii")
+            out.append(struct.pack(">B", len(raw_ip)) + raw_ip + struct.pack(">H", port))
+        return b"".join(out)
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "ShardRing":
+        try:
+            epoch, count = struct.unpack(">IH", raw[:6])
+            pos = 6
+            addresses = []
+            for _ in range(count):
+                ip_len = raw[pos]
+                pos += 1
+                ip = raw[pos : pos + ip_len].decode("ascii")
+                pos += ip_len
+                (port,) = struct.unpack(">H", raw[pos : pos + 2])
+                pos += 2
+                addresses.append((ip, port))
+        except (struct.error, IndexError, UnicodeDecodeError) as exc:
+            raise TaintMapError(f"malformed ring encoding: {exc!r}") from exc
+        if pos != len(raw):
+            raise TaintMapError(f"trailing bytes in ring encoding ({len(raw) - pos})")
+        return cls(epoch, addresses)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ShardRing)
+            and self.epoch == other.epoch
+            and self.addresses == other.addresses
+        )
+
+    def __repr__(self) -> str:
+        return f"ShardRing(epoch={self.epoch}, shards={len(self.addresses)})"
 
 
 # --------------------------------------------------------------------- #
@@ -313,6 +422,33 @@ def _protocol_chunks(items: Sequence) -> list:
     ]
 
 
+def _pack_handoff_chunk(entries: Sequence[tuple[int, bytes]]) -> bytes:
+    """``OP_HANDOFF_CHUNK`` payload: count, then ``gid:4 | len:4 | taint``."""
+    if len(entries) > PROTOCOL_MAX_BATCH:
+        raise TaintMapError(
+            f"handoff chunk of {len(entries)} entries exceeds the "
+            f"{PROTOCOL_MAX_BATCH}-entry protocol limit (16-bit count)"
+        )
+    return struct.pack(">H", len(entries)) + b"".join(
+        struct.pack(">II", gid, len(serialized)) + serialized
+        for gid, serialized in entries
+    )
+
+
+def _split_handoff_chunk(payload: bytes) -> list[tuple[int, bytes]]:
+    (count,) = struct.unpack(">H", payload[:2])
+    pos = 2
+    entries = []
+    for _ in range(count):
+        gid, length = struct.unpack(">II", payload[pos : pos + 8])
+        pos += 8
+        entries.append((gid, payload[pos : pos + length]))
+        pos += length
+    if pos != len(payload):
+        raise TaintMapError(f"trailing bytes in handoff chunk ({len(payload) - pos})")
+    return entries
+
+
 def _split_batch_register(payload: bytes) -> list[bytes]:
     (count,) = struct.unpack(">H", payload[:2])
     pos = 2
@@ -360,7 +496,10 @@ class TaintMapStats:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
+        self.cache_admission_rejections = 0
         self.close_errors = 0
+        self.stale_ring_retries = 0
+        self.handoff_entries = 0
 
     def bump(self, counter: str, amount: int = 1) -> None:
         with self._lock:
@@ -377,7 +516,10 @@ class TaintMapStats:
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "cache_evictions": self.cache_evictions,
+                "cache_admission_rejections": self.cache_admission_rejections,
                 "close_errors": self.close_errors,
+                "stale_ring_retries": self.stale_ring_retries,
+                "handoff_entries": self.handoff_entries,
             }
 
     @staticmethod
@@ -394,6 +536,61 @@ class TaintMapStats:
 #: Fraction of a bounded cache's capacity given to the probation
 #: segment; the rest is the protected segment.
 _PROBATION_FRACTION = 0.2
+
+#: Counter ceiling of the TinyLFU sketch (4-bit counters).
+_SKETCH_MAX = 15
+
+
+class _FrequencySketch:
+    """TinyLFU frequency sketch: a 4-bit count-min with periodic halving.
+
+    Four hash rows over one table (double hashing from a single mixed
+    64-bit hash), conservative increment, counters saturating at
+    :data:`_SKETCH_MAX`.  After ``10 × table_size`` recorded accesses
+    every counter is halved — the aging step that makes the estimate a
+    *recent*-frequency, so yesterday's hot keys cannot squat in the
+    cache forever.  Estimates are only ever compared against each other
+    (candidate vs victim), so saturation and halving bias cancel out.
+    """
+
+    DEPTH = 4
+
+    def __init__(self, capacity: int):
+        size = 64
+        while size < capacity * 2:
+            size <<= 1
+        self._mask = size - 1
+        self._table = bytearray(size)
+        self._additions = 0
+        self._sample_period = size * 10
+
+    def _rows(self, key) -> list[int]:
+        mixed = (hash(key) * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        h1 = mixed >> 32
+        h2 = (mixed & 0xFFFFFFFF) | 1  # odd step walks the whole table
+        return [(h1 + i * h2) & self._mask for i in range(self.DEPTH)]
+
+    def record(self, key) -> None:
+        rows = self._rows(key)
+        lowest = min(self._table[slot] for slot in rows)
+        if lowest < _SKETCH_MAX:
+            # Conservative update: only the minimal counters move, which
+            # keeps over-estimation (the count-min failure mode) small.
+            for slot in rows:
+                if self._table[slot] == lowest:
+                    self._table[slot] = lowest + 1
+        self._additions += 1
+        if self._additions >= self._sample_period:
+            self._halve()
+
+    def estimate(self, key) -> int:
+        return min(self._table[slot] for slot in self._rows(key))
+
+    def _halve(self) -> None:
+        table = self._table
+        for i in range(len(table)):
+            table[i] >>= 1
+        self._additions >>= 1
 
 
 class _LruCache:
@@ -412,9 +609,26 @@ class _LruCache:
     probation promotes to **protected**.  Scanned-once keys march
     through probation and fall out without ever touching the protected
     segment, so the re-referenced working set survives the scan.
+
+    ``admission=True`` adds **TinyLFU admission** in front of probation:
+    every ``get`` records the key in a :class:`_FrequencySketch`, and a
+    *new* key is only inserted into a full cache when its estimated
+    recent frequency beats the probation LRU victim it would evict.
+    SLRU protects the working set from one-pass scans; TinyLFU targets
+    *skewed* traffic, where plain recency lets a long tail of once-used
+    keys continuously insert-and-evict through probation — the sketch
+    bounces those at the door, keeping the churn off the lock-held fast
+    path at hit-rate parity.  Off by default: admission refuses cold
+    inserts, which changes eviction-count semantics for workloads that
+    expect pure LRU behaviour.
     """
 
-    def __init__(self, capacity: Optional[int], stats: TaintMapStats):
+    def __init__(
+        self,
+        capacity: Optional[int],
+        stats: TaintMapStats,
+        admission: bool = False,
+    ):
         if capacity is not None and capacity < 1:
             raise TaintMapError(f"cache capacity must be >= 1, got {capacity}")
         self._capacity = capacity
@@ -423,6 +637,9 @@ class _LruCache:
         # capacity=None keeps everything in _probation, never evicting.
         self._probation: OrderedDict = OrderedDict()
         self._protected: OrderedDict = OrderedDict()
+        self._sketch = (
+            _FrequencySketch(capacity) if admission and capacity is not None else None
+        )
         if capacity is None:
             self._protected_cap = 0
         else:
@@ -440,6 +657,8 @@ class _LruCache:
 
     def get(self, key):
         with self._lock:
+            if self._sketch is not None:
+                self._sketch.record(key)
             if key in self._protected:
                 self._protected.move_to_end(key)
                 self._stats.bump("cache_hits")
@@ -460,6 +679,8 @@ class _LruCache:
                 self._protected[key] = value
                 self._protected.move_to_end(key)
                 return
+            if key not in self._probation and self._rejected_by_admission(key):
+                return
             self._probation[key] = value
             if self._capacity is not None:
                 self._probation.move_to_end(key)
@@ -470,9 +691,28 @@ class _LruCache:
         with self._lock:
             if key in self._protected or key in self._probation:
                 return
+            if self._rejected_by_admission(key):
+                return
             self._probation[key] = value
             if self._capacity is not None:
                 self._evict_over_capacity()
+
+    def _rejected_by_admission(self, key) -> bool:
+        """TinyLFU gate for a *new* key: admitting into a full cache
+        must be worth the eviction it forces.  Ties keep the incumbent —
+        the candidate can always come back once it is provably hotter."""
+        if self._sketch is None or len(self._probation) + len(self._protected) < self._capacity:
+            return False
+        if self._probation:
+            victim = next(iter(self._probation))
+        elif self._protected:
+            victim = next(iter(self._protected))
+        else:
+            return False
+        if self._sketch.estimate(key) > self._sketch.estimate(victim):
+            return False
+        self._stats.bump("cache_admission_rejections")
+        return True
 
     def _promote(self, key, value) -> None:
         """Probation hit: move to protected, demoting its LRU entry back
@@ -525,7 +765,14 @@ class TaintMapServer:
         shard_index: int = 0,
         shard_count: int = 1,
         service_time: float = 0.0,
+        ring: Optional[ShardRing] = None,
     ):
+        if ring is not None:
+            if ring.shard_count != shard_count:
+                raise TaintMapError(
+                    f"ring has {ring.shard_count} shards but server was "
+                    f"given shard_count={shard_count}"
+                )
         if not 0 <= shard_index < shard_count:
             raise TaintMapError(
                 f"shard index {shard_index} outside 0..{shard_count - 1}"
@@ -534,7 +781,13 @@ class TaintMapServer:
         self.address: Address = (ip, port)
         self.shard_index = shard_index
         self.shard_count = shard_count
-        self._router = ShardRouter(shard_count)
+        #: The shard layout this server currently routes ownership by.
+        #: ``None`` for standalone servers booted without address
+        #: knowledge — they still detect misroutes but reply with an
+        #: empty STALE_RING payload (nothing to re-route with).
+        self._ring = ring
+        self.ring_epoch = ring.epoch if ring is not None else 0
+        self._router = ShardRouter(shard_count, self.ring_epoch)
         self._service_time = service_time
         self._service_lock = threading.Lock()
         self._listener = None
@@ -663,7 +916,7 @@ class TaintMapServer:
             except Exception:
                 return STATUS_BAD_REQUEST, b""
             if self._misrouted(tags):
-                return STATUS_BAD_REQUEST, b""
+                return self._stale_ring_reply()
             gid = self._register(tags, payload)
             return STATUS_OK, struct.pack(">I", gid)
         if op == OP_LOOKUP:
@@ -689,7 +942,7 @@ class TaintMapServer:
             with self.stats._lock:
                 self.stats.register_entries += len(entries)
             if any(self._misrouted(tags) for tags in taint_sets):
-                return STATUS_BAD_REQUEST, b""
+                return self._stale_ring_reply()
             # One _register per entry so subclass hooks (HA replication)
             # see every registration individually.
             gids = [
@@ -715,6 +968,41 @@ class TaintMapServer:
                         return STATUS_UNKNOWN_GID, struct.pack(">I", gid)
                     out.append(struct.pack(">I", len(serialized)) + serialized)
             return STATUS_OK, b"".join(out)
+        if op == OP_RING_UPDATE:
+            try:
+                ring = ShardRing.decode(payload)
+            except TaintMapError:
+                return STATUS_BAD_REQUEST, b""
+            self._adopt_ring(ring)
+            return STATUS_OK, struct.pack(">I", self.ring_epoch)
+        if op == OP_HANDOFF_BEGIN:
+            if len(payload) != 4:
+                return STATUS_BAD_REQUEST, b""
+            (epoch,) = struct.unpack(">I", payload)
+            # Handoff always streams under the *successor* ring; a shard
+            # already past that epoch would be re-migrating stale state.
+            if epoch < self.ring_epoch:
+                return STATUS_BAD_REQUEST, b""
+            return STATUS_OK, b""
+        if op == OP_HANDOFF_CHUNK:
+            try:
+                entries = _split_handoff_chunk(payload)
+            except Exception:
+                return STATUS_BAD_REQUEST, b""
+            adopted = 0
+            for gid, serialized in entries:
+                if self._adopt_entry(gid, serialized):
+                    adopted += 1
+            if adopted:
+                with self.stats._lock:
+                    self.stats.handoff_entries += adopted
+            return STATUS_OK, struct.pack(">I", adopted)
+        if op == OP_HANDOFF_END:
+            if len(payload) != 4:
+                return STATUS_BAD_REQUEST, b""
+            with self.stats._lock:
+                total = self.stats.handoff_entries
+            return STATUS_OK, struct.pack(">I", total)
         return STATUS_BAD_REQUEST, b""
 
     def _misrouted(self, tags: frozenset[TaintTag]) -> bool:
@@ -722,6 +1010,91 @@ class TaintMapServer:
         if self.shard_count == 1:
             return False
         return self._router.shard_for_key(taint_key(tags)) != self.shard_index
+
+    def _stale_ring_reply(self) -> tuple[int, bytes]:
+        """Misroute reply: the client's ring is behind (or it guessed) —
+        hand back the ring we route by so it can re-route, or an empty
+        payload for standalone servers that were never given addresses."""
+        encoded = self._ring.encode() if self._ring is not None else b""
+        return STATUS_STALE_RING, encoded
+
+    # -- elastic resharding (control plane) ------------------------------- #
+
+    def _adopt_ring(self, ring: ShardRing) -> bool:
+        """Atomically flip to a newer ring (no-op for older epochs).
+
+        Called from ``_handle``, which runs under ``_service_lock`` — no
+        register can interleave with the flip, so every registration is
+        judged under exactly one ring.
+        """
+        if ring.epoch <= self.ring_epoch:
+            return False
+        if ring.shard_count <= self.shard_index:
+            raise TaintMapError(
+                f"ring epoch {ring.epoch} has {ring.shard_count} shards; "
+                f"shard {self.shard_index} is not in it"
+            )
+        self._router = ring.router()
+        self._ring = ring
+        self.ring_epoch = ring.epoch
+        self.shard_count = ring.shard_count
+        return True
+
+    def _adopt_entry(self, gid: int, serialized: bytes) -> bool:
+        """Install one migrated ``(gid, taint)`` pair.
+
+        Setdefault semantics: if this shard already has the key (it
+        allocated its own GID for it mid-handoff, or an earlier chunk
+        was replayed after a coordinator retry), the existing entry
+        wins — the old GID still resolves at its allocating shard, so
+        nothing is lost and no GID is ever renumbered.
+        """
+        try:
+            key = taint_key(frozenset(deserialize_tags(serialized)))
+        except Exception:
+            return False
+        with self._lock:
+            if key in self._by_key:
+                return False
+            self._by_key[key] = gid
+            self._by_gid.setdefault(gid, serialized)
+        with self.stats._lock:
+            self.stats.global_taints += 1
+        return True
+
+    def handoff_plan(
+        self, ring: ShardRing, min_seq: int = 1, max_seq: Optional[int] = None
+    ) -> dict[int, list[tuple[int, bytes]]]:
+        """Entries this shard must hand to new owners under ``ring``.
+
+        Only GIDs *this shard allocated* are considered (adopted foreign
+        entries are re-handed-off by their allocating shard, which also
+        kept them), filtered to the ``[min_seq, max_seq)`` sequence
+        window so the coordinator can do a bulk pass and then a small
+        delta pass for registrations that raced the bulk copy.
+        """
+        router = ring.router()
+        plan: dict[int, list[tuple[int, bytes]]] = {}
+        with self._lock:
+            if max_seq is None:
+                max_seq = self._next_gid
+            for key, gid in self._by_key.items():
+                if gid_shard(gid) != self.shard_index:
+                    continue
+                seq = gid & GID_SEQ_MASK
+                if not min_seq <= seq < max_seq:
+                    continue
+                owner = router.shard_for_key(key)
+                if owner == self.shard_index:
+                    continue
+                plan.setdefault(owner, []).append((gid, self._by_gid[gid]))
+        return plan
+
+    @property
+    def next_seq(self) -> int:
+        """Watermark for the coordinator's bulk/delta handoff split."""
+        with self._lock:
+            return self._next_gid
 
     def _register(self, tags: frozenset[TaintTag], serialized: bytes) -> int:
         key = taint_key(tags)
@@ -774,6 +1147,16 @@ class TaintMapServer:
                 "help": "Distinct global taints registered on this shard.",
                 "samples": [{"labels": {}, "value": snap["global_taints"]}],
             },
+            "dista_ring_epoch": {
+                "type": "gauge",
+                "help": "Hash-ring epoch this participant currently routes by.",
+                "samples": [{"labels": {}, "value": self.ring_epoch}],
+            },
+            "dista_handoff_entries_total": {
+                "type": "counter",
+                "help": "Migrated (GID, taint) entries adopted by this shard.",
+                "samples": [{"labels": {}, "value": snap["handoff_entries"]}],
+            },
         }
 
 
@@ -792,6 +1175,14 @@ class ShardedTaintMapService:
         shard_count: int = 1,
         service_time: float = 0.0,
     ):
+        self._kernel = kernel
+        self.ip = ip
+        self.base_port = base_port
+        self._service_time = service_time
+        ring = ShardRing(
+            0, [(ip, base_port + index) for index in range(shard_count)]
+        )
+        self._ring = ring
         self.servers = [
             TaintMapServer(
                 kernel,
@@ -800,6 +1191,7 @@ class ShardedTaintMapService:
                 shard_index=index,
                 shard_count=shard_count,
                 service_time=service_time,
+                ring=ring,
             )
             for index in range(shard_count)
         ]
@@ -807,6 +1199,46 @@ class ShardedTaintMapService:
     @property
     def addresses(self) -> list[Address]:
         return [server.address for server in self.servers]
+
+    @property
+    def ring(self) -> ShardRing:
+        """The newest ring this service knows (bumped by scale-outs)."""
+        return self._ring
+
+    def add_shards(self, ring: ShardRing, server_factory=None) -> list[TaintMapServer]:
+        """Boot (and start) the shards that ``ring`` adds over the
+        current layout.  New servers are born on the successor ring —
+        they judge every registration under the new epoch from their
+        first request.  The service's advertised ring flips only after
+        the coordinator finishes migration (:meth:`adopt_ring`)."""
+        if ring.shard_count <= len(self.servers):
+            raise TaintMapError(
+                f"ring has {ring.shard_count} shards; service already runs "
+                f"{len(self.servers)}"
+            )
+        if ring.addresses[: len(self.servers)] != tuple(self.addresses):
+            raise TaintMapError("scale-out ring must preserve existing shard addresses")
+        factory = server_factory or TaintMapServer
+        added = []
+        for index in range(len(self.servers), ring.shard_count):
+            ip, port = ring.addresses[index]
+            server = factory(
+                self._kernel,
+                ip,
+                port,
+                shard_index=index,
+                shard_count=ring.shard_count,
+                service_time=self._service_time,
+                ring=ring,
+            )
+            server.start()
+            added.append(server)
+        self.servers.extend(added)
+        return added
+
+    def adopt_ring(self, ring: ShardRing) -> None:
+        if ring.epoch > self._ring.epoch:
+            self._ring = ring
 
     def start(self) -> "ShardedTaintMapService":
         for server in self.servers:
@@ -876,12 +1308,19 @@ class TaintMapClient:
     #: (:mod:`repro.core.aio_transport`) overrides it.
     transport_name = "pooled"
 
+    #: Consecutive ``STATUS_STALE_RING`` replies tolerated on one
+    #: logical registration before giving up.  A live scale-out settles
+    #: in one or two hops (adopt the reply's ring, re-route); a genuine
+    #: misconfiguration keeps answering stale and must surface.
+    RING_RETRY_LIMIT = 8
+
     def __init__(
         self,
         node,
         address: Union[Address, Sequence[Address]],
         cache_enabled: bool = True,
         cache_capacity: Optional[int] = None,
+        cache_admission: bool = False,
     ):
         self._node = node
         #: Replica candidates per shard; the base client has exactly one
@@ -891,7 +1330,8 @@ class TaintMapClient:
             [addr] for addr in _normalize_addresses(address)
         ]
         self._active = [0] * len(self._shard_replicas)
-        self._router = ShardRouter(len(self._shard_replicas))
+        self._ring = ShardRing(0, [replicas[0] for replicas in self._shard_replicas])
+        self._router = self._ring.router()
         self._cache_enabled = cache_enabled
         self._pool_lock = threading.Lock()
         self._pools: list[list[TcpEndpoint]] = [[] for _ in self._shard_replicas]
@@ -903,9 +1343,9 @@ class TaintMapClient:
         #: The entry holds a strong reference to the taint so its node
         #: can never be garbage-collected while cached — otherwise a
         #: reused ``id()`` could alias a dead node's Global ID.
-        self._gid_cache = _LruCache(cache_capacity, self.stats)
+        self._gid_cache = _LruCache(cache_capacity, self.stats, cache_admission)
         #: Global ID → local Taint handle.
-        self._taint_cache = _LruCache(cache_capacity, self.stats)
+        self._taint_cache = _LruCache(cache_capacity, self.stats, cache_admission)
         self.requests_sent = 0
         #: Node telemetry (None for bare test nodes without a registry).
         self._metrics = getattr(node, "metrics", None)
@@ -943,12 +1383,26 @@ class TaintMapClient:
                     {"labels": {"event": "hit"}, "value": snap["cache_hits"]},
                     {"labels": {"event": "miss"}, "value": snap["cache_misses"]},
                     {"labels": {"event": "eviction"}, "value": snap["cache_evictions"]},
+                    {
+                        "labels": {"event": "admission_rejection"},
+                        "value": snap["cache_admission_rejections"],
+                    },
                 ],
             },
             "dista_taintmap_close_errors_total": {
                 "type": "counter",
                 "help": "Socket errors suppressed while closing Taint Map connections.",
                 "samples": [{"labels": {}, "value": snap["close_errors"]}],
+            },
+            "dista_ring_epoch": {
+                "type": "gauge",
+                "help": "Hash-ring epoch this participant currently routes by.",
+                "samples": [{"labels": {}, "value": self._ring.epoch}],
+            },
+            "dista_stale_ring_retries_total": {
+                "type": "counter",
+                "help": "Registrations re-routed after a STALE_RING reply.",
+                "samples": [{"labels": {}, "value": snap["stale_ring_retries"]}],
             },
         }
 
@@ -967,6 +1421,54 @@ class TaintMapClient:
     @property
     def shard_count(self) -> int:
         return len(self._shard_replicas)
+
+    @property
+    def ring(self) -> ShardRing:
+        return self._ring
+
+    # -- elastic resharding ---------------------------------------------- #
+
+    def adopt_ring(self, ring: ShardRing) -> bool:
+        """Move to a newer ring: grow per-shard transport state first,
+        then swap the router.  Ordering matters — once the router can
+        return a new shard index, every per-shard list must already have
+        that slot, so concurrent requests never index past the end.
+        Older/equal epochs are ignored (monotone adoption: two racing
+        STALE_RING replies can arrive out of order)."""
+        with self._pool_lock:
+            if ring.epoch <= self._ring.epoch:
+                return False
+            if ring.addresses[: len(self._shard_replicas)] != tuple(
+                replicas[0] for replicas in self._shard_replicas
+            ):
+                raise TaintMapError(
+                    "adopted ring does not preserve existing shard addresses"
+                )
+            for index in range(len(self._shard_replicas), ring.shard_count):
+                self._shard_replicas.append(
+                    list(self._replicas_for_new_shard(index, ring.addresses[index]))
+                )
+                self._active.append(0)
+                self._pools.append([])
+            grown = len(self._shard_replicas)
+        # Outside the pool lock: the async transport grows on its event
+        # loop and must not be awaited while holding a client lock.
+        self._on_shards_grown(grown)
+        with self._pool_lock:
+            if ring.epoch <= self._ring.epoch:
+                return False  # a racing adopter moved us even further
+            self._ring = ring
+            self._router = ring.router()
+        return True
+
+    def _replicas_for_new_shard(self, index: int, address: Address) -> list[Address]:
+        """Replica candidates for a shard that appeared via scale-out.
+        The base client has exactly the primary; HA clients override to
+        grow their per-shard standby lists with the ring."""
+        return [address]
+
+    def _on_shards_grown(self, shard_count: int) -> None:
+        """Hook for transports with per-shard state beyond the pools."""
 
     # -- connection pool ------------------------------------------------- #
 
@@ -1084,6 +1586,8 @@ class TaintMapClient:
             # Protocol-level status: semantic errors never fail over.
             if status == STATUS_UNKNOWN_GID:
                 raise TaintMapError("unknown Global ID")
+            if status == STATUS_STALE_RING:
+                raise self._stale_ring_error(shard, response)
             if status != STATUS_OK:
                 raise TaintMapError(f"taint map rejected request (status {status})")
             return response
@@ -1121,6 +1625,19 @@ class TaintMapClient:
             raise errors[0]
         return results  # type: ignore[return-value]
 
+    def _stale_ring_error(self, shard: int, response: bytes) -> TaintMapStaleRingError:
+        """Decode a STALE_RING reply, adopt its ring, build the retryable
+        error.  Shared by the pooled request path and the async flush."""
+        self.stats.bump("stale_ring_retries")
+        ring = ShardRing.decode(response) if response else None
+        adopted = self.adopt_ring(ring) if ring is not None else False
+        return TaintMapStaleRingError(
+            f"shard {shard} rejected a registration routed on a stale ring "
+            f"(epoch {self._ring.epoch})",
+            ring=ring,
+            adopted=adopted,
+        )
+
     def _shard_for_taint(self, taint: Taint) -> int:
         return self._router.shard_for_key(taint_key(taint.tags))
 
@@ -1144,9 +1661,23 @@ class TaintMapClient:
             cached = self._gid_cache.get(key)
             if cached is not None:
                 return cached[0]
-        response = self._request(
-            OP_REGISTER, serialize_tags(taint.tags), self._shard_for_taint(taint)
-        )
+        payload = serialize_tags(taint.tags)
+        for attempt in range(self.RING_RETRY_LIMIT):
+            try:
+                response = self._request(
+                    OP_REGISTER, payload, self._shard_for_taint(taint)
+                )
+                break
+            except TaintMapStaleRingError:
+                # Re-route under the (possibly just-adopted) ring; back
+                # off briefly when the reply did not move us forward — a
+                # mid-flip server settles within a few handling turns.
+                self._stale_ring_backoff(attempt)
+        else:
+            raise TaintMapError(
+                f"registration still stale-rung after {self.RING_RETRY_LIMIT} "
+                "re-routes; client and server rings disagree persistently"
+            )
         (gid,) = struct.unpack(">I", response)
         self._record_registered(taint, gid)
         return gid
@@ -1177,36 +1708,62 @@ class TaintMapClient:
             else:
                 misses[key] = (taint, [i])
         if misses:
-            by_shard: dict[int, list[tuple[Taint, list[int]]]] = {}
-            for taint, positions in misses.values():
-                by_shard.setdefault(self._shard_for_taint(taint), []).append(
-                    (taint, positions)
+            for attempt in range(self.RING_RETRY_LIMIT):
+                try:
+                    self._register_misses(misses, gids)
+                    break
+                except TaintMapStaleRingError:
+                    # Registration is idempotent server-side, so losing
+                    # a partial batch to a mid-flip shard is safe: the
+                    # whole miss set re-routes and re-fires under the
+                    # adopted ring, returning the same GIDs.
+                    self._stale_ring_backoff(attempt)
+            else:
+                raise TaintMapError(
+                    f"batch registration still stale-rung after "
+                    f"{self.RING_RETRY_LIMIT} re-routes"
                 )
-            # A sub-batch beyond the 16-bit wire count is chunked into
-            # several frames (each entry count fits ``>H``); the chunks
-            # still fire concurrently with every other call.
-            calls, chunks = [], []
-            for shard, entries in by_shard.items():
-                for chunk in _protocol_chunks(entries):
-                    calls.append(
-                        (
-                            shard,
-                            OP_REGISTER_MANY,
-                            _pack_batch_register(
-                                [serialize_tags(taint.tags) for taint, _ in chunk]
-                            ),
-                        )
-                    )
-                    chunks.append(chunk)
-                    self._observe_batch(OP_REGISTER_MANY, len(chunk))
-            responses = self._request_by_shard(calls)
-            for chunk, response in zip(chunks, responses):
-                new_gids = struct.unpack(f">{len(chunk)}I", response)
-                for (taint, positions), gid in zip(chunk, new_gids):
-                    self._record_registered(taint, gid)
-                    for i in positions:
-                        gids[i] = gid
         return gids  # type: ignore[return-value]
+
+    def _register_misses(
+        self,
+        misses: dict[int, tuple[Taint, list[int]]],
+        gids: list[Optional[int]],
+    ) -> None:
+        """One routed OP_REGISTER_MANY volley for a batch's cache misses."""
+        by_shard: dict[int, list[tuple[Taint, list[int]]]] = {}
+        for taint, positions in misses.values():
+            by_shard.setdefault(self._shard_for_taint(taint), []).append(
+                (taint, positions)
+            )
+        # A sub-batch beyond the 16-bit wire count is chunked into
+        # several frames (each entry count fits ``>H``); the chunks
+        # still fire concurrently with every other call.
+        calls, chunks = [], []
+        for shard, entries in by_shard.items():
+            for chunk in _protocol_chunks(entries):
+                calls.append(
+                    (
+                        shard,
+                        OP_REGISTER_MANY,
+                        _pack_batch_register(
+                            [serialize_tags(taint.tags) for taint, _ in chunk]
+                        ),
+                    )
+                )
+                chunks.append(chunk)
+                self._observe_batch(OP_REGISTER_MANY, len(chunk))
+        responses = self._request_by_shard(calls)
+        for chunk, response in zip(chunks, responses):
+            new_gids = struct.unpack(f">{len(chunk)}I", response)
+            for (taint, positions), gid in zip(chunk, new_gids):
+                self._record_registered(taint, gid)
+                for i in positions:
+                    gids[i] = gid
+
+    def _stale_ring_backoff(self, attempt: int) -> None:
+        if attempt > 0:
+            time.sleep(min(0.001 * (1 << attempt), 0.05))
 
     def _record_registered(self, taint: Taint, gid: int) -> None:
         if self._cache_enabled:

@@ -42,6 +42,26 @@ class TaintMapTransportError(TaintMapError, ConnectionError):
     """
 
 
+class TaintMapStaleRingError(TaintMapError):
+    """A registration was routed with a hash ring the server has
+    superseded (``STATUS_STALE_RING``).
+
+    Deliberately **not** a ``ConnectionError``: the replica is healthy,
+    so HA failover must never rotate on it.  The reply carries the
+    server's current ring; the client adopts it and re-routes the
+    registration.  ``ring`` is the decoded :class:`ShardRing` (None when
+    the server knows it is not the owner but has no ring to share) and
+    ``adopted`` records whether this client actually moved to a newer
+    epoch — a False with a ring present means another thread already
+    adopted it, or the server itself is behind this client.
+    """
+
+    def __init__(self, message: str, ring=None, adopted: bool = False):
+        super().__init__(message)
+        self.ring = ring
+        self.adopted = adopted
+
+
 class TaintMapDeadlineError(TaintMapError, TimeoutError):
     """A Taint Map request missed its configured deadline.
 

@@ -43,6 +43,9 @@ class Cluster:
         request_deadline_s: Optional[float] = None,
         overhead_budget: Optional[float] = None,
         taint_sample_every: Optional[int] = None,
+        taint_map_max_shards: Optional[int] = None,
+        budget_warm_start=None,
+        cache_admission: Optional[bool] = None,
     ):
         self.mode = mode
         self.name = name
@@ -68,10 +71,27 @@ class Cluster:
             self.agent_options.setdefault("overhead_budget", overhead_budget)
         if taint_sample_every is not None:
             self.agent_options.setdefault("sample_every", taint_sample_every)
+        #: Warm start for budgeted tracking: a controller snapshot (or
+        #: its string spelling) each attached agent restores, so a
+        #: redeployed cluster resumes at the previously converged shed
+        #: level instead of re-paying the breach transient.
+        if budget_warm_start is not None:
+            self.agent_options.setdefault("budget_warm_start", budget_warm_start)
+        #: TinyLFU admission for client GID/taint caches.
+        if cache_admission is not None:
+            self.agent_options.setdefault("cache_admission", cache_admission)
         #: Number of Taint Map shards (shard i at TAINT_MAP_PORT + i).
         #: The default single shard is byte-identical to the unsharded
         #: deployment.
         self.taint_map_shards = taint_map_shards
+        #: Optional ceiling for :meth:`scale_taint_map`; ``None`` allows
+        #: growth up to the protocol's GID-namespace limit.
+        if taint_map_max_shards is not None and taint_map_max_shards < taint_map_shards:
+            raise ReproError(
+                f"taint_map_max_shards {taint_map_max_shards} is below the "
+                f"initial shard count {taint_map_shards}"
+            )
+        self.taint_map_max_shards = taint_map_max_shards
         self.kernel = SimKernel(name)
         self.fs = SimFileSystem()
         self.nodes: dict[str, SimNode] = {}
@@ -85,6 +105,9 @@ class Cluster:
         #: stays the shard-0 server for single-shard compatibility.
         self.taint_map_service = None
         self.taint_map_server = None
+        #: The coordinator of the most recent :meth:`scale_taint_map`
+        #: (handoff telemetry for benchmarks/tests).
+        self.last_scale_coordinator = None
         self._started = False
         self._previous_shadow: Optional[bool] = None
 
@@ -208,6 +231,47 @@ class Cluster:
         DisTAAgent(
             taint_map_address=self.taint_map_addresses, **self.agent_options
         ).attach(node)
+        # A node added after a scale-out starts on an epoch-0 view of
+        # the (already widened) address list; hand it the live ring so
+        # its first registrations skip the stale-ring discovery hop.
+        if self.taint_map_service is not None:
+            ring = self.taint_map_service.ring
+            if ring.epoch > 0 and node.taintmap is not None:
+                node.taintmap.adopt_ring(ring)
+
+    def scale_taint_map(self, new_shard_count: int, standbys=None):
+        """Grow the Taint Map to ``new_shard_count`` shards, live.
+
+        Runs the :class:`~repro.core.elastic.RingCoordinator` scale-out
+        (boot, bulk copy, epoch flip, delta copy — no write pause, no
+        GID renumbered) and then pushes the new ring to every attached
+        node's client so steady-state traffic never pays the stale-ring
+        retry.  ``standbys`` optionally maps shard index → replica
+        addresses for handoff-delivery failover.  Returns the new
+        :class:`~repro.core.taintmap.ShardRing`.
+        """
+        if self.taint_map_service is None:
+            raise ReproError(
+                "scale_taint_map requires a started cluster in DISTA mode"
+            )
+        if (
+            self.taint_map_max_shards is not None
+            and new_shard_count > self.taint_map_max_shards
+        ):
+            raise ReproError(
+                f"scale-out target {new_shard_count} exceeds "
+                f"taint_map_max_shards={self.taint_map_max_shards}"
+            )
+        from repro.core.elastic import RingCoordinator
+
+        coordinator = RingCoordinator(self.taint_map_service, standbys=standbys)
+        ring = coordinator.scale_to(new_shard_count)
+        self.taint_map_shards = new_shard_count
+        self.last_scale_coordinator = coordinator
+        for node in self.nodes.values():
+            if node.taintmap is not None:
+                node.taintmap.adopt_ring(ring)
+        return ring
 
     def shutdown(self) -> None:
         for node in self.nodes.values():

@@ -253,3 +253,52 @@ class TestGateFlip:
             # sees plain untainted traffic.
             assert received == b"payload"
             assert received.overall_taint() is None
+
+
+class TestWarmStartPlumbing:
+    """budget_warm_start travels the same routes as the budget itself:
+    Cluster kwarg, launch extras, and into the controller at attach."""
+
+    def test_cluster_kwarg(self):
+        cluster = Cluster(
+            Mode.DISTA, overhead_budget=1.05, budget_warm_start="4"
+        )
+        assert cluster.agent_options["budget_warm_start"] == "4"
+
+    def test_launch_extra(self):
+        cluster = launch_cluster(
+            Mode.DISTA, "overheadBudget=1.05,budgetWarmStart=4:socketWrite0"
+        )
+        assert cluster.agent_options["budget_warm_start"] == "4:socketWrite0"
+
+    def test_agent_restores_controller_at_attach(self):
+        cluster = Cluster(Mode.DISTA)
+        n1 = cluster.add_node("n1")
+        with cluster:
+            agent = DisTAAgent(
+                cluster.taint_map_addresses,
+                overhead_budget=1.05,
+                budget_warm_start="4:socketWrite0+datagram.send",
+            )
+            agent.detach(n1)
+            runtime = agent.attach(n1)
+            controller = runtime._budget
+            assert controller.sample_every == 4
+            assert controller.gated_methods == ("socketWrite0", "datagram.send")
+            assert n1.registry.sample_every == 4
+
+    def test_warm_start_without_budget_is_ignored(self):
+        """No budget → no controller → nothing to warm; must not raise."""
+        cluster = Cluster(Mode.DISTA, budget_warm_start="4")
+        cluster.add_node("n1")
+        with cluster:
+            pass
+
+    def test_bad_warm_start_surfaces_at_attach(self):
+        cluster = Cluster(
+            Mode.DISTA, overhead_budget=1.05, budget_warm_start="nope"
+        )
+        cluster.add_node("n1")
+        with pytest.raises(InstrumentationError):
+            cluster.start()
+        cluster.shutdown()

@@ -1,0 +1,156 @@
+"""TinyLFU admission for the client GID/taint caches (PR 8 satellite):
+the 4-bit count-min sketch, the admission gate in front of probation,
+and the knob plumbing through client, agent and launch extras."""
+
+import pytest
+
+from repro.core.launch import launch_cluster
+from repro.core.taintmap import (
+    ShardedTaintMapService,
+    TaintMapClient,
+    TaintMapStats,
+    _FrequencySketch,
+    _LruCache,
+    _SKETCH_MAX,
+)
+from repro.runtime.cluster import TAINT_MAP_IP, TAINT_MAP_PORT, Cluster
+from repro.runtime.fs import SimFileSystem
+from repro.runtime.kernel import SimKernel
+from repro.runtime.modes import Mode
+from repro.runtime.node import SimNode
+
+
+class TestFrequencySketch:
+    def test_estimate_tracks_recorded_frequency(self):
+        sketch = _FrequencySketch(64)
+        for _ in range(5):
+            sketch.record("hot")
+        assert sketch.estimate("hot") == 5
+        assert sketch.estimate("cold") == 0
+
+    def test_counters_saturate_at_four_bits(self):
+        sketch = _FrequencySketch(64)
+        for _ in range(100):
+            sketch.record("hot")
+        assert sketch.estimate("hot") == _SKETCH_MAX
+
+    def test_periodic_halving_ages_the_estimate(self):
+        sketch = _FrequencySketch(4)  # table size 64 → halve every 640
+        for _ in range(10):
+            sketch.record("old-hot")
+        before = sketch.estimate("old-hot")
+        # Churn unrelated keys until the aging step fires.
+        for i in range(sketch._sample_period):
+            sketch.record(f"churn-{i % 500}")
+        assert sketch.estimate("old-hot") < before
+
+    def test_table_size_is_power_of_two_at_least_64(self):
+        assert len(_FrequencySketch(1)._table) == 64
+        assert len(_FrequencySketch(100)._table) == 256
+
+
+class TestAdmissionGate:
+    def _cache(self, capacity=4):
+        return _LruCache(capacity, TaintMapStats(), admission=True)
+
+    def test_cold_key_rejected_when_victim_is_hotter(self):
+        cache = self._cache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        for _ in range(4):  # heat both residents via get()
+            cache.get("a")
+            cache.get("b")
+        cache.put("cold", 3)  # never seen before → estimate 0
+        assert cache.get("cold") is None
+        assert cache.get("a") == 1
+        assert cache.get("b") == 2
+
+    def test_hot_candidate_displaces_cold_victim(self):
+        cache = self._cache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        for _ in range(6):  # the candidate proves itself via misses
+            cache.get("hot-candidate")
+        cache.put("hot-candidate", 9)
+        assert cache.get("hot-candidate") == 9
+
+    def test_admission_counts_rejections(self):
+        stats = TaintMapStats()
+        cache = _LruCache(2, stats, admission=True)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.put("cold", 3)
+        assert stats.snapshot()["cache_admission_rejections"] >= 1
+
+    def test_not_full_always_admits(self):
+        cache = self._cache(capacity=8)
+        for i in range(8):
+            cache.put(f"k{i}", i)
+        assert all(cache.get(f"k{i}") == i for i in range(8))
+
+    def test_updates_to_resident_keys_bypass_the_gate(self):
+        cache = self._cache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # already resident: an update, not an insert
+        assert cache.get("a") == 10
+
+    def test_admission_off_by_default(self):
+        assert _LruCache(4, TaintMapStats())._sketch is None
+        assert _LruCache(None, TaintMapStats(), admission=True)._sketch is None
+
+
+class TestClientPlumbing:
+    def _boot(self):
+        kernel = SimKernel("admission")
+        kernel.register_node(TAINT_MAP_IP)
+        fs = SimFileSystem()
+        service = ShardedTaintMapService(
+            kernel, TAINT_MAP_IP, TAINT_MAP_PORT, 1
+        ).start()
+        node = SimNode(
+            "n", kernel.register_node("10.0.0.1"), 1, kernel, fs, Mode.DISTA
+        )
+        return service, node
+
+    def test_client_knob_builds_sketched_caches(self):
+        service, node = self._boot()
+        client = TaintMapClient(
+            node, service.addresses, cache_capacity=32, cache_admission=True
+        )
+        assert client._gid_cache._sketch is not None
+        assert client._taint_cache._sketch is not None
+        # End to end: registrations and lookups still work under the gate.
+        taints = [node.tree.taint_for_tag(f"t{i}") for i in range(48)]
+        gids = [client.gid_for(t) for t in taints]
+        assert len(set(gids)) == 48
+        assert client.taint_for(gids[0]) is not None
+        client.close()
+        service.stop()
+
+    def test_default_client_has_no_sketch(self):
+        service, node = self._boot()
+        client = TaintMapClient(node, service.addresses, cache_capacity=32)
+        assert client._gid_cache._sketch is None
+        client.close()
+        service.stop()
+
+    def test_launch_extra_gid_cache_admission(self):
+        cluster = launch_cluster(
+            Mode.DISTA, "gidCacheAdmission=on,gidCacheCapacity=64"
+        )
+        assert cluster.agent_options["cache_admission"] is True
+        with cluster:
+            node = cluster.add_node("n1")
+            assert node.taintmap._gid_cache._sketch is not None
+
+    def test_cluster_kwarg_cache_admission(self):
+        cluster = Cluster(
+            Mode.DISTA,
+            cache_admission=True,
+            agent_options={"cache_capacity": 64},
+        )
+        with cluster:
+            node = cluster.add_node("n1")
+            assert node.taintmap._gid_cache._sketch is not None

@@ -15,7 +15,9 @@ from repro.core.taintmap import (
     OP_REGISTER_MANY,
     STATUS_BAD_REQUEST,
     STATUS_OK,
+    STATUS_STALE_RING,
     ShardedTaintMapService,
+    ShardRing,
     ShardRouter,
     TaintMapClient,
     _pack_batch_register,
@@ -178,7 +180,9 @@ class TestShardedService:
 
     def test_misrouted_register_rejected(self, sharded):
         """A register the ring owns elsewhere is refused, not served —
-        otherwise one taint could get two GIDs from two shards."""
+        otherwise one taint could get two GIDs from two shards.  Since
+        the elastic protocol, the refusal is ``STATUS_STALE_RING`` and
+        carries the server's current ring so the client can re-route."""
         service, n1, _, _, _ = sharded
         router = ShardRouter(SHARDS)
         taint = _taint_on_shard(n1, router, 1, prefix="stray")
@@ -186,7 +190,11 @@ class TestShardedService:
         payload = serialize_tags(taint.tags)
         wrong.send_all(bytes([OP_REGISTER]) + struct.pack(">I", len(payload)) + payload)
         status = _recv_exact(wrong, 1)[0]
-        assert status == STATUS_BAD_REQUEST
+        assert status == STATUS_STALE_RING
+        (length,) = struct.unpack(">I", _recv_exact(wrong, 4))
+        ring = ShardRing.decode(_recv_exact(wrong, length))
+        assert ring == service.ring
+        assert ring.epoch == 0 and ring.shard_count == SHARDS
         wrong.close()
 
     def test_unknown_shard_gid_rejected_client_side(self, sharded):
