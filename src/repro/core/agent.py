@@ -246,6 +246,7 @@ class DisTAAgent:
         sample_every: Optional[int] = None,
         budget_warm_start=None,
         cache_admission: Optional[bool] = None,
+        lineage=None,
     ):
         #: One ``(ip, port)`` or a sequence of per-shard addresses —
         #: passed straight to :class:`TaintMapClient`, which routes by
@@ -304,6 +305,11 @@ class DisTAAgent:
         #: TinyLFU admission for the client's GID/taint caches; ``None``
         #: keeps the plain-LRU default.
         self.cache_admission = cache_admission
+        #: Optional :class:`~repro.obs.lineage.LineageStore` shared by
+        #: every node this agent attaches to; each attach builds a
+        #: node-stamped :class:`~repro.obs.lineage.LineageRecorder`
+        #: feeding it.  ``None`` leaves lineage off (NULL_LINEAGE).
+        self.lineage = lineage
 
     def _make_client(self, node) -> tuple[TaintMapClient, str]:
         transport = resolve_transport(self.transport)
@@ -354,6 +360,14 @@ class DisTAAgent:
         )
         if self.trace is not None:
             runtime.trace = self.trace
+        if self.lineage is not None:
+            from repro.obs.lineage import LineageRecorder
+
+            recorder = LineageRecorder(self.lineage, node.name)
+            runtime.lineage = recorder
+            registry = getattr(node, "registry", None)
+            if registry is not None:
+                registry.lineage = recorder
         for target, (wrapper_type, factory) in _WRAPPER_FACTORIES_BY_TYPE.items():
             if wrapper_type not in self.wrapper_types:
                 continue

@@ -221,6 +221,11 @@ def launch_cluster(
         agent_options["cache_admission"] = parse_switch(
             options.extras["gidCacheAdmission"], "gidCacheAdmission"
         )
+    # lineage=on enables flow-lineage capture: the Cluster builds a
+    # bounded LineageStore (and a CrossingTrace to stitch from).
+    lineage = None
+    if "lineage" in options.extras:
+        lineage = parse_switch(options.extras["lineage"], "lineage") or None
     # taintMapMinShards is the elastic spelling of the boot-time shard
     # count; taintMapShards stays as the fixed-fleet alias.
     taint_map_shards = int(
@@ -237,6 +242,7 @@ def launch_cluster(
         agent_options=agent_options,
         taint_map_shards=taint_map_shards,
         taint_map_max_shards=taint_map_max_shards,
+        lineage=lineage,
     )
     if mode is not Mode.ORIGINAL:
         TaintSpec.from_texts(sources_text, sinks_text).apply(cluster)

@@ -31,6 +31,7 @@ from repro.core import wire
 from repro.core.taintmap import TaintMapClient
 from repro.core.trace import NULL_TRACE
 from repro.errors import WireFormatError
+from repro.obs.lineage import NULL_LINEAGE
 from repro.jre.jni import EOF, UNAVAILABLE
 from repro.jre.buffer import NativeMemory
 from repro.jre.datagram_api import DatagramPacket
@@ -61,6 +62,9 @@ class DisTARuntime:
         self.byte_granularity = byte_granularity
         #: Optional CrossingTrace recording tainted boundary crossings.
         self.trace = trace
+        #: Per-node LineageRecorder (NULL_LINEAGE when lineage is off;
+        #: its ``enabled`` False short-circuits every hook below).
+        self.lineage = NULL_LINEAGE
         #: Optional OverheadBudgetController (budgeted tracking).  When
         #: ``None`` — the default, and always the case with an
         #: unlimited budget — every budget hook below is skipped and
@@ -241,6 +245,12 @@ class DisTARuntime:
             return data
         budget = self._budget
         if budget is not None and method is not None and budget.is_gated(method):
+            # The gate strips labels: the flow continues untracked.
+            # Lineage marks the cut explicitly (a partial tree), so a
+            # gated flow is never silently missing; the fast-path check
+            # above guarantees this never runs on zero-taint traffic.
+            if self.lineage.enabled:
+                self.lineage.gated_event(method, data)
             return TBytes.raw(data.data)
         if self.byte_granularity:
             return data

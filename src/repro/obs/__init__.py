@@ -1,14 +1,24 @@
-"""Cluster-wide telemetry (registry, /metrics exposition, profiler).
+"""Cluster-wide telemetry (registry, /metrics exposition, lineage, profiler).
 
-Only the registry is imported eagerly: :mod:`repro.runtime.kernel` and
-:mod:`repro.runtime.node` construct registries at import time, while
-:mod:`repro.obs.http` and :mod:`repro.obs.profiler` sit *above* the
-runtime stack — loading them here would be circular.
+Only the registry and lineage are imported eagerly: :mod:`repro.runtime.kernel`
+and :mod:`repro.runtime.node` construct registries at import time, and
+:mod:`repro.taint.sources` / :mod:`repro.core.wrappers` hold the
+``NULL_LINEAGE`` recorder — while :mod:`repro.obs.http` and
+:mod:`repro.obs.profiler` sit *above* the runtime stack; loading them
+here would be circular.
 """
 
+from repro.obs.lineage import (
+    NULL_LINEAGE,
+    FlowTree,
+    LineageRecorder,
+    LineageStore,
+    NullLineageRecorder,
+)
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
     DEFAULT_LOWEST,
+    FragmentHistogram,
     MetricFamily,
     MetricsRegistry,
     bucket_bounds,
@@ -22,9 +32,17 @@ from repro.obs.registry import (
 __all__ = [
     "DEFAULT_BUCKETS",
     "DEFAULT_LOWEST",
+    "FlowTree",
+    "FragmentHistogram",
+    "LineageOverheadSweep",
+    "LineagePoint",
+    "LineageRecorder",
+    "LineageStore",
     "MetricFamily",
     "MetricsRegistry",
     "MetricsServer",
+    "NULL_LINEAGE",
+    "NullLineageRecorder",
     "OverheadProfiler",
     "SweepPoint",
     "SystemProfile",
@@ -43,7 +61,14 @@ def __getattr__(name):
         from repro.obs.http import MetricsServer
 
         return MetricsServer
-    if name in ("OverheadProfiler", "SystemProfile", "TaintedFractionSweep", "SweepPoint"):
+    if name in (
+        "OverheadProfiler",
+        "SystemProfile",
+        "TaintedFractionSweep",
+        "SweepPoint",
+        "LineageOverheadSweep",
+        "LineagePoint",
+    ):
         from repro.obs import profiler
 
         return getattr(profiler, name)

@@ -7,6 +7,9 @@ simulation*, through the same socket stack the workloads use:
 
 * ``GET /metrics`` — Prometheus text exposition format 0.0.4,
 * ``GET /metrics.json`` — the merged snapshot as JSON,
+* ``GET /lineage`` — rendered flow trees (text), when a
+  :class:`~repro.obs.lineage.LineageStore` is attached,
+* ``GET /lineage.json`` — the store's ``as_dict()`` as JSON,
 * anything else — 404.
 """
 
@@ -28,11 +31,16 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 class MetricsServer:
     """Serves one or more registries' metrics from a simulated node."""
 
-    def __init__(self, node, port: int = DEFAULT_METRICS_PORT, registries=None):
+    def __init__(
+        self, node, port: int = DEFAULT_METRICS_PORT, registries=None, lineage=None
+    ):
         self._node = node
         #: ``None`` means "this node's own registry", resolved per scrape
         #: so late-registered collectors are always included.
         self._registries = list(registries) if registries is not None else None
+        #: Optional LineageStore behind ``/lineage``; without one the
+        #: lineage routes 404 like any other unknown path.
+        self._lineage = lineage
         self._server = HttpServer(node, port, self._handle)
         self.port = port
 
@@ -66,6 +74,21 @@ class MetricsServer:
             )
         if request.path == "/metrics.json":
             payload = json.dumps(self.snapshot(), sort_keys=True)
+            return HttpResponse(
+                200,
+                "OK",
+                {"Content-Type": "application/json"},
+                TBytes(payload.encode("utf-8")),
+            )
+        if request.path == "/lineage" and self._lineage is not None:
+            return HttpResponse(
+                200,
+                "OK",
+                {"Content-Type": "text/plain; charset=utf-8"},
+                TBytes(self._lineage.render().encode("utf-8")),
+            )
+        if request.path == "/lineage.json" and self._lineage is not None:
+            payload = json.dumps(self._lineage.as_dict(), sort_keys=True)
             return HttpResponse(
                 200,
                 "OK",

@@ -155,6 +155,56 @@ class _HistogramChild:
             self._count = 0
 
 
+class FragmentHistogram:
+    """A standalone histogram series for scrape-time collector fragments.
+
+    Components that join a registry via :meth:`MetricsRegistry.register_collector`
+    (TaintMapStats, CrossingTrace, the lineage store) own their counters
+    directly rather than through a :class:`MetricFamily`.  This gives
+    them the same power-of-two-bucket histogram the registry uses —
+    O(1) ``frexp`` recording under a private lock — plus a
+    :meth:`sample` method emitting the exact snapshot-sample shape
+    (``labels``/``le``/``buckets``/``sum``/``count``) the snapshot
+    algebra (merge, diff, quantile, exposition) consumes.
+    """
+
+    __slots__ = ("_lock", "lowest", "buckets", "_counts", "_sum", "_count")
+
+    def __init__(self, lowest: float = DEFAULT_LOWEST, buckets: int = DEFAULT_BUCKETS):
+        self._lock = threading.Lock()
+        self.lowest = lowest
+        self.buckets = buckets
+        self._counts = [0] * (buckets + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bucket_index(value, self.lowest, self.buckets)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def sample(self, labels: Optional[dict] = None) -> dict:
+        """One histogram snapshot sample, ready to drop into a fragment."""
+        with self._lock:
+            counts = list(self._counts)
+            total = self._sum
+            count = self._count
+        return {
+            "labels": dict(labels or {}),
+            "le": bucket_bounds(self.lowest, self.buckets),
+            "buckets": counts,
+            "sum": total,
+            "count": count,
+        }
+
+
 class MetricFamily:
     """One named metric with a fixed label schema and many children."""
 

@@ -46,11 +46,29 @@ class Cluster:
         taint_map_max_shards: Optional[int] = None,
         budget_warm_start=None,
         cache_admission: Optional[bool] = None,
+        lineage=None,
     ):
         self.mode = mode
         self.name = name
         #: Extra DisTAAgent keyword options (ablation benchmarks only).
         self.agent_options = dict(agent_options or {})
+        #: Flow lineage: pass ``True`` for a default-bounded
+        #: :class:`~repro.obs.lineage.LineageStore`, or an existing store
+        #: to adopt.  Lineage stitches hop edges from the crossing
+        #: trace, so enabling it auto-creates a ``CrossingTrace`` unless
+        #: the caller supplied one via ``agent_options``.
+        lineage = lineage if lineage is not None else self.agent_options.pop("lineage", None)
+        if lineage:
+            from repro.core.trace import CrossingTrace
+            from repro.obs.lineage import LineageStore
+
+            store = lineage if isinstance(lineage, LineageStore) else LineageStore()
+            self.lineage_store = store
+            self.agent_options["lineage"] = store
+            if self.agent_options.get("trace") is None:
+                self.agent_options["trace"] = CrossingTrace()
+        else:
+            self.lineage_store = None
         #: Taint Map transport: "async" (default) or "pooled"; ``None``
         #: defers to the ``DISTA_TAINTMAP_TRANSPORT`` environment
         #: variable, so CI can flip a whole suite without code changes.
@@ -203,6 +221,15 @@ class Cluster:
             # The trace is cluster-wide, so its gauges live on the kernel
             # registry (one fragment, not one per node).
             self.kernel.metrics.register_collector(trace.telemetry_samples)
+        if self.lineage_store is not None:
+            # Hop edges come from the crossing trace; the store is
+            # cluster-wide, so its telemetry joins the kernel registry
+            # beside the trace fragment.
+            if trace is not None and hasattr(trace, "attach_lineage"):
+                trace.attach_lineage(self.lineage_store)
+            self.kernel.metrics.register_collector(
+                self.lineage_store.telemetry_samples
+            )
         self._started = True
         return self
 
@@ -354,6 +381,8 @@ class Cluster:
 
         node = self.nodes[node_name]
         registries = self.metrics_registries() if cluster_wide else None
-        server = MetricsServer(node, port=port, registries=registries)
+        server = MetricsServer(
+            node, port=port, registries=registries, lineage=self.lineage_store
+        )
         server.start()
         return server

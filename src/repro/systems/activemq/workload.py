@@ -87,10 +87,13 @@ def run_workload(
     source_fraction: float = 1.0,
     overhead_budget: float | None = None,
     sample_every: int | None = None,
+    lineage: bool = False,
 ) -> WorkloadResult:
     spec = None
     if scenario == SDT:
         spec = sdt_spec()
     elif scenario == SIM:
         spec = sim_spec(source_fraction, overhead_budget, sample_every)
-    return run_system_workload("ActiveMQ", mode, scenario, spec, deploy_and_distribute)
+    return run_system_workload(
+        "ActiveMQ", mode, scenario, spec, deploy_and_distribute, lineage=lineage
+    )

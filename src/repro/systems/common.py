@@ -123,6 +123,7 @@ def run_system_workload(
     scenario: Optional[str],
     spec: Optional[TaintSpec],
     deploy_and_run: Callable[[Cluster], dict],
+    lineage: bool = False,
 ) -> WorkloadResult:
     """Deploy a cluster for one (mode, scenario) cell and run the workload.
 
@@ -130,10 +131,23 @@ def run_system_workload(
     completion and returns the ``extras`` dict.  Timing starts after the
     cluster context is up (agents attached, Taint Map booted) — matching
     the paper, which measures workload execution on a running deployment.
+
+    ``lineage=True`` attaches a flow-lineage store to the cluster and
+    returns it as ``extras["lineage"]`` — the knob the lineage-overhead
+    benchmark and the CI canary turn.
     """
     from repro.obs.registry import diff_snapshots
 
-    cluster = Cluster(mode, name=f"{system}-{mode.value}-{scenario or 'plain'}")
+    store = None
+    if lineage:
+        from repro.obs.lineage import LineageStore
+
+        store = LineageStore()
+    cluster = Cluster(
+        mode,
+        name=f"{system}-{mode.value}-{scenario or 'plain'}",
+        lineage=store,
+    )
     if spec is not None and mode is not Mode.ORIGINAL:
         spec.apply(cluster)
     with cluster:
@@ -157,6 +171,9 @@ def run_system_workload(
         taints = cluster.global_taint_count()
         wire = cluster.wire_bytes(exclude_taint_map=True)
         telemetry = diff_snapshots(cluster.telemetry_snapshot(), setup_snapshot)
+    if store is not None:
+        extras = dict(extras)
+        extras["lineage"] = store
     return WorkloadResult(
         system=system,
         mode=mode,

@@ -154,6 +154,7 @@ def run_workload(
     source_fraction: float = 1.0,
     overhead_budget: float | None = None,
     sample_every: int | None = None,
+    lineage: bool = False,
 ) -> WorkloadResult:
     """One Table-VI cell for ZooKeeper."""
     spec = None
@@ -161,4 +162,6 @@ def run_workload(
         spec = sdt_spec()
     elif scenario == SIM:
         spec = sim_spec(source_fraction, overhead_budget, sample_every)
-    return run_system_workload("ZooKeeper", mode, scenario, spec, deploy_and_elect)
+    return run_system_workload(
+        "ZooKeeper", mode, scenario, spec, deploy_and_elect, lineage=lineage
+    )

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from fnmatch import fnmatchcase
 from typing import Hashable, Optional
 
+from repro.obs.lineage import NULL_LINEAGE
 from repro.taint.tags import TaintTag
 from repro.taint.tree import Taint, TaintTree
 from repro.taint.values import Label, taint_of, with_taint
@@ -76,6 +77,10 @@ class SourceSinkRegistry:
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
+        #: Per-node lineage recorder (``NULL_LINEAGE`` when lineage is
+        #: off: ``enabled`` False, so the hooks below cost one attribute
+        #: read).  The agent swaps in a live recorder on attach.
+        self.lineage = NULL_LINEAGE
         self.source_events: list[SourceEvent] = []
         self.observations: list[SinkObservation] = []
         self._auto_counter = 0
@@ -134,6 +139,10 @@ class SourceSinkRegistry:
                 else:
                     self.sampled_out += 1
             if not admitted:
+                # Sampled-out flows are visible in lineage as explicit
+                # stub trees — marked, never silently missing.
+                if self.lineage.enabled:
+                    self.lineage.sampled_out_event(descriptor)
                 return value
         fraction = self.source_fraction
         if fraction < 1.0:
@@ -151,6 +160,8 @@ class SourceSinkRegistry:
         tag = next(iter(taint.tags))
         with self._lock:
             self.source_events.append(SourceEvent(descriptor, self.node_name, tag, detail))
+        if self.lineage.enabled:
+            self.lineage.source_event(descriptor, tag, detail)
         return with_taint(value, taint)
 
     def sink(self, descriptor: str, *values, detail: str = "") -> Optional[SinkObservation]:
@@ -169,6 +180,8 @@ class SourceSinkRegistry:
         observation = SinkObservation(descriptor, self.node_name, frozenset(tags), detail)
         with self._lock:
             self.observations.append(observation)
+        if tags and self.lineage.enabled:
+            self.lineage.sink_event(descriptor, observation.tags, detail)
         return observation
 
     # -- reporting -------------------------------------------------------- #

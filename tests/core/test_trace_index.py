@@ -1,0 +1,140 @@
+"""CrossingTrace per-tag/per-span indexes and NullTrace parity.
+
+The indexes are maintained on ``record()`` and trimmed on ring-wrap
+eviction, so ``for_tag``/``for_span`` cost O(result) rather than a scan
+of the whole ring — the property the lineage store and the timeline
+render depend on at 10k-crossing scale.
+"""
+
+import inspect
+
+from repro.core.trace import NULL_TRACE, CrossingTrace, NullTrace
+from repro.taint.tags import TaintTag
+
+
+class StubTaint:
+    def __init__(self, tags):
+        self.tags = frozenset(tags)
+        self.is_empty = not tags
+
+
+class StubData:
+    """Minimal tainted payload: taint + length, no label runs."""
+
+    def __init__(self, tag_values, size=8):
+        self._taint = StubTaint(TaintTag(v, 1) for v in tag_values)
+        self._size = size
+
+    def overall_taint(self):
+        return self._taint
+
+    def __len__(self):
+        return self._size
+
+
+def fill(trace, count, tag_period=100):
+    """Record ``count`` correlated send/receive pairs cycling over
+    ``tag_period`` distinct tags (2 * count crossings total)."""
+    for i in range(count):
+        tag = f"t{i % tag_period}"
+        channel = ("ch", i % 7)
+        trace.record("sender", "send", "socketWrite0", StubData([tag]), channel)
+        trace.record(
+            "receiver", "receive", "socketRead0", StubData([tag]), channel
+        )
+
+
+class TestIndexAtScale:
+    def test_ten_thousand_crossings_index_matches_ring(self):
+        trace = CrossingTrace(capacity=20_000)
+        fill(trace, 5_000)
+        crossings = trace.crossings
+        assert len(crossings) == 10_000
+        assert trace.dropped == 0
+        # Per-tag: the index answers exactly what a full scan would,
+        # in ring order.
+        for tag_value in ("t0", "t42", "t99"):
+            expected = [
+                c for c in crossings if tag_value in {t.tag for t in c.tags}
+            ]
+            assert trace.for_tag(tag_value) == expected
+            assert len(expected) == 100  # 50 pairs per tag
+        assert trace.for_tag("absent") == []
+
+    def test_spans_correlate_both_ends(self):
+        trace = CrossingTrace(capacity=20_000)
+        fill(trace, 5_000)
+        send, receive = trace.crossings[0], trace.crossings[1]
+        assert send.span == receive.span
+        assert trace.for_span(send.span) == [send, receive]
+        pairs = trace.span_pairs("t0")
+        assert len(pairs) == 50
+        assert all(s.span == r.span for s, r in pairs)
+
+    def test_ring_wrap_trims_the_indexes(self):
+        trace = CrossingTrace(capacity=64)
+        fill(trace, 200)  # 400 crossings through a 64-slot ring
+        crossings = trace.crossings
+        assert len(crossings) == 64
+        assert trace.dropped == 400 - 64
+        retained = {c.sequence for c in crossings}
+        # Index contents mirror the ring exactly: nothing evicted
+        # lingers, nothing retained is missing.
+        indexed = set()
+        for tag_value in {t.tag for c in crossings for t in c.tags}:
+            for crossing in trace.for_tag(tag_value):
+                assert crossing.sequence in retained
+                indexed.add(crossing.sequence)
+        assert indexed == retained
+        for crossing in crossings:
+            assert crossing in trace.for_span(crossing.span)
+        # Tags whose crossings were all evicted answer empty, and the
+        # backing entry is deleted rather than left as an empty deque.
+        assert trace.for_tag("t0") == []
+        assert "t0" not in trace._by_tag
+
+    def test_wrap_preserves_order_and_drop_reporting(self):
+        trace = CrossingTrace(capacity=10)
+        fill(trace, 50)
+        sequences = [c.sequence for c in trace.crossings]
+        assert sequences == sorted(sequences)
+        assert "90 dropped" in trace.describe()
+        assert "!!! incomplete: 90 crossing(s) dropped" in trace.render()
+
+
+class TestNullTraceParity:
+    def _public(self, cls):
+        return {
+            name: inspect.getattr_static(cls, name)
+            for name in dir(cls)
+            if not name.startswith("_")
+        }
+
+    def test_full_public_surface_parity(self):
+        real = self._public(CrossingTrace)
+        null = self._public(NullTrace)
+        missing = set(real) - set(null)
+        assert not missing, f"NullTrace lacks {sorted(missing)}"
+        for name, member in real.items():
+            if isinstance(member, property):
+                assert isinstance(
+                    null[name], property
+                ), f"{name}: property on CrossingTrace, not on NullTrace"
+            elif inspect.isfunction(member):
+                assert inspect.signature(member) == inspect.signature(
+                    null[name]
+                ), f"{name}: signature drift"
+
+    def test_null_trace_answers_are_empty(self):
+        NULL_TRACE.record("n", "send", "m", StubData(["t"]), ("ch", 0))
+        NULL_TRACE.attach_lineage(object())
+        assert NULL_TRACE.crossings == []
+        assert NULL_TRACE.capacity == 0
+        assert NULL_TRACE.dropped == 0
+        assert NULL_TRACE.for_tag("t") == []
+        assert NULL_TRACE.for_span(1) == []
+        assert NULL_TRACE.span_pairs() == []
+        assert NULL_TRACE.hops("t") == []
+        assert NULL_TRACE.telemetry_samples() == {}
+        assert "disabled" in NULL_TRACE.describe()
+        assert "0 crossing(s)" in NULL_TRACE.render()

@@ -15,6 +15,8 @@ from repro.obs.registry import (
     MetricsRegistry,
     TelemetryError,
     diff_snapshots,
+    merge_snapshots,
+    render_exposition,
     snapshot_max,
     snapshot_quantile,
     snapshot_total,
@@ -131,6 +133,151 @@ class TestSnapshotMax:
         # The sweep distinguishes "controller absent" (unlimited leg)
         # from "controller reporting 0"; snapshot_total cannot.
         assert snapshot_max({}, "ratio") is None
+
+
+def _node_registry(node, latencies, route_counts):
+    """One per-node registry with a histogram and a labelled counter —
+    same family names everywhere, so merging exercises both the
+    label-collision path (identical label sets sum) and the distinct-
+    series path (per-node labels append)."""
+    registry = MetricsRegistry({"node": node})
+    histogram = registry.histogram("rpc_us", "")
+    for value in latencies:
+        histogram.observe(value)
+    counter = registry.counter("requests_total", "", ("route",))
+    for route, count in route_counts.items():
+        counter.labels(route=route).inc(count)
+    return registry
+
+
+class TestMergeSnapshots:
+    def _merged(self):
+        registries = [
+            _node_registry("n1", (1.0, 2.0), {"a": 3}),
+            _node_registry("n2", (2.0, 500.0), {"a": 5, "b": 1}),
+            _node_registry("n3", (0.5,), {"b": 2}),
+        ]
+        return merge_snapshots(*(r.snapshot() for r in registries))
+
+    def test_overlapping_histogram_buckets_sum(self):
+        merged = self._merged()
+        entry = merged["rpc_us"]
+        assert entry["type"] == "histogram"
+        # Per-node label sets differ, so the three series stay distinct
+        # with identical bucket layouts.
+        assert len(entry["samples"]) == 3
+        layouts = {tuple(s["le"]) for s in entry["samples"]}
+        assert len(layouts) == 1
+        assert snapshot_total(merged, "rpc_us") == 5
+        by_node = {s["labels"]["node"]: s for s in entry["samples"]}
+        assert by_node["n1"]["count"] == 2
+        assert by_node["n2"]["sum"] == 502.0
+        # The merged family still answers quantiles over the union.
+        assert snapshot_quantile(merged, "rpc_us", 0.99) >= 500.0
+
+    def test_histogram_collision_sums_per_bucket(self):
+        a = MetricsRegistry()
+        a.histogram("lat", "").observe(1.0)
+        b = MetricsRegistry()
+        b.histogram("lat", "").observe(1.0)
+        c = MetricsRegistry()
+        c.histogram("lat", "").observe(1000.0)
+        merged = merge_snapshots(a.snapshot(), b.snapshot(), c.snapshot())
+        (sample,) = merged["lat"]["samples"]
+        assert sample["count"] == 3
+        assert sample["sum"] == 1002.0
+        # Colliding buckets added element-wise: two observations share
+        # one bucket, the spike lands in a higher one.
+        assert sorted(n for n in sample["buckets"] if n) == [1, 2]
+
+    def test_label_collisions_across_three_registries(self):
+        # Same name + same label set across three registries (none of
+        # them stamping a distinguishing constant label) -> one summed
+        # series, not three duplicates.
+        colliding = []
+        for count in (1, 2, 4):
+            registry = MetricsRegistry()
+            registry.counter("shared_total", "", ("route",)).labels(
+                route="a"
+            ).inc(count)
+            colliding.append(registry)
+        merged = merge_snapshots(*(r.snapshot() for r in colliding))
+        assert snapshot_total(merged, "shared_total", {"route": "a"}) == 7
+        assert len(merged["shared_total"]["samples"]) == 1
+        # Same name, overlapping *partial* labels (route repeats, node
+        # differs) -> distinct series, totals still correct.
+        merged = self._merged()
+        assert snapshot_total(merged, "requests_total", {"route": "a"}) == 8
+        assert snapshot_total(merged, "requests_total", {"route": "b"}) == 3
+        assert len(merged["requests_total"]["samples"]) == 4
+
+    def test_merge_kind_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.counter("m", "").inc()
+        b = MetricsRegistry()
+        b.gauge("m", "").set(1)
+        with pytest.raises(TelemetryError):
+            merge_snapshots(a.snapshot(), b.snapshot())
+
+    def test_diff_of_merged_snapshots_isolates_new_activity(self):
+        registries = [
+            _node_registry("n1", (1.0,), {"a": 1}),
+            _node_registry("n2", (2.0,), {"a": 1}),
+            _node_registry("n3", (), {}),
+        ]
+        before = merge_snapshots(*(r.snapshot() for r in registries))
+        registries[0].histogram("rpc_us", "").observe(9.0)
+        registries[2].counter("requests_total", "", ("route",)).labels(
+            route="b"
+        ).inc(4)
+        after = merge_snapshots(*(r.snapshot() for r in registries))
+        delta = diff_snapshots(after, before)
+        assert snapshot_total(delta, "rpc_us") == 1
+        assert snapshot_total(delta, "requests_total", {"route": "a"}) == 0
+        assert snapshot_total(delta, "requests_total", {"route": "b"}) == 4
+
+
+#: Golden fixture for the exposition escaper: label values and help
+#: text carrying every character the text format requires escaping —
+#: backslashes, double quotes, and literal newlines.
+_HOSTILE_SNAPSHOT = {
+    "weird_total": {
+        "type": "counter",
+        "help": 'line one\nline "two" \\ backslash',
+        "samples": [
+            {
+                "labels": {"path": 'C:\\temp\n"quoted"'},
+                "value": 3,
+            }
+        ],
+    }
+}
+
+_HOSTILE_GOLDEN = (
+    '# HELP weird_total line one\\nline "two" \\\\ backslash\n'
+    "# TYPE weird_total counter\n"
+    'weird_total{path="C:\\\\temp\\n\\"quoted\\""} 3\n'
+)
+
+
+class TestExpositionEscaping:
+    def test_hostile_characters_match_golden(self):
+        assert render_exposition(_HOSTILE_SNAPSHOT) == _HOSTILE_GOLDEN
+
+    def test_escaped_output_has_no_raw_newlines_inside_lines(self):
+        text = render_exposition(_HOSTILE_SNAPSHOT)
+        # Every physical line is a complete exposition line: the literal
+        # newline in the label value must have been escaped away.
+        for line in text.strip().split("\n"):
+            assert line.startswith(("#", "weird_total"))
+
+    def test_histogram_label_escaping_round_trip(self):
+        registry = MetricsRegistry({"node": 'n"1\\'})
+        registry.histogram("h_us", "").observe(1.0)
+        text = render_exposition(registry.snapshot())
+        assert 'node="n\\"1\\\\"' in text
+        # le labels coexist with the escaped constant label.
+        assert 'le="+Inf"' in text
 
 
 class TestWorkloadTelemetryIsolation:
