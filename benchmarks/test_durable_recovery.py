@@ -1,0 +1,226 @@
+"""Durable Taint Map benchmark (PR 10): crash recovery + scale-in drain.
+
+Two measured scenarios, results in ``BENCH_PR10.json``:
+
+* **recovery** — preload N taints into a WAL-backed shard, crash and
+  restart it, and verify the replay: every entry comes back
+  (``entries_replayed == N``), the GID sequence resumes from its
+  high-water mark (``renumbered_gids == 0``), and every pre-crash GID
+  still resolves (``failed_lookups == 0``).  Recovery wall-clock and
+  the steady-state durability overhead (WAL-on vs WAL-off registration
+  throughput) are recorded alongside.
+
+* **drain** — a 3-shard fleet scales in to 2 via
+  ``RingCoordinator.drain``: the retired shard's entries (own and
+  adopted) move to the survivors and its ring slot forwards.  The gate
+  is the tentpole invariant: post-drain lookup success over **every
+  GID ever allocated** is 100%, with the drained process stopped.
+
+Acceptance (asserted, and re-checked by the CI canary):
+
+* ``recovery.entries_replayed == PRELOAD``
+* ``recovery.renumbered_gids == 0`` and ``recovery.failed_lookups == 0``
+* ``drain.lookup_success_fraction == 1.0`` over every GID ever issued
+"""
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.core.durability import MemoryTaintMapStore
+from repro.core.elastic import RingCoordinator
+from repro.core.taintmap import ShardedTaintMapService, TaintMapClient, gid_shard
+from repro.runtime.cluster import TAINT_MAP_IP, TAINT_MAP_PORT
+from repro.runtime.fs import SimFileSystem
+from repro.runtime.kernel import SimKernel
+from repro.runtime.modes import Mode
+from repro.runtime.node import SimNode
+
+SENDER_THREADS = 8
+OPS_PER_THREAD = 40
+SERVICE_TIME = 0.0005
+REPEATS = 3
+#: Entries written before the crash (the state that must replay).
+PRELOAD = 300
+SNAPSHOT_EVERY = 128
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR10.json"
+
+
+def _boot(shard_count, namespace, store_factory=None, snapshot_every=None):
+    kernel = SimKernel(f"durable-bench-{namespace}")
+    kernel.register_node(TAINT_MAP_IP)
+    fs = SimFileSystem()
+    service = ShardedTaintMapService(
+        kernel,
+        TAINT_MAP_IP,
+        TAINT_MAP_PORT,
+        shard_count,
+        service_time=SERVICE_TIME,
+        store_factory=store_factory,
+        snapshot_every=snapshot_every,
+    ).start()
+    node = SimNode("n", kernel.register_node("10.0.0.1"), 1, kernel, fs, Mode.DISTA)
+    return kernel, fs, service, node
+
+
+def _timed_round(client, node, namespace):
+    """8 threads of fresh registrations; returns registrations/second."""
+    taints = [
+        [node.tree.taint_for_tag(f"{namespace}-{t}-{i}") for i in range(OPS_PER_THREAD)]
+        for t in range(SENDER_THREADS)
+    ]
+    barrier = threading.Barrier(SENDER_THREADS + 1)
+
+    def sender(batch):
+        barrier.wait()
+        for taint in batch:
+            client.gid_for(taint)
+
+    threads = [
+        threading.Thread(target=sender, args=(batch,), daemon=True)
+        for batch in taints
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return SENDER_THREADS * OPS_PER_THREAD / elapsed
+
+
+def _registration_throughput(namespace, store_factory=None, snapshot_every=None):
+    kernel, fs, service, node = _boot(
+        1, namespace, store_factory=store_factory, snapshot_every=snapshot_every
+    )
+    client = TaintMapClient(node, service.addresses)
+    try:
+        return max(
+            _timed_round(client, node, f"{namespace}-r{r}") for r in range(REPEATS)
+        )
+    finally:
+        client.close()
+        service.stop()
+
+
+def _crash_recovery(namespace):
+    stores = {}
+    kernel, fs, service, node = _boot(
+        1,
+        namespace,
+        store_factory=lambda i: stores.setdefault(i, MemoryTaintMapStore()),
+        snapshot_every=SNAPSHOT_EVERY,
+    )
+    client = TaintMapClient(node, service.addresses, cache_enabled=False)
+    try:
+        taints = [
+            node.tree.taint_for_tag(f"{namespace}-pre-{i}") for i in range(PRELOAD)
+        ]
+        gids = [client.gid_for(t) for t in taints]
+        watermark = service.servers[0].next_seq
+        snapshots_written = service.servers[0].stats.snapshot()["wal_snapshots"]
+
+        recover_started = time.perf_counter()
+        server = service.restart_shard(0)
+        recover_elapsed = time.perf_counter() - recover_started
+
+        snap = server.stats.snapshot()
+        checker = TaintMapClient(node, service.addresses, cache_enabled=False)
+        failed = sum(1 for gid in gids if checker.taint_for(gid) is None)
+        renumbered = sum(
+            1 for taint, gid in zip(taints, gids) if checker.gid_for(taint) != gid
+        )
+        checker.close()
+        return {
+            "entries_preloaded": PRELOAD,
+            "entries_replayed": snap["global_taints"],
+            "wal_replayed": snap["wal_replayed"],
+            "wal_snapshots_before_crash": snapshots_written,
+            "next_seq_resumed": server.next_seq == watermark,
+            "failed_lookups": failed,
+            "renumbered_gids": renumbered,
+            "recovery_seconds": recover_elapsed,
+        }
+    finally:
+        client.close()
+        service.stop()
+
+
+def _drain(namespace):
+    kernel, fs, service, node = _boot(3, namespace)
+    client = TaintMapClient(node, service.addresses, cache_enabled=False)
+    try:
+        taints = [
+            node.tree.taint_for_tag(f"{namespace}-{i}") for i in range(PRELOAD)
+        ]
+        gids = [client.gid_for(t) for t in taints]
+        per_shard = {
+            shard: sum(1 for g in gids if gid_shard(g) == shard) for shard in (0, 1, 2)
+        }
+
+        drain_started = time.perf_counter()
+        coordinator = RingCoordinator(service)
+        ring = coordinator.drain(2)
+        drain_elapsed = time.perf_counter() - drain_started
+        service.servers[2].stop()
+
+        checker = TaintMapClient(node, service.addresses, cache_enabled=False)
+        checker.adopt_ring(ring)
+        resolved = sum(1 for gid in gids if checker.taint_for(gid) is not None)
+        renumbered = sum(
+            1 for taint, gid in zip(taints, gids) if checker.gid_for(taint) != gid
+        )
+        checker.close()
+        return {
+            "gids_allocated": len(gids),
+            "gids_per_shard_before_drain": per_shard,
+            "drain_entries_sent": coordinator.drain_entries_sent,
+            "lookup_success_fraction": resolved / len(gids),
+            "renumbered_gids": renumbered,
+            "ring_epoch": ring.epoch,
+            "retired_shards": sorted(ring.retired),
+            "drain_seconds": drain_elapsed,
+        }
+    finally:
+        client.close()
+        service.stop()
+
+
+def test_crash_recovery_and_drain():
+    baseline = _registration_throughput("baseline")
+    durable = _registration_throughput(
+        "durable",
+        store_factory=lambda i: MemoryTaintMapStore(),
+        snapshot_every=SNAPSHOT_EVERY,
+    )
+    recovery = _crash_recovery("recover")
+    drain = _drain("drain")
+
+    report = {
+        "bench": "durable_recovery",
+        "workload": (
+            f"{SENDER_THREADS} threads x {OPS_PER_THREAD} fresh registrations, "
+            f"service_time={SERVICE_TIME}s/shard, {PRELOAD} preloaded taints, "
+            f"snapshot_every={SNAPSHOT_EVERY}"
+        ),
+        "repeats": REPEATS,
+        "results": {
+            "baseline_registrations_per_s": baseline,
+            "durable_registrations_per_s": durable,
+            "durability_overhead_fraction": 1 - durable / baseline,
+        },
+        "recovery": recovery,
+        "drain": drain,
+    }
+    _RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    assert recovery["entries_replayed"] == PRELOAD, recovery
+    assert recovery["next_seq_resumed"], recovery
+    assert recovery["failed_lookups"] == 0, recovery
+    assert recovery["renumbered_gids"] == 0, recovery
+    assert drain["drain_entries_sent"] > 0, drain
+    assert drain["lookup_success_fraction"] == 1.0, drain
+    assert drain["renumbered_gids"] == 0, drain

@@ -78,6 +78,7 @@ from repro.core.taintmap import (
     OP_REGISTER,
     OP_REGISTER_MANY,
     PROTOCOL_MAX_BATCH,
+    STATUS_GID_EXHAUSTED,
     STATUS_OK,
     STATUS_STALE_RING,
     STATUS_UNKNOWN_GID,
@@ -97,6 +98,7 @@ from repro.errors import (
     TaintMapBackpressureError,
     TaintMapDeadlineError,
     TaintMapError,
+    TaintMapExhaustedError,
     TaintMapTransportError,
 )
 from repro.runtime.kernel import Address, TcpEndpoint
@@ -645,6 +647,41 @@ class AsyncTaintMapTransport:
         except RuntimeError:
             pass  # loop stopped by a concurrent close(): nothing to grow
 
+    def readdress(self, indices: Sequence[int]) -> None:
+        """Drain adoption hook: the listed shard slots now forward to a
+        surviving shard's address.  Cached mux connections for them are
+        *dropped without closing* — in-flight requests finish on the old
+        connection (the drained process keeps serving until the cluster
+        stops it), while every new request dials the forwarding address.
+        Safe from any thread; channel state is swapped on the loop."""
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            loop = self.loop
+            if loop is None:
+                return  # no connections exist before the loop starts
+
+        def drop() -> None:
+            for index in indices:
+                if index < len(self._channels):
+                    self._channels[index]._connection = None
+
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is loop:
+            drop()
+            return
+
+        async def drop_async() -> None:
+            drop()
+
+        try:
+            asyncio.run_coroutine_threadsafe(drop_async(), loop).result(10)
+        except RuntimeError:
+            pass  # loop stopped by a concurrent close(): nothing to drop
+
     def close(self) -> None:
         with self._lifecycle_lock:
             if self._closed:
@@ -809,6 +846,14 @@ class AsyncTaintMapTransport:
             # Register windows re-home via _reroute_register before this
             # check; any other op seeing it is a protocol violation.
             raise TaintMapError("taint map rejected request routed on a stale ring")
+        if status == STATUS_GID_EXHAUSTED:
+            # Structured and non-retried: the shard is healthy but has no
+            # sequence numbers left — rotating to a standby (which
+            # replicates the same exhausted counter) cannot help, so this
+            # must never burn a failover.
+            raise TaintMapExhaustedError(
+                "taint map shard has exhausted its Global-ID sequence space"
+            )
         if status != STATUS_OK:
             raise TaintMapError(f"taint map rejected request (status {status})")
 
@@ -1062,6 +1107,9 @@ class AsyncTaintMapClient(TaintMapClient):
 
     def _on_shards_grown(self, shard_count: int) -> None:
         self.transport.grow_to(shard_count)
+
+    def _on_shards_readdressed(self, indices) -> None:
+        self.transport.readdress(indices)
 
     def _request(self, op: int, payload: bytes, shard: int = 0) -> bytes:
         return self.transport.submit(shard, op, payload)

@@ -111,6 +111,10 @@ class RingCoordinator:
         #: Migration telemetry for benchmarks/tests.
         self.handoff_entries_sent = 0
         self.handoff_chunks_sent = 0
+        self.drain_entries_sent = 0
+        #: In-flight migration descriptor, for :meth:`resume` after a
+        #: mid-migration crash.  Cleared when a migration completes.
+        self._resume_state: Optional[tuple] = None
 
     # -- delivery --------------------------------------------------------- #
 
@@ -118,14 +122,23 @@ class RingCoordinator:
         return [ring.addresses[shard]] + list(self._standbys.get(shard, []))
 
     def _deliver(
-        self, ring: ShardRing, shard: int, frames: Sequence[tuple[int, bytes]]
+        self,
+        ring: ShardRing,
+        shard: int,
+        frames: Sequence[tuple[int, bytes]],
+        addresses: Optional[Sequence[Address]] = None,
     ) -> None:
         """Send a frame sequence to ``shard``, failing over replica by
         replica.  On failover the whole sequence replays from the start
-        — BEGIN and CHUNK handling are idempotent by construction."""
+        — BEGIN and CHUNK handling are idempotent by construction.
+        ``addresses`` overrides the ring-derived replica list — needed
+        to reach a *draining* shard, whose slot in the successor ring
+        already advertises its forwarding address."""
         last_error: Optional[Exception] = None
         kernel = self.service._kernel
-        for address in self._replicas_for(ring, shard):
+        if addresses is None:
+            addresses = self._replicas_for(ring, shard)
+        for address in addresses:
             connection = None
             try:
                 connection = _ControlConnection(kernel, self.service.ip, address)
@@ -199,6 +212,18 @@ class RingCoordinator:
         # judged under the new ring, which is exactly right.
         service.add_shards(new_ring, server_factory=server_factory)
 
+        self._resume_state = ("grow", new_ring, len(old_servers))
+        self._run_grow(new_ring, len(old_servers))
+        self._resume_state = None
+        return new_ring
+
+    def _run_grow(self, new_ring: ShardRing, old_count: int) -> None:
+        """The grow migration's three passes.  Every pass is idempotent
+        (adoption is setdefault, ring flips are monotone), so re-running
+        after a mid-migration crash — via :meth:`resume` — is safe."""
+        service = self.service
+        old_servers = service.servers[:old_count]
+
         # Bulk pass: copy every entry whose owner changes, while the old
         # shards keep serving (and allocating) under the old ring.
         watermarks = [server.next_seq for server in old_servers]
@@ -212,7 +237,7 @@ class RingCoordinator:
         # registrations).  From here, stale-routed keys bounce with the
         # new ring attached.
         ring_payload = new_ring.encode()
-        for index in range(len(old_servers)):
+        for index in range(old_count):
             self._deliver(new_ring, index, [(OP_RING_UPDATE, ring_payload)])
 
         # Delta pass: whatever the old shards allocated during the bulk
@@ -225,4 +250,131 @@ class RingCoordinator:
             )
 
         service.adopt_ring(new_ring)
+
+    # -- the scale-in ------------------------------------------------------ #
+
+    def drain(self, shard_index: int, forward: Optional[int] = None) -> ShardRing:
+        """Retire shard ``shard_index``, live.
+
+        The drained shard's entire resolvable state (own allocations
+        *and* adopted foreign entries) streams to ``forward`` — the
+        surviving shard whose address takes over the retired slot — so
+        every GID carrying the drained shard's bits keeps resolving via
+        the slot's forwarding address, forever.  Its key-dedup state
+        re-homes to the successor ring's owners; and because the epoch
+        bump re-salts every vnode, the surviving shards re-home their
+        moved keys too, exactly as in a scale-out.  Returns the
+        successor ring (``shard_index`` retired, epoch + 1).
+        """
+        service = self.service
+        old_ring = service.ring
+        new_ring = old_ring.drain(shard_index, forward)
+        if forward is None:
+            forward = next(
+                index for index in old_ring.active_shards if index != shard_index
+            )
+        drained_address = old_ring.addresses[shard_index]
+        self._resume_state = (
+            "drain", new_ring, shard_index, forward, drained_address,
+        )
+        self._run_drain(new_ring, shard_index, forward, drained_address)
+        self._resume_state = None
+        return new_ring
+
+    def _run_drain(
+        self,
+        new_ring: ShardRing,
+        shard_index: int,
+        forward: int,
+        drained_address: Address,
+    ) -> None:
+        """The drain migration's passes (idempotent, resume-safe)."""
+        service = self.service
+        drained = service.servers[shard_index]
+        survivors = new_ring.active_shards
+        survivor_servers = [service.servers[index] for index in survivors]
+
+        # Bulk pass: the drained shard pushes everything it can resolve
+        # (GIDs to the forward shard, key dedup to the new owners)...
+        drained_watermark = drained.next_seq
+        survivor_watermarks = [server.next_seq for server in survivor_servers]
+        plan = drained.drain_plan(new_ring, forward, max_seq=drained_watermark)
+        sent = sum(len(entries) for entries in plan.values())
+        self._stream_handoff(new_ring, plan)
+        self.drain_entries_sent += sent
+        if sent:
+            drained.stats.bump("drain_entries", sent)
+        # ...and every survivor re-homes the keys the re-salted ring
+        # moved between them.
+        for server, watermark in zip(survivor_servers, survivor_watermarks):
+            self._stream_handoff(
+                new_ring, server.handoff_plan(new_ring, max_seq=watermark)
+            )
+
+        # Epoch flip: survivors first, then the draining shard — reached
+        # at its *old* address, since its slot in the successor ring
+        # already advertises the forwarding address.  From its flip on,
+        # the drained shard bounces every registration (retired shards
+        # own nothing) while still answering lookups.
+        ring_payload = new_ring.encode()
+        for index in survivors:
+            self._deliver(new_ring, index, [(OP_RING_UPDATE, ring_payload)])
+        self._deliver(
+            new_ring,
+            shard_index,
+            [(OP_RING_UPDATE, ring_payload)],
+            addresses=[drained_address]
+            + list(self._standbys.get(shard_index, [])),
+        )
+
+        # Delta passes: allocations that raced the bulk copy.
+        plan = drained.drain_plan(
+            new_ring, forward, min_seq=drained_watermark
+        )
+        sent = sum(len(entries) for entries in plan.values())
+        self._stream_handoff(new_ring, plan)
+        self.drain_entries_sent += sent
+        if sent:
+            drained.stats.bump("drain_entries", sent)
+        for server, watermark in zip(survivor_servers, survivor_watermarks):
+            self._stream_handoff(
+                new_ring, server.handoff_plan(new_ring, min_seq=watermark)
+            )
+
+        service.adopt_ring(new_ring)
+
+    def scale_in(self, target_active: int) -> ShardRing:
+        """Drain shards (highest active index first) until only
+        ``target_active`` remain, one complete migration at a time."""
+        active = self.service.ring.active_shards
+        if not 1 <= target_active < len(active):
+            raise TaintMapError(
+                f"scale-in target {target_active} is not below the current "
+                f"{len(active)} active shard(s) (and at least 1)"
+            )
+        ring = self.service.ring
+        for index in sorted(active, reverse=True)[: len(active) - target_active]:
+            ring = self.drain(index)
+        return ring
+
+    # -- crash recovery ---------------------------------------------------- #
+
+    def resume(self) -> Optional[ShardRing]:
+        """Re-drive an interrupted migration after the crashed shard(s)
+        restarted (``ShardedTaintMapService.restart_shard`` recovers
+        their state and adopted epoch from the durability store).  Every
+        pass is idempotent — entries adopt with setdefault semantics and
+        ring flips are monotone — so replaying from the start is safe.
+        Returns the migration's target ring, or None if nothing was in
+        flight."""
+        state = self._resume_state
+        if state is None:
+            return None
+        if state[0] == "grow":
+            _, new_ring, old_count = state
+            self._run_grow(new_ring, old_count)
+        else:
+            _, new_ring, shard_index, forward, drained_address = state
+            self._run_drain(new_ring, shard_index, forward, drained_address)
+        self._resume_state = None
         return new_ring

@@ -49,6 +49,7 @@ class StandbyTaintMapServer(TaintMapServer):
             serialized = payload[4:]
             key = taintmap.taint_key(frozenset(taintmap.deserialize_tags(serialized)))
             with self._lock:
+                new_gid = gid not in self._by_gid
                 self._by_key[key] = gid
                 self._by_gid[gid] = serialized
                 # Continue the shard-local sequence after promotion; the
@@ -58,6 +59,15 @@ class StandbyTaintMapServer(TaintMapServer):
                 # advance this shard's own counter.
                 if taintmap.gid_shard(gid) == self.shard_index:
                     self._next_gid = max(self._next_gid, (gid & GID_SEQ_MASK) + 1)
+                if new_gid:
+                    self._persist_entry_locked(gid, serialized)
+            if new_gid:
+                # Keep the population counter in sync with the state the
+                # sync stream installs: a promoted standby must report
+                # the same global_taints the primary did, not 0.
+                with self.stats._lock:
+                    self.stats.global_taints += 1
+                self._maybe_snapshot()
             return STATUS_OK, b""
         return super()._handle(op, payload)
 
@@ -79,9 +89,19 @@ class ReplicatedTaintMapServer(TaintMapServer):
         shard_count: int = 1,
         service_time: float = 0.0,
         ring: Optional[taintmap.ShardRing] = None,
+        store=None,
+        snapshot_every: Optional[int] = None,
     ):
         super().__init__(
-            kernel, ip, port, shard_index, shard_count, service_time, ring=ring
+            kernel,
+            ip,
+            port,
+            shard_index,
+            shard_count,
+            service_time,
+            ring=ring,
+            store=store,
+            snapshot_every=snapshot_every,
         )
         self._standby_address = standby
         self._standby_lock = threading.Lock()

@@ -236,6 +236,14 @@ def launch_cluster(
     taint_map_max_shards = None
     if "taintMapMaxShards" in options.extras:
         taint_map_max_shards = int(options.extras["taintMapMaxShards"])
+    taint_map_durable = False
+    if "taintMapDurable" in options.extras:
+        taint_map_durable = parse_switch(
+            options.extras["taintMapDurable"], "taintMapDurable"
+        )
+    taint_map_snapshot_every = None
+    if "taintMapSnapshotEvery" in options.extras:
+        taint_map_snapshot_every = int(options.extras["taintMapSnapshotEvery"])
     cluster = Cluster(
         mode,
         name=name,
@@ -243,6 +251,8 @@ def launch_cluster(
         taint_map_shards=taint_map_shards,
         taint_map_max_shards=taint_map_max_shards,
         lineage=lineage,
+        taint_map_durable=taint_map_durable,
+        taint_map_snapshot_every=taint_map_snapshot_every,
     )
     if mode is not Mode.ORIGINAL:
         TaintSpec.from_texts(sources_text, sinks_text).apply(cluster)

@@ -36,7 +36,12 @@ import time
 from collections import OrderedDict
 from typing import Optional, Sequence, Union
 
-from repro.errors import TaintMapError, TaintMapStaleRingError
+from repro.core import durability
+from repro.errors import (
+    TaintMapError,
+    TaintMapExhaustedError,
+    TaintMapStaleRingError,
+)
 from repro.obs.registry import MetricsRegistry
 from repro.runtime.kernel import Address, SimKernel, TcpEndpoint
 from repro.taint.tags import LocalId, TaintTag
@@ -73,6 +78,13 @@ STATUS_BAD_REQUEST = 2
 #: is empty when a standalone server has no ring to share); the client
 #: adopts it and re-routes.  Semantic, never a failover trigger.
 STATUS_STALE_RING = 3
+#: The shard ran out of Global-ID sequence numbers.  Semantic, never a
+#: failover trigger: the replica is healthy and its standby replicates
+#: the same exhausted counter, so rotating or retrying cannot help.
+#: Clients surface it as
+#: :class:`~repro.errors.TaintMapExhaustedError`; the per-shard
+#: ``dista_gid_headroom`` gauge is the advance warning.
+STATUS_GID_EXHAUSTED = 4
 
 #: Human-readable op names for telemetry labels (op 3 is OP_SYNC in
 #: :mod:`repro.core.ha`, which shares this opcode namespace).
@@ -152,8 +164,8 @@ class ShardRouter:
 
     VNODES = 64
 
-    #: Ring points are a pure function of (shard count, epoch), and
-    #: every client/agent attach builds a router — memoize so the
+    #: Ring points are a pure function of (shard count, epoch, retired
+    #: set), and every client/agent attach builds a router — memoize so the
     #: 64-vnode SHA-256 ring is hashed once per distinct ring, not once
     #: per client.  Keying on the count alone would serve a stale ring
     #: after a scale-out: a fresh epoch-0 4-shard cluster and a cluster
@@ -161,20 +173,41 @@ class ShardRouter:
     _RING_CACHE: dict = {}
     _RING_LOCK = threading.Lock()
 
-    def __init__(self, shard_count: int, epoch: int = 0):
+    def __init__(self, shard_count: int, epoch: int = 0, retired=()):
         if not 1 <= shard_count <= MAX_SHARDS:
             raise TaintMapError(
                 f"shard count {shard_count} outside 1..{MAX_SHARDS}"
             )
         if epoch < 0:
             raise TaintMapError(f"ring epoch must be >= 0, got {epoch}")
+        retired = frozenset(int(index) for index in retired)
+        if any(not 0 <= index < shard_count for index in retired):
+            raise TaintMapError(
+                f"retired shard indices {sorted(retired)} outside "
+                f"0..{shard_count - 1}"
+            )
+        active = [index for index in range(shard_count) if index not in retired]
+        if not active:
+            raise TaintMapError("a ring needs at least one active shard")
         self.shard_count = shard_count
         self.epoch = epoch
+        self.retired = retired
+        # Retired (drained) shards keep their GID-namespace index — a
+        # received GID still self-routes to the slot's forwarding
+        # address — but own no keys: new registrations only ever land
+        # on active shards.
+        self._single = active[0] if len(active) == 1 else None
+        # Never-drained rings keep the historical two-field cache key;
+        # the retired set only joins the key when non-empty.
+        cache_key = (
+            (shard_count, epoch) if not retired
+            else (shard_count, epoch, retired)
+        )
         with self._RING_LOCK:
-            cached = self._RING_CACHE.get((shard_count, epoch))
+            cached = self._RING_CACHE.get(cache_key)
             if cached is None:
                 points = []
-                for shard in range(shard_count):
+                for shard in active:
                     for vnode in range(self.VNODES):
                         label = (
                             f"shard:{shard}:{vnode}"
@@ -188,13 +221,13 @@ class ShardRouter:
                     tuple(h for h, _ in points),
                     tuple(s for _, s in points),
                 )
-                self._RING_CACHE[(shard_count, epoch)] = cached
+                self._RING_CACHE[cache_key] = cached
         self._hashes, self._shards = cached
 
     def shard_for_key(self, key: bytes) -> int:
         """Owning shard of a canonical :func:`taint_key`."""
-        if self.shard_count == 1:
-            return 0
+        if self._single is not None:
+            return self._single
         point = int.from_bytes(hashlib.sha256(key).digest()[:8], "big")
         index = bisect.bisect_right(self._hashes, point) % len(self._hashes)
         return self._shards[index]
@@ -211,9 +244,9 @@ class ShardRing:
     new ring is a pointer swap.
     """
 
-    __slots__ = ("epoch", "addresses")
+    __slots__ = ("epoch", "addresses", "retired")
 
-    def __init__(self, epoch: int, addresses: Sequence[Address]):
+    def __init__(self, epoch: int, addresses: Sequence[Address], retired=()):
         if epoch < 0:
             raise TaintMapError(f"ring epoch must be >= 0, got {epoch}")
         if not 1 <= len(addresses) <= MAX_SHARDS:
@@ -224,24 +257,84 @@ class ShardRing:
         self.addresses: tuple[Address, ...] = tuple(
             (str(ip), int(port)) for ip, port in addresses
         )
+        #: GID-namespace indices drained by a scale-in.  A retired
+        #: slot's address is its **forwarding address** (a surviving
+        #: shard that adopted every GID the drained shard could
+        #: resolve), so lookups self-routing by shard bits keep being
+        #: answerable forever.  Retired indices are never reused —
+        #: growth only ever appends fresh indices.
+        self.retired = frozenset(int(index) for index in retired)
+        if any(not 0 <= index < len(self.addresses) for index in self.retired):
+            raise TaintMapError(
+                f"retired shard indices {sorted(self.retired)} outside "
+                f"0..{len(self.addresses) - 1}"
+            )
+        if len(self.retired) >= len(self.addresses):
+            raise TaintMapError("a ring needs at least one active shard")
 
     @property
     def shard_count(self) -> int:
         return len(self.addresses)
 
+    @property
+    def active_shards(self) -> list[int]:
+        return [
+            index
+            for index in range(len(self.addresses))
+            if index not in self.retired
+        ]
+
     def router(self) -> ShardRouter:
-        return ShardRouter(len(self.addresses), self.epoch)
+        return ShardRouter(len(self.addresses), self.epoch, self.retired)
 
     def grow(self, addresses: Sequence[Address]) -> "ShardRing":
         """The successor ring: epoch + 1, with ``addresses`` appended."""
-        return ShardRing(self.epoch + 1, self.addresses + tuple(addresses))
+        return ShardRing(
+            self.epoch + 1, self.addresses + tuple(addresses), self.retired
+        )
+
+    def drain(self, index: int, forward: Optional[int] = None) -> "ShardRing":
+        """The successor ring with shard ``index`` retired.
+
+        ``forward`` names the surviving shard whose address takes over
+        the drained slot (default: the lowest active index), so GIDs
+        carrying the drained shard's bits keep resolving there.  Any
+        previously retired slot that forwarded to the now-draining
+        shard is re-pointed too — forwarding chains collapse to one hop.
+        """
+        if not 0 <= index < len(self.addresses) or index in self.retired:
+            raise TaintMapError(f"shard {index} is not an active shard")
+        active = [i for i in self.active_shards if i != index]
+        if not active:
+            raise TaintMapError("cannot drain the last active shard")
+        if forward is None:
+            forward = active[0]
+        if forward not in active:
+            raise TaintMapError(
+                f"forwarding shard {forward} is not a surviving active shard"
+            )
+        drained_address = self.addresses[index]
+        addresses = list(self.addresses)
+        addresses[index] = self.addresses[forward]
+        for slot in self.retired:
+            if addresses[slot] == drained_address:
+                addresses[slot] = self.addresses[forward]
+        return ShardRing(self.epoch + 1, addresses, self.retired | {index})
 
     def encode(self) -> bytes:
-        """``epoch:4 | count:2`` then per shard ``ip_len:1 | ip | port:2``."""
+        """``epoch:4 | count:2`` then per shard ``ip_len:1 | ip | port:2``.
+
+        A ring with retired shards appends ``retired_count:2`` plus one
+        index byte per retired shard; a never-drained ring appends
+        nothing, staying byte-identical to the pre-drain encoding.
+        """
         out = [struct.pack(">IH", self.epoch, len(self.addresses))]
         for ip, port in self.addresses:
             raw_ip = ip.encode("ascii")
             out.append(struct.pack(">B", len(raw_ip)) + raw_ip + struct.pack(">H", port))
+        if self.retired:
+            out.append(struct.pack(">H", len(self.retired)))
+            out.append(bytes(sorted(self.retired)))
         return b"".join(out)
 
     @classmethod
@@ -258,21 +351,33 @@ class ShardRing:
                 (port,) = struct.unpack(">H", raw[pos : pos + 2])
                 pos += 2
                 addresses.append((ip, port))
+            retired: frozenset[int] = frozenset()
+            # A retired section is at least count:2 + one index byte;
+            # anything shorter is trailing garbage, not a section.
+            if len(raw) - pos >= 3:
+                (retired_count,) = struct.unpack(">H", raw[pos : pos + 2])
+                pos += 2
+                retired = frozenset(raw[pos : pos + retired_count])
+                if len(retired) != retired_count:
+                    raise TaintMapError("truncated retired-shard section")
+                pos += retired_count
         except (struct.error, IndexError, UnicodeDecodeError) as exc:
             raise TaintMapError(f"malformed ring encoding: {exc!r}") from exc
         if pos != len(raw):
             raise TaintMapError(f"trailing bytes in ring encoding ({len(raw) - pos})")
-        return cls(epoch, addresses)
+        return cls(epoch, addresses, retired)
 
     def __eq__(self, other) -> bool:
         return (
             isinstance(other, ShardRing)
             and self.epoch == other.epoch
             and self.addresses == other.addresses
+            and self.retired == other.retired
         )
 
     def __repr__(self) -> str:
-        return f"ShardRing(epoch={self.epoch}, shards={len(self.addresses)})"
+        drained = f", retired={sorted(self.retired)}" if self.retired else ""
+        return f"ShardRing(epoch={self.epoch}, shards={len(self.addresses)}{drained})"
 
 
 # --------------------------------------------------------------------- #
@@ -500,6 +605,11 @@ class TaintMapStats:
         self.close_errors = 0
         self.stale_ring_retries = 0
         self.handoff_entries = 0
+        self.wal_appends = 0
+        self.wal_replayed = 0
+        self.wal_snapshots = 0
+        self.wal_torn_records = 0
+        self.drain_entries = 0
 
     def bump(self, counter: str, amount: int = 1) -> None:
         with self._lock:
@@ -520,6 +630,11 @@ class TaintMapStats:
                 "close_errors": self.close_errors,
                 "stale_ring_retries": self.stale_ring_retries,
                 "handoff_entries": self.handoff_entries,
+                "wal_appends": self.wal_appends,
+                "wal_replayed": self.wal_replayed,
+                "wal_snapshots": self.wal_snapshots,
+                "wal_torn_records": self.wal_torn_records,
+                "drain_entries": self.drain_entries,
             }
 
     @staticmethod
@@ -757,6 +872,10 @@ class TaintMapServer:
     benchmark can measure queueing behaviour rather than the GIL.
     """
 
+    #: Default allocations between compacted snapshots (WAL truncates
+    #: after each), when a durability store is attached.
+    DEFAULT_SNAPSHOT_EVERY = 1024
+
     def __init__(
         self,
         kernel: SimKernel,
@@ -766,6 +885,8 @@ class TaintMapServer:
         shard_count: int = 1,
         service_time: float = 0.0,
         ring: Optional[ShardRing] = None,
+        store=None,
+        snapshot_every: Optional[int] = None,
     ):
         if ring is not None:
             if ring.shard_count != shard_count:
@@ -787,7 +908,14 @@ class TaintMapServer:
         #: empty STALE_RING payload (nothing to re-route with).
         self._ring = ring
         self.ring_epoch = ring.epoch if ring is not None else 0
-        self._router = ShardRouter(shard_count, self.ring_epoch)
+        self._router = (
+            ring.router() if ring is not None
+            else ShardRouter(shard_count, self.ring_epoch)
+        )
+        #: True once this shard was drained by a scale-in: it keeps
+        #: answering lookups for already-forwarded state but refuses new
+        #: registrations (STALE_RING with the successor ring).
+        self.retired = ring is not None and shard_index in ring.retired
         self._service_time = service_time
         self._service_lock = threading.Lock()
         self._listener = None
@@ -798,6 +926,18 @@ class TaintMapServer:
         self._running = False
         self._connections: list[TcpEndpoint] = []
         self.stats = TaintMapStats()
+        #: Durability: WAL + snapshot store (None = in-memory only, the
+        #: historical behaviour).  Recovery runs *now*, before the
+        #: listener exists, so no request can observe half-replayed
+        #: state.
+        self._store = store
+        self._snapshot_every = (
+            self.DEFAULT_SNAPSHOT_EVERY if snapshot_every is None
+            else max(1, int(snapshot_every))
+        )
+        self._writes_since_snapshot = 0
+        if store is not None:
+            self._recover()
         #: Per-shard telemetry: request-handling latency plus the
         #: TaintMapStats counters folded in at scrape time.
         self.metrics = MetricsRegistry({"node": f"taintmap-shard{shard_index}"})
@@ -917,7 +1057,12 @@ class TaintMapServer:
                 return STATUS_BAD_REQUEST, b""
             if self._misrouted(tags):
                 return self._stale_ring_reply()
-            gid = self._register(tags, payload)
+            try:
+                gid = self._register(tags, payload)
+            except TaintMapExhaustedError:
+                # Structured, non-retried: the connection stays open, so
+                # the client surfaces this instead of burning a failover.
+                return STATUS_GID_EXHAUSTED, b""
             return STATUS_OK, struct.pack(">I", gid)
         if op == OP_LOOKUP:
             with self.stats._lock:
@@ -945,10 +1090,13 @@ class TaintMapServer:
                 return self._stale_ring_reply()
             # One _register per entry so subclass hooks (HA replication)
             # see every registration individually.
-            gids = [
-                self._register(tags, entry)
-                for tags, entry in zip(taint_sets, entries)
-            ]
+            try:
+                gids = [
+                    self._register(tags, entry)
+                    for tags, entry in zip(taint_sets, entries)
+                ]
+            except TaintMapExhaustedError:
+                return STATUS_GID_EXHAUSTED, b""
             return STATUS_OK, struct.pack(f">{len(gids)}I", *gids)
         if op == OP_LOOKUP_MANY:
             with self.stats._lock:
@@ -1006,7 +1154,14 @@ class TaintMapServer:
         return STATUS_BAD_REQUEST, b""
 
     def _misrouted(self, tags: frozenset[TaintTag]) -> bool:
-        """A register that the consistent-hash ring owns elsewhere."""
+        """A register that the consistent-hash ring owns elsewhere.
+
+        A retired (drained) shard owns nothing: it keeps answering
+        lookups for state it forwarded but bounces every registration
+        to the successor ring.
+        """
+        if self.retired:
+            return True
         if self.shard_count == 1:
             return False
         return self._router.shard_for_key(taint_key(tags)) != self.shard_index
@@ -1017,6 +1172,126 @@ class TaintMapServer:
         payload for standalone servers that were never given addresses."""
         encoded = self._ring.encode() if self._ring is not None else b""
         return STATUS_STALE_RING, encoded
+
+    # -- durability (WAL + snapshots) ------------------------------------- #
+
+    def _recover(self) -> None:
+        """Rebuild state from snapshot + WAL replay (ctor-time, pre-listen).
+
+        The allocator resumes past the high-water mark of every
+        own-shard GID ever made durable — **no GID is ever renumbered**.
+        Replay is setdefault-idempotent, so a WAL retained past its
+        snapshot (a crash between snapshot write and log truncate)
+        replays as a no-op; a torn tail record (a crash mid-append) is
+        counted and dropped — its allocation was never acknowledged
+        durably, so dropping it is the correct recovery.
+        """
+        raw_snapshot = self._store.read_snapshot()
+        recovered_ring: Optional[ShardRing] = None
+        if raw_snapshot:
+            try:
+                next_gid, ring_bytes, gid_entries, key_entries = (
+                    durability.decode_snapshot(raw_snapshot)
+                )
+            except (ValueError, struct.error) as exc:
+                raise TaintMapError(
+                    f"corrupt taint map snapshot: {exc!r}"
+                ) from exc
+            self._next_gid = max(self._next_gid, next_gid)
+            for gid, serialized in gid_entries:
+                self._by_gid[gid] = serialized
+            for key, gid in key_entries:
+                self._by_key[key] = gid
+            if ring_bytes:
+                recovered_ring = ShardRing.decode(ring_bytes)
+        records, torn = durability.iter_records(self._store.read_log())
+        replayed = 0
+        for kind, payload in records:
+            if kind == durability.WAL_ENTRY:
+                if len(payload) < 4:
+                    continue
+                (gid,) = struct.unpack(">I", payload[:4])
+                serialized = payload[4:]
+                if gid not in self._by_gid:
+                    self._by_gid[gid] = serialized
+                    replayed += 1
+                try:
+                    key = taint_key(frozenset(deserialize_tags(serialized)))
+                except Exception:
+                    continue
+                # Log order *is* arrival order, so setdefault rebuilds
+                # exactly the dedup decisions the live shard made.
+                self._by_key.setdefault(key, gid)
+            elif kind == durability.WAL_RING:
+                try:
+                    ring = ShardRing.decode(payload)
+                except TaintMapError:
+                    continue
+                if recovered_ring is None or ring.epoch > recovered_ring.epoch:
+                    recovered_ring = ring
+        for gid in self._by_gid:
+            if gid_shard(gid) == self.shard_index:
+                self._next_gid = max(self._next_gid, (gid & GID_SEQ_MASK) + 1)
+        if recovered_ring is not None and (
+            self._ring is None or recovered_ring.epoch > self.ring_epoch
+        ):
+            # Already durable — adopt without re-logging.  Restoring the
+            # epoch is what lets a shard that crashed mid-migration
+            # re-serve OP_HANDOFF_* (BEGIN checks the epoch) when the
+            # coordinator resumes.
+            if recovered_ring.shard_count > self.shard_index:
+                self._router = recovered_ring.router()
+                self._ring = recovered_ring
+                self.ring_epoch = recovered_ring.epoch
+                self.shard_count = recovered_ring.shard_count
+                self.retired = self.shard_index in recovered_ring.retired
+        self.stats.global_taints = len(self._by_gid)
+        self.stats.wal_replayed = replayed
+        self.stats.wal_torn_records = torn
+
+    def _persist_entry_locked(self, gid: int, serialized: bytes) -> None:
+        """Append one allocation/adoption to the WAL.  Caller holds
+        ``_lock``, so the append lands before the response that
+        acknowledges the GID can leave the shard."""
+        if self._store is None:
+            return
+        self._store.append_log(
+            durability.pack_record(
+                durability.WAL_ENTRY, struct.pack(">I", gid) + serialized
+            )
+        )
+        self._writes_since_snapshot += 1
+        self.stats.bump("wal_appends")
+
+    def _maybe_snapshot(self) -> None:
+        if self._store is None:
+            return
+        with self._lock:
+            if self._writes_since_snapshot >= self._snapshot_every:
+                self._snapshot_locked()
+
+    def snapshot_now(self) -> None:
+        """Force a compacted snapshot + WAL truncate (tests, shutdown)."""
+        if self._store is None:
+            return
+        with self._lock:
+            self._snapshot_locked()
+
+    def _snapshot_locked(self) -> None:
+        data = durability.encode_snapshot(
+            self._next_gid,
+            self._ring.encode() if self._ring is not None else b"",
+            list(self._by_gid.items()),
+            list(self._by_key.items()),
+        )
+        # Write-then-truncate under the allocation lock: no append can
+        # race between the state capture and the truncate, so the worst
+        # crash outcome is a fresh snapshot plus a stale WAL — whose
+        # replay is setdefault-idempotent.
+        self._store.write_snapshot(data)
+        self._store.truncate_log()
+        self._writes_since_snapshot = 0
+        self.stats.bump("wal_snapshots")
 
     # -- elastic resharding (control plane) ------------------------------- #
 
@@ -1038,29 +1313,47 @@ class TaintMapServer:
         self._ring = ring
         self.ring_epoch = ring.epoch
         self.shard_count = ring.shard_count
+        self.retired = self.shard_index in ring.retired
+        if self._store is not None:
+            # Persisted so a restarted shard resumes judging requests
+            # (and serving handoffs) under the epoch it had adopted.
+            self._store.append_log(
+                durability.pack_record(durability.WAL_RING, ring.encode())
+            )
+            self.stats.bump("wal_appends")
         return True
 
     def _adopt_entry(self, gid: int, serialized: bytes) -> bool:
         """Install one migrated ``(gid, taint)`` pair.
 
-        Setdefault semantics: if this shard already has the key (it
-        allocated its own GID for it mid-handoff, or an earlier chunk
-        was replayed after a coordinator retry), the existing entry
-        wins — the old GID still resolves at its allocating shard, so
-        nothing is lost and no GID is ever renumbered.
+        Setdefault semantics on *both* maps: if this shard already has
+        the key (it allocated its own GID for it mid-handoff, or an
+        earlier chunk was replayed after a coordinator retry), the
+        existing dedup entry wins — but the incoming GID is still
+        installed in ``_by_gid`` so it resolves here (drain forwarding
+        depends on that).  ``global_taints`` counts the resolvable-GID
+        population, so it bumps exactly when a *new* GID lands: a
+        replayed chunk whose key was since re-registered locally is a
+        stats no-op, never a double count.
         """
         try:
             key = taint_key(frozenset(deserialize_tags(serialized)))
         except Exception:
             return False
         with self._lock:
-            if key in self._by_key:
-                return False
-            self._by_key[key] = gid
-            self._by_gid.setdefault(gid, serialized)
-        with self.stats._lock:
-            self.stats.global_taints += 1
-        return True
+            new_gid = gid not in self._by_gid
+            if new_gid:
+                self._by_gid[gid] = serialized
+            new_key = key not in self._by_key
+            if new_key:
+                self._by_key[key] = gid
+            if new_gid:
+                self._persist_entry_locked(gid, serialized)
+        if new_gid:
+            with self.stats._lock:
+                self.stats.global_taints += 1
+            self._maybe_snapshot()
+        return new_gid or new_key
 
     def handoff_plan(
         self, ring: ShardRing, min_seq: int = 1, max_seq: Optional[int] = None
@@ -1090,6 +1383,56 @@ class TaintMapServer:
                 plan.setdefault(owner, []).append((gid, self._by_gid[gid]))
         return plan
 
+    def drain_plan(
+        self,
+        ring: ShardRing,
+        forward_shard: int,
+        min_seq: int = 1,
+        max_seq: Optional[int] = None,
+    ) -> dict[int, list[tuple[int, bytes]]]:
+        """Everything this shard must push out before retiring under
+        ``ring`` (the successor ring in which it is retired).
+
+        Two obligations:
+
+        * every ``_by_gid`` entry — own *and* adopted foreign — goes to
+          ``forward_shard``, the surviving shard whose address takes
+          over the retired slot, so lookups self-routing by the drained
+          shard's GID bits stay answerable forever (GID tombstone
+          forwarding);
+        * every ``_by_key`` dedup entry goes to that key's owner under
+          the successor ring (the epoch bump re-salts every vnode, so
+          ownership moves for *all* keys, not just this shard's), so
+          future registrations keep deduplicating to the original GID.
+
+        Own-shard GIDs are filtered to the ``[min_seq, max_seq)`` window
+        for the coordinator's bulk/delta split; adopted foreign entries
+        carry no position in this shard's sequence space and ship in the
+        bulk pass only (``min_seq <= 1``).  Duplicates across the two
+        obligations are fine — adoption is idempotent.
+        """
+        router = ring.router()
+        plan: dict[int, list[tuple[int, bytes]]] = {}
+        with self._lock:
+            if max_seq is None:
+                max_seq = self._next_gid
+
+            def in_window(gid: int) -> bool:
+                if gid_shard(gid) != self.shard_index:
+                    return min_seq <= 1
+                return min_seq <= (gid & GID_SEQ_MASK) < max_seq
+
+            for gid, serialized in self._by_gid.items():
+                if in_window(gid):
+                    plan.setdefault(forward_shard, []).append((gid, serialized))
+            for key, gid in self._by_key.items():
+                if not in_window(gid):
+                    continue
+                owner = router.shard_for_key(key)
+                if owner not in (forward_shard, self.shard_index):
+                    plan.setdefault(owner, []).append((gid, self._by_gid[gid]))
+        return plan
+
     @property
     def next_seq(self) -> int:
         """Watermark for the coordinator's bulk/delta handoff split."""
@@ -1104,7 +1447,7 @@ class TaintMapServer:
                 return gid
             seq = self._next_gid
             if seq > GID_SEQ_MASK:
-                raise TaintMapError(
+                raise TaintMapExhaustedError(
                     f"shard {self.shard_index} exhausted its {GID_SHARD_SHIFT}-bit "
                     "Global-ID sequence space"
                 )
@@ -1112,9 +1455,17 @@ class TaintMapServer:
             gid = make_gid(self.shard_index, seq)
             self._by_key[key] = gid
             self._by_gid[gid] = serialized
+            self._persist_entry_locked(gid, serialized)
         with self.stats._lock:
             self.stats.global_taints += 1
+        self._maybe_snapshot()
         return gid
+
+    @property
+    def gid_headroom(self) -> int:
+        """Sequence numbers left before this shard exhausts its GID space."""
+        with self._lock:
+            return max(0, GID_SEQ_MASK - self._next_gid + 1)
 
     # -- introspection -------------------------------------------------------- #
 
@@ -1157,6 +1508,44 @@ class TaintMapServer:
                 "help": "Migrated (GID, taint) entries adopted by this shard.",
                 "samples": [{"labels": {}, "value": snap["handoff_entries"]}],
             },
+            "dista_gid_headroom": {
+                "type": "gauge",
+                "help": (
+                    "Sequence numbers left before this shard exhausts its "
+                    "Global-ID allocation space."
+                ),
+                "samples": [{"labels": {}, "value": self.gid_headroom}],
+            },
+            "dista_wal_appends_total": {
+                "type": "counter",
+                "help": "Records appended to this shard's write-ahead log.",
+                "samples": [{"labels": {}, "value": snap["wal_appends"]}],
+            },
+            "dista_wal_replayed_total": {
+                "type": "counter",
+                "help": "WAL entries replayed during the last recovery.",
+                "samples": [{"labels": {}, "value": snap["wal_replayed"]}],
+            },
+            "dista_wal_snapshots_total": {
+                "type": "counter",
+                "help": "Compacted snapshots written by this shard.",
+                "samples": [{"labels": {}, "value": snap["wal_snapshots"]}],
+            },
+            "dista_wal_torn_records_total": {
+                "type": "counter",
+                "help": "Torn WAL tail records dropped during recovery.",
+                "samples": [{"labels": {}, "value": snap["wal_torn_records"]}],
+            },
+            "dista_drain_entries_total": {
+                "type": "counter",
+                "help": "Entries this shard pushed out while being drained.",
+                "samples": [{"labels": {}, "value": snap["drain_entries"]}],
+            },
+            "dista_drain_retired": {
+                "type": "gauge",
+                "help": "1 once this shard has been drained (retired), else 0.",
+                "samples": [{"labels": {}, "value": 1 if self.retired else 0}],
+            },
         }
 
 
@@ -1174,11 +1563,19 @@ class ShardedTaintMapService:
         base_port: int,
         shard_count: int = 1,
         service_time: float = 0.0,
+        store_factory=None,
+        snapshot_every: Optional[int] = None,
     ):
         self._kernel = kernel
         self.ip = ip
         self.base_port = base_port
         self._service_time = service_time
+        #: ``store_factory(shard_index)`` → durability store for that
+        #: shard (None = in-memory shards, the historical behaviour).
+        #: Kept so :meth:`restart_shard` can re-attach the same store.
+        self._store_factory = store_factory
+        self._snapshot_every = snapshot_every
+        self._stores: dict[int, object] = {}
         ring = ShardRing(
             0, [(ip, base_port + index) for index in range(shard_count)]
         )
@@ -1192,9 +1589,20 @@ class ShardedTaintMapService:
                 shard_count=shard_count,
                 service_time=service_time,
                 ring=ring,
+                store=self._store_for(index),
+                snapshot_every=snapshot_every,
             )
             for index in range(shard_count)
         ]
+
+    def _store_for(self, shard_index: int):
+        if self._store_factory is None:
+            return None
+        store = self._stores.get(shard_index)
+        if store is None:
+            store = self._store_factory(shard_index)
+            self._stores[shard_index] = store
+        return store
 
     @property
     def addresses(self) -> list[Address]:
@@ -1216,7 +1624,11 @@ class ShardedTaintMapService:
                 f"ring has {ring.shard_count} shards; service already runs "
                 f"{len(self.servers)}"
             )
-        if ring.addresses[: len(self.servers)] != tuple(self.addresses):
+        # Compare against the *ring's* addresses, not the server
+        # objects' — after a drain, a retired slot advertises its
+        # forwarding address while the (stopped) server object keeps
+        # the original one.
+        if ring.addresses[: len(self.servers)] != self._ring.addresses:
             raise TaintMapError("scale-out ring must preserve existing shard addresses")
         factory = server_factory or TaintMapServer
         added = []
@@ -1230,6 +1642,8 @@ class ShardedTaintMapService:
                 shard_count=ring.shard_count,
                 service_time=self._service_time,
                 ring=ring,
+                store=self._store_for(index),
+                snapshot_every=self._snapshot_every,
             )
             server.start()
             added.append(server)
@@ -1239,6 +1653,56 @@ class ShardedTaintMapService:
     def adopt_ring(self, ring: ShardRing) -> None:
         if ring.epoch > self._ring.epoch:
             self._ring = ring
+
+    @property
+    def retired(self) -> frozenset[int]:
+        """Shard indices drained by a completed scale-in."""
+        return self._ring.retired
+
+    def restart_shard(self, shard_index: int, server_factory=None) -> TaintMapServer:
+        """Crash-restart shard ``shard_index``: stop it (if running) and
+        boot a replacement on the same address that recovers from the
+        shard's durability store.  Only meaningful with a
+        ``store_factory`` — an in-memory shard cannot restart without
+        renumbering GIDs, which is exactly the bug durability removes.
+        """
+        if self._store_factory is None:
+            raise TaintMapError(
+                "restart_shard requires a durable service (store_factory)"
+            )
+        old = self.servers[shard_index]
+        old.stop()
+        factory = server_factory or TaintMapServer
+        ip, port = old.address
+        server = factory(
+            self._kernel,
+            ip,
+            port,
+            shard_index=shard_index,
+            shard_count=self._ring.shard_count,
+            service_time=self._service_time,
+            ring=self._ring,
+            store=self._store_for(shard_index),
+            snapshot_every=self._snapshot_every,
+        )
+        server.start()
+        self.servers[shard_index] = server
+        return server
+
+    def stop_retired(self) -> list[int]:
+        """Stop the servers of retired shards.
+
+        Call only after every client routes by the successor ring — the
+        retired slots' GIDs then resolve at their forwarding shard, so
+        nothing is lost by taking the drained processes down.
+        """
+        stopped = []
+        for index in sorted(self._ring.retired):
+            server = self.servers[index]
+            if server._running:
+                server.stop()
+                stopped.append(index)
+        return stopped
 
     def start(self) -> "ShardedTaintMapService":
         for server in self.servers:
@@ -1434,16 +1898,41 @@ class TaintMapClient:
         return a new shard index, every per-shard list must already have
         that slot, so concurrent requests never index past the end.
         Older/equal epochs are ignored (monotone adoption: two racing
-        STALE_RING replies can arrive out of order)."""
+        STALE_RING replies can arrive out of order).
+
+        Retired slots **readdress** rather than grow: the drained
+        shard's slot takes the forwarding (successor) address, stale
+        pooled connections to the drained process are discarded, and
+        lookups for the drained shard's GID bits transparently dial the
+        forward shard.  Readdressed slots are exempt from the
+        address-preservation check — moving is their whole point.
+        """
+        stale: list[TcpEndpoint] = []
         with self._pool_lock:
             if ring.epoch <= self._ring.epoch:
                 return False
-            if ring.addresses[: len(self._shard_replicas)] != tuple(
-                replicas[0] for replicas in self._shard_replicas
-            ):
-                raise TaintMapError(
-                    "adopted ring does not preserve existing shard addresses"
+            for index, replicas in enumerate(self._shard_replicas):
+                if index >= ring.shard_count:
+                    break
+                if ring.addresses[index] == replicas[0]:
+                    continue
+                if index not in ring.retired:
+                    raise TaintMapError(
+                        "adopted ring does not preserve existing shard addresses"
+                    )
+            readdressed = []
+            for index in sorted(ring.retired):
+                if index >= len(self._shard_replicas):
+                    continue
+                if self._shard_replicas[index][0] == ring.addresses[index]:
+                    continue
+                self._shard_replicas[index] = list(
+                    self._replicas_for_new_shard(index, ring.addresses[index])
                 )
+                self._active[index] = 0
+                stale.extend(self._pools[index])
+                self._pools[index].clear()
+                readdressed.append(index)
             for index in range(len(self._shard_replicas), ring.shard_count):
                 self._shard_replicas.append(
                     list(self._replicas_for_new_shard(index, ring.addresses[index]))
@@ -1451,9 +1940,13 @@ class TaintMapClient:
                 self._active.append(0)
                 self._pools.append([])
             grown = len(self._shard_replicas)
+        for endpoint in stale:
+            self._close_quietly(endpoint)
         # Outside the pool lock: the async transport grows on its event
         # loop and must not be awaited while holding a client lock.
         self._on_shards_grown(grown)
+        if readdressed:
+            self._on_shards_readdressed(readdressed)
         with self._pool_lock:
             if ring.epoch <= self._ring.epoch:
                 return False  # a racing adopter moved us even further
@@ -1469,6 +1962,11 @@ class TaintMapClient:
 
     def _on_shards_grown(self, shard_count: int) -> None:
         """Hook for transports with per-shard state beyond the pools."""
+
+    def _on_shards_readdressed(self, indices: list[int]) -> None:
+        """Hook: the listed shard slots changed address (drain
+        forwarding).  Transports with cached per-shard connections drop
+        them so new requests dial the forwarding shard."""
 
     # -- connection pool ------------------------------------------------- #
 
@@ -1588,6 +2086,10 @@ class TaintMapClient:
                 raise TaintMapError("unknown Global ID")
             if status == STATUS_STALE_RING:
                 raise self._stale_ring_error(shard, response)
+            if status == STATUS_GID_EXHAUSTED:
+                raise TaintMapExhaustedError(
+                    f"shard {shard} has exhausted its Global-ID sequence space"
+                )
             if status != STATUS_OK:
                 raise TaintMapError(f"taint map rejected request (status {status})")
             return response

@@ -62,6 +62,19 @@ class TaintMapStaleRingError(TaintMapError):
         self.adopted = adopted
 
 
+class TaintMapExhaustedError(TaintMapError):
+    """A shard ran out of Global-ID sequence numbers
+    (``STATUS_GID_EXHAUSTED``).
+
+    Deliberately **not** a ``ConnectionError``: the shard is healthy and
+    answering, it simply has nothing left to allocate — failing over or
+    retrying cannot help (the standby replicates the same exhausted
+    counter), so the transports surface this immediately instead of
+    burning a replica rotation on it.  The ``dista_gid_headroom`` gauge
+    gives deployments the advance warning this error is the end of.
+    """
+
+
 class TaintMapDeadlineError(TaintMapError, TimeoutError):
     """A Taint Map request missed its configured deadline.
 

@@ -47,6 +47,8 @@ class Cluster:
         budget_warm_start=None,
         cache_admission: Optional[bool] = None,
         lineage=None,
+        taint_map_durable: bool = False,
+        taint_map_snapshot_every: Optional[int] = None,
     ):
         self.mode = mode
         self.name = name
@@ -110,6 +112,12 @@ class Cluster:
                 f"initial shard count {taint_map_shards}"
             )
         self.taint_map_max_shards = taint_map_max_shards
+        #: Durable Taint Map: each shard writes a WAL + periodic
+        #: snapshots to the in-sim filesystem (under ``/var/dista``), so
+        #: a restarted shard resumes its GID sequence instead of
+        #: renumbering.
+        self.taint_map_durable = bool(taint_map_durable)
+        self.taint_map_snapshot_every = taint_map_snapshot_every
         self.kernel = SimKernel(name)
         self.fs = SimFileSystem()
         self.nodes: dict[str, SimNode] = {}
@@ -235,7 +243,14 @@ class Cluster:
 
     @property
     def taint_map_addresses(self) -> list:
-        """Every shard's address (one entry for a single-shard map)."""
+        """Every shard slot's address (one entry for a single-shard map).
+
+        Derived from the live service ring when one exists, so retired
+        slots report their forwarding address — the address a lookup for
+        the drained shard's GID bits actually dials.
+        """
+        if self.taint_map_service is not None:
+            return list(self.taint_map_service.ring.addresses)
         return [
             (TAINT_MAP_IP, TAINT_MAP_PORT + index)
             for index in range(self.taint_map_shards)
@@ -245,8 +260,20 @@ class Cluster:
         from repro.core.taintmap import ShardedTaintMapService
 
         self.kernel.register_node(TAINT_MAP_IP)
+        store_factory = None
+        if self.taint_map_durable:
+            from repro.core.durability import FileTaintMapStore
+
+            store_factory = lambda index: FileTaintMapStore(
+                self.fs, "/var/dista/taintmap", index
+            )
         self.taint_map_service = ShardedTaintMapService(
-            self.kernel, TAINT_MAP_IP, TAINT_MAP_PORT, self.taint_map_shards
+            self.kernel,
+            TAINT_MAP_IP,
+            TAINT_MAP_PORT,
+            self.taint_map_shards,
+            store_factory=store_factory,
+            snapshot_every=self.taint_map_snapshot_every,
         ).start()
         self.taint_map_server = self.taint_map_service.servers[0]
 
@@ -267,37 +294,59 @@ class Cluster:
                 node.taintmap.adopt_ring(ring)
 
     def scale_taint_map(self, new_shard_count: int, standbys=None):
-        """Grow the Taint Map to ``new_shard_count`` shards, live.
+        """Resize the Taint Map to ``new_shard_count`` *active* shards,
+        live.
 
-        Runs the :class:`~repro.core.elastic.RingCoordinator` scale-out
-        (boot, bulk copy, epoch flip, delta copy — no write pause, no
-        GID renumbered) and then pushes the new ring to every attached
-        node's client so steady-state traffic never pays the stale-ring
-        retry.  ``standbys`` optionally maps shard index → replica
-        addresses for handoff-delivery failover.  Returns the new
+        Growth runs the :class:`~repro.core.elastic.RingCoordinator`
+        scale-out (boot, bulk copy, epoch flip, delta copy — no write
+        pause, no GID renumbered); a target below the current active
+        count runs the scale-**in** instead, draining the highest shards
+        into the survivors and leaving their ring slots forwarding, so
+        every GID they ever allocated keeps resolving.  Either way the
+        new ring is pushed to every attached node's client so
+        steady-state traffic never pays the stale-ring retry, and
+        drained shard processes stop only *after* that push.
+        ``standbys`` optionally maps shard index → replica addresses for
+        handoff-delivery failover.  Returns the new
         :class:`~repro.core.taintmap.ShardRing`.
         """
-        if self.taint_map_service is None:
+        service = self.taint_map_service
+        if service is None:
             raise ReproError(
                 "scale_taint_map requires a started cluster in DISTA mode"
             )
-        if (
-            self.taint_map_max_shards is not None
-            and new_shard_count > self.taint_map_max_shards
-        ):
-            raise ReproError(
-                f"scale-out target {new_shard_count} exceeds "
-                f"taint_map_max_shards={self.taint_map_max_shards}"
-            )
+        active = len(service.ring.active_shards)
+        if new_shard_count == active:
+            return service.ring
         from repro.core.elastic import RingCoordinator
 
-        coordinator = RingCoordinator(self.taint_map_service, standbys=standbys)
-        ring = coordinator.scale_to(new_shard_count)
-        self.taint_map_shards = new_shard_count
+        coordinator = RingCoordinator(service, standbys=standbys)
+        if new_shard_count < active:
+            ring = coordinator.scale_in(new_shard_count)
+        else:
+            # Retired GID indices are never reused, so growth adds the
+            # new active shards on fresh ring slots.
+            target = service.ring.shard_count + (new_shard_count - active)
+            if (
+                self.taint_map_max_shards is not None
+                and target > self.taint_map_max_shards
+            ):
+                raise ReproError(
+                    f"scale-out target {new_shard_count} needs {target} ring "
+                    f"slots, exceeding taint_map_max_shards="
+                    f"{self.taint_map_max_shards}"
+                )
+            ring = coordinator.scale_to(target)
+        self.taint_map_shards = ring.shard_count
         self.last_scale_coordinator = coordinator
         for node in self.nodes.values():
             if node.taintmap is not None:
                 node.taintmap.adopt_ring(ring)
+        if new_shard_count < active:
+            # Every client now routes by the successor ring; the drained
+            # processes can go away (their GIDs resolve at the slots'
+            # forwarding addresses).
+            service.stop_retired()
         return ring
 
     def shutdown(self) -> None:
@@ -348,7 +397,18 @@ class Cluster:
 
     def wire_bytes(self, exclude_taint_map: bool = True):
         """Total bytes the kernel carried (for the 5× overhead check)."""
-        exclude = tuple(self.taint_map_addresses) if exclude_taint_map else ()
+        exclude = ()
+        if exclude_taint_map:
+            # Union of the ring's current slot addresses and the
+            # original per-slot addresses — a drained slot forwards to a
+            # survivor, but its pre-drain traffic ran on the original.
+            exclude = tuple(
+                set(self.taint_map_addresses)
+                | {
+                    (TAINT_MAP_IP, TAINT_MAP_PORT + index)
+                    for index in range(self.taint_map_shards)
+                }
+            )
         return self.kernel.stats.total(exclude)
 
     # -- telemetry ---------------------------------------------------------- #

@@ -1,13 +1,16 @@
 """Tests for the replicated Taint Map and failover client (paper §VI)."""
 
+import struct
+
 import pytest
 
 from repro.core.ha import (
+    OP_SYNC,
     FailoverTaintMapClient,
     ReplicatedTaintMapServer,
     StandbyTaintMapServer,
 )
-from repro.core.taintmap import TaintMapClient
+from repro.core.taintmap import TaintMapClient, serialize_tags
 from repro.errors import TaintMapError
 from repro.runtime.fs import SimFileSystem
 from repro.runtime.kernel import SimKernel
@@ -43,6 +46,22 @@ class TestReplication:
         standby_client = TaintMapClient(node, STANDBY)
         resolved = standby_client.taint_for(gid)
         assert {t.tag for t in resolved.tags} == {"replicated"}
+
+    def test_promoted_standby_reports_stats_parity(self, ha_setup):
+        """Regression: OP_SYNC used to install entries without bumping
+        ``TaintMapStats.global_taints``, so a promoted standby reported
+        population 0 and poisoned every telemetry/autoscaling consumer."""
+        kernel, node, primary, standby = ha_setup
+        client = TaintMapClient(node, PRIMARY)
+        taints = [node.tree.taint_for_tag(f"parity{i}") for i in range(5)]
+        client.gids_for(taints)
+        assert primary.stats.snapshot()["global_taints"] == 5
+        assert standby.stats.snapshot()["global_taints"] == 5
+        # A replayed OP_SYNC (same GID again) must not double-count.
+        gid = client.gid_for(taints[0])
+        payload = struct.pack(">I", gid) + serialize_tags(taints[0].tags)
+        standby._handle(OP_SYNC, payload)
+        assert standby.stats.snapshot()["global_taints"] == 5
 
     def test_batched_register_replicates_every_entry(self, ha_setup):
         """OP_REGISTER_MANY goes through the same per-taint _register hook,
